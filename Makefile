@@ -1,0 +1,24 @@
+# Convenience targets for the EDR reproduction.
+
+PYTHON ?= python3
+
+.PHONY: test bench figures quick-figures headline clean
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures:
+	$(PYTHON) -m repro.experiments all
+
+quick-figures:
+	$(PYTHON) -m repro.experiments all --quick
+
+headline:
+	$(PYTHON) -m repro.experiments headline --runs 40
+
+clean:
+	rm -rf benchmarks/reports .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

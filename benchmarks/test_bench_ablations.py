@@ -1,0 +1,52 @@
+"""Benchmark — ablations: step sizes, topologies, LDDM variants, comm."""
+
+from repro.experiments import ablations
+
+
+def test_bench_ablation_stepsize(benchmark, report_sink):
+    result = benchmark.pedantic(ablations.run_stepsize, rounds=1,
+                                iterations=1)
+    report_sink("ablation_stepsize", result.render())
+    gaps = {(row[0], row[1]): row[3] for row in result.rows}
+    # Constant steps (the paper's choice) reach a small neighborhood.
+    assert gaps[("lddm", "constant")] < 1.0
+
+
+def test_bench_ablation_topology(benchmark, report_sink):
+    result = benchmark.pedantic(ablations.run_topology, rounds=1,
+                                iterations=1)
+    report_sink("ablation_topology", result.render())
+    gaps = {row[0]: row[2] for row in result.rows}
+    assert gaps["complete (paper)"] < 5.0
+
+
+def test_bench_ablation_lddm_variants(benchmark, report_sink):
+    result = benchmark.pedantic(ablations.run_lddm_variants, rounds=1,
+                                iterations=1)
+    report_sink("ablation_lddm_variants", result.render())
+    by_label = {row[0]: row for row in result.rows}
+    full = by_label["full (prox + suffix-avg + warm mu)"]
+    exact = by_label["exact subproblem (paper)"]
+    # The stabilized variant needs no more iterations than the raw one.
+    assert full[1] <= exact[1]
+
+
+def test_bench_ablation_gossip(benchmark, report_sink):
+    result = benchmark.pedantic(ablations.run_gossip, rounds=1, iterations=1)
+    report_sink("ablation_gossip", result.render())
+    gaps = {row[0]: row[2] for row in result.rows}
+    # Both consensus styles solve the problem; gossip within a few percent.
+    assert gaps["gossip (random pair/round)"] < 10.0
+
+
+def test_bench_ablation_comm_complexity(benchmark, report_sink):
+    result = benchmark.pedantic(ablations.run_comm_complexity, rounds=1,
+                                iterations=1)
+    report_sink("ablation_comm_complexity", result.render())
+    lddm = [row[1] for row in result.rows]
+    cdpsm = [row[2] for row in result.rows]
+    ns = [row[0] for row in result.rows]
+    # O(C*N) vs O(C*N^3): the ratio cdpsm/lddm must grow ~quadratically.
+    ratio_first = cdpsm[0] / lddm[0]
+    ratio_last = cdpsm[-1] / lddm[-1]
+    assert ratio_last > ratio_first * (ns[-1] / ns[0])

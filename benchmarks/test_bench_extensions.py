@@ -1,0 +1,39 @@
+"""Benchmarks — the extension experiments (beyond the paper's figures)."""
+
+from repro.experiments import ext_dynamic_prices, ext_geo_latency, ext_standby
+
+
+def test_bench_ext_dynamic_prices(benchmark, report_sink):
+    result = benchmark.pedantic(ext_dynamic_prices.run, rounds=1,
+                                iterations=1)
+    report_sink("ext_dynamic_prices", result.render())
+    # Tariff-aware EDR beats both the stale scheduler and Round-Robin.
+    assert result.aware.total_cents < result.stale.total_cents
+    assert result.aware.total_cents < result.round_robin.total_cents
+    benchmark.extra_info["saving_vs_stale_pct"] = round(
+        100 * (1 - result.aware.total_cents / result.stale.total_cents), 2)
+
+
+def test_bench_ext_geo_latency(benchmark, report_sink):
+    result = benchmark.pedantic(ext_geo_latency.run, rounds=1, iterations=1)
+    report_sink("ext_geo_latency", result.render())
+    import numpy as np
+    finite = [c for c in result.costs if np.isfinite(c)]
+    # Tightening T can only raise the optimal cost...
+    assert all(b >= a * (1 - 1e-6) for a, b in zip(finite, finite[1:]))
+    # ...and eventually breaks feasibility.
+    assert result.infeasible_below_ms > 0
+
+
+def test_bench_ext_standby(benchmark, report_sink):
+    result = benchmark.pedantic(ext_standby.run, rounds=1, iterations=1)
+    report_sink("ext_standby", result.render())
+    for algo in result.joules_on:
+        assert result.joules_standby[algo] < result.joules_on[algo]
+    # EDR's concentration creates more sleep opportunity than RR's spread.
+    lddm_gain = 1 - result.joules_standby["lddm"] / result.joules_on["lddm"]
+    rr_gain = 1 - result.joules_standby["round_robin"] \
+        / result.joules_on["round_robin"]
+    assert lddm_gain > rr_gain
+    benchmark.extra_info["lddm_standby_saving_pct"] = round(100 * lddm_gain, 1)
+    benchmark.extra_info["rr_standby_saving_pct"] = round(100 * rr_gain, 1)

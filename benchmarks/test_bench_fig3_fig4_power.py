@@ -1,0 +1,25 @@
+"""Benchmark — Figs. 3-4: per-replica runtime power profiles (DFS)."""
+
+from repro.experiments import fig3_fig4
+
+
+def test_bench_fig3_fig4_power_profiles(benchmark, report_sink):
+    results = benchmark.pedantic(fig3_fig4.run, rounds=1, iterations=1)
+    report = (results["cdpsm"].render() + "\n\n" +
+              results["lddm"].render())
+    report_sink("fig3_fig4_power_profiles", report)
+
+    for res in results.values():
+        for series in res.profiles.values():
+            # Profiles live in the SystemG envelope (Figs. 3-4 y-ranges).
+            assert series.min() >= 215.0 - 1e-9
+            assert series.max() <= 240.0 + 1e-9
+
+    # LDDM's average power is below CDPSM's (less coordination work).
+    def mean_power(res):
+        vals = [s.mean() for s in res.profiles.values() if len(s) > 1]
+        return sum(vals) / len(vals)
+
+    benchmark.extra_info["cdpsm_mean_w"] = round(mean_power(results["cdpsm"]), 2)
+    benchmark.extra_info["lddm_mean_w"] = round(mean_power(results["lddm"]), 2)
+    assert mean_power(results["lddm"]) <= mean_power(results["cdpsm"]) + 0.5

@@ -1,0 +1,14 @@
+"""Benchmark — Fig. 5: CDPSM vs LDDM convergence (3 replicas)."""
+
+from repro.experiments import fig5
+
+
+def test_bench_fig5_convergence(benchmark, report_sink):
+    result = benchmark.pedantic(fig5.run, rounds=1, iterations=1)
+    report_sink("fig5_convergence", result.render())
+    benchmark.extra_info["lddm_iters_to_1pct"] = \
+        result.lddm_iterations_to_1pct
+    benchmark.extra_info["cdpsm_iters_to_1pct"] = \
+        result.cdpsm_iterations_to_1pct
+    # The paper's claim: LDDM converges faster.
+    assert result.lddm_iterations_to_1pct < result.cdpsm_iterations_to_1pct

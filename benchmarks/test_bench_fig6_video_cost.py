@@ -1,0 +1,23 @@
+"""Benchmark — Fig. 6: per-replica energy cost, video streaming."""
+
+from repro.experiments import fig6_fig7
+
+
+def test_bench_fig6_video_cost(benchmark, report_sink, json_sink):
+    result = benchmark.pedantic(fig6_fig7.run, kwargs={"app": "video"},
+                                rounds=1, iterations=1)
+    report_sink("fig6_video_cost", result.render())
+    json_sink("fig6_video_cost", result.results)
+    rr = result.results["round_robin"]
+    lddm_saving = result.results["lddm"].savings_vs(rr, "cents")
+    cdpsm_saving = result.results["cdpsm"].savings_vs(rr, "cents")
+    benchmark.extra_info["lddm_cost_saving_pct"] = round(100 * lddm_saving, 2)
+    benchmark.extra_info["cdpsm_cost_saving_pct"] = round(100 * cdpsm_saving, 2)
+    # Paper shape: both EDR variants beat Round-Robin; LDDM is cheapest.
+    assert lddm_saving > 0
+    assert cdpsm_saving > 0
+    assert result.results["lddm"].total_cents <= \
+        result.results["cdpsm"].total_cents
+    # EDR shifts cost share onto the cheap (price <= 2) replicas.
+    assert result.cheap_replica_share("lddm") > \
+        result.cheap_replica_share("round_robin")

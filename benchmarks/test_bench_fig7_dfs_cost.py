@@ -1,0 +1,19 @@
+"""Benchmark — Fig. 7: per-replica energy cost, distributed file service."""
+
+from repro.experiments import fig6_fig7
+
+
+def test_bench_fig7_dfs_cost(benchmark, report_sink, json_sink):
+    result = benchmark.pedantic(fig6_fig7.run, kwargs={"app": "dfs"},
+                                rounds=1, iterations=1)
+    report_sink("fig7_dfs_cost", result.render())
+    json_sink("fig7_dfs_cost", result.results)
+    rr = result.results["round_robin"]
+    lddm_saving = result.results["lddm"].savings_vs(rr, "cents")
+    benchmark.extra_info["lddm_cost_saving_pct"] = round(100 * lddm_saving, 2)
+    benchmark.extra_info["cdpsm_cost_saving_pct"] = round(
+        100 * result.results["cdpsm"].savings_vs(rr, "cents"), 2)
+    # Paper shape: EDR (LDDM) beats Round-Robin on cost for DFS too.
+    assert lddm_saving > 0
+    assert result.cheap_replica_share("lddm") > \
+        result.cheap_replica_share("round_robin")

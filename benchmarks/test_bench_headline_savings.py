@@ -1,0 +1,31 @@
+"""Benchmark — the headline numbers: randomized-sweep average savings.
+
+Paper: avg 12% LDDM cost saving vs Round-Robin and avg 22.64% CDPSM
+energy saving across 40 randomized runs.  The full 40-run sweep is
+expensive; the benchmark default uses 12 runs (set REPRO_HEADLINE_RUNS
+to override) — the distribution is stable well before 40.
+"""
+
+import os
+
+import numpy as np
+
+from repro.experiments import headline
+
+
+def test_bench_headline_savings(benchmark, report_sink):
+    n_runs = int(os.environ.get("REPRO_HEADLINE_RUNS", "12"))
+    result = benchmark.pedantic(headline.run, kwargs={"n_runs": n_runs},
+                                rounds=1, iterations=1)
+    report_sink("headline_savings", result.render())
+    mean_lddm_cost = float(np.mean(result.lddm_cost_savings))
+    benchmark.extra_info["mean_lddm_cost_saving_pct"] = round(
+        100 * mean_lddm_cost, 2)
+    benchmark.extra_info["mean_cdpsm_cost_saving_pct"] = round(
+        100 * float(np.mean(result.cdpsm_cost_savings)), 2)
+    benchmark.extra_info["mean_cdpsm_energy_saving_pct"] = round(
+        100 * float(np.mean(result.cdpsm_energy_savings)), 2)
+    # The paper's primary headline: LDDM saves cost vs Round-Robin on
+    # average (paper: 12%; our substrate's measured value is recorded in
+    # EXPERIMENTS.md).
+    assert mean_lddm_cost > 0

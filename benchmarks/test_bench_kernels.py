@@ -1,0 +1,79 @@
+"""Micro-benchmarks of the numerical kernels (regression tracking).
+
+Unlike the figure benchmarks (single full-scale runs), these use
+pytest-benchmark's statistical timing over many rounds, so kernel
+performance regressions show up in `--benchmark-compare` workflows.
+"""
+
+import numpy as np
+
+from repro.core.params import ProblemData
+from repro.core.problem import ReplicaSelectionProblem
+from repro.core.projection import (
+    project_demands,
+    project_local_set,
+    project_simplex,
+)
+from repro.core.subproblem import ReplicaSubproblem, solve_replica_subproblem
+from repro.core import model
+from repro.net.flows import Flow, max_min_fair_rates
+from repro.sim.engine import Simulator
+
+
+def test_bench_kernel_simplex_projection(benchmark):
+    rng = np.random.default_rng(0)
+    v = rng.uniform(-10, 10, size=256)
+    out = benchmark(project_simplex, v, 100.0)
+    assert abs(out.sum() - 100.0) < 1e-6
+
+
+def test_bench_kernel_demand_projection(benchmark):
+    rng = np.random.default_rng(0)
+    P = rng.uniform(-5, 30, size=(64, 8))
+    R = rng.uniform(1, 50, size=64)
+    mask = np.ones((64, 8), dtype=bool)
+    out = benchmark(project_demands, P, R, mask)
+    assert np.allclose(out.sum(axis=1), R)
+
+
+def test_bench_kernel_dykstra_local_set(benchmark):
+    rng = np.random.default_rng(1)
+    P = rng.uniform(0, 20, size=(32, 8))
+    R = P.sum(axis=1) * 0.9
+    mask = np.ones((32, 8), dtype=bool)
+    out = benchmark(project_local_set, P, R, mask, 2, 60.0)
+    assert np.allclose(out.sum(axis=1), R, atol=1e-5)
+
+
+def test_bench_kernel_lddm_subproblem(benchmark):
+    rng = np.random.default_rng(2)
+    sub = ReplicaSubproblem(
+        price=5.0, alpha=1.0, beta=0.01, gamma=3.0, bandwidth=100.0,
+        mu=rng.uniform(-60, 0, size=64), ref=rng.uniform(0, 10, size=64),
+        epsilon=0.5)
+    out = benchmark(solve_replica_subproblem, sub)
+    assert out.sum() <= 100.0 + 1e-6
+
+
+def test_bench_kernel_energy_gradient(benchmark):
+    rng = np.random.default_rng(3)
+    data = ProblemData.paper_defaults(
+        demands=rng.uniform(10, 50, size=128),
+        prices=rng.integers(1, 21, size=8).astype(float))
+    P = ReplicaSelectionProblem(data).uniform_allocation()
+    out = benchmark(model.energy_gradient, data, P)
+    assert out.shape == (128, 8)
+
+
+def test_bench_kernel_max_min_fair(benchmark):
+    sim = Simulator()
+    rng = np.random.default_rng(4)
+    nodes = [f"n{i}" for i in range(16)]
+    flows = [Flow(sim, nodes[int(rng.integers(16))],
+                  nodes[(int(rng.integers(15)) + 1 +
+                         int(rng.integers(16))) % 16], 1.0)
+             for _ in range(64)]
+    flows = [f for f in flows if f.src != f.dst]
+    caps = {n: 100.0 for n in nodes}
+    rates = benchmark(max_min_fair_rates, flows, caps)
+    assert all(r >= 0 for r in rates.values())

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Fully decentralized solver execution — no coordinator anywhere.
+
+Every replica (and, for LDDM, every client) runs as an independent
+simulated process holding only its local state; all coordination happens
+through protocol messages with real network latencies.  The result is
+numerically identical to the matrix-form solvers — the fidelity proof
+behind the experiment harness.
+
+Run:  python examples/agent_based_solvers.py
+"""
+
+import numpy as np
+
+from repro.core import ProblemData, ReplicaSelectionProblem, solve_reference
+from repro.core.lddm import LddmSolver
+from repro.edr.agents import AgentBasedCdpsm, AgentBasedLddm
+from repro.net.topology import Topology
+from repro.net.transport import Network
+from repro.sim.engine import Simulator
+
+
+def main() -> None:
+    data = ProblemData.paper_defaults(
+        demands=[35.0, 50.0, 20.0], prices=[2.0, 9.0, 4.0, 1.0])
+    problem = ReplicaSelectionProblem(data)
+    optimum = solve_reference(problem).objective
+    rounds = 40
+
+    # --- LDDM: replicas + clients as message-passing agents -------------
+    replicas = [f"replica{i}" for i in range(data.n_replicas)]
+    clients = [f"client{i}" for i in range(data.n_clients)]
+    sim = Simulator()
+    net = Network(sim, Topology.lan(replicas + clients, latency=0.0005))
+    agents = AgentBasedLddm(sim, net, data, replicas, clients,
+                            rounds=rounds)
+    sim.run()
+    alloc = problem.repair(agents.allocation())
+    print(f"agent-based LDDM : objective {problem.objective(alloc):10.2f} "
+          f"(optimum {optimum:.2f})")
+    print(f"                   {net.messages_sent} messages over "
+          f"{sim.now * 1000:.1f} simulated ms")
+
+    # Identical to the matrix-form solver, iterate for iterate:
+    matrix = LddmSolver(problem, max_iter=rounds, tol=0.0,
+                        track_objective=False)
+    candidate = None
+    for _k, candidate, _res in matrix.iterations():
+        pass
+    diff = float(np.abs(agents.allocation() - candidate).max())
+    print(f"                   max |agent - matrix| = {diff:.2e}")
+
+    # --- CDPSM: replicas only -------------------------------------------
+    sim2 = Simulator()
+    net2 = Network(sim2, Topology.lan(replicas, latency=0.0005))
+    cdpsm_agents = AgentBasedCdpsm(sim2, net2, data, replicas,
+                                   rounds=rounds)
+    sim2.run()
+    mean = problem.repair(cdpsm_agents.consensus_mean())
+    print(f"agent-based CDPSM: objective {problem.objective(mean):10.2f} "
+          f"after {rounds} all-pairs consensus rounds")
+    print(f"                   {net2.messages_sent} messages, "
+          f"{net2.mb_sent:.2f} MB of estimates exchanged")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+#!/usr/bin/env python3
+"""Extension: EDR under a time-of-use electricity tariff.
+
+Commercial clouds pay tariffs that change through the day (the paper's
+future-work target).  This example flips the cheap and expensive regions
+mid-run: a tariff-aware EDR re-solves each batch at the prices in force,
+a stale-tariff EDR keeps optimizing against yesterday's prices, and
+Round-Robin remains price-blind.
+
+Run:  python examples/dynamic_prices.py
+"""
+
+from repro.experiments import ext_dynamic_prices
+
+
+def main() -> None:
+    result = ext_dynamic_prices.run(switch_at=15.0)
+    print(result.render())
+    print("\nNote the stale scheduler: optimizing against outdated prices "
+          "is worse than not optimizing at all — the load it 'saves' onto "
+          "formerly-cheap replicas is now the expensive load.")
+
+
+if __name__ == "__main__":
+    main()

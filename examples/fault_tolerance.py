@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Fault tolerance: crash a replica mid-run and watch EDR recover.
+
+EDR's reliability design (Sec. III-C): a heartbeat ring detects the dead
+replica, the survivors drop it from their active member lists and re-form
+the ring, in-flight downloads from the victim are re-requested by the
+clients, and subsequent scheduling rounds use only the survivors.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro.edr.system import EDRSystem, RuntimeConfig
+from repro.experiments.scenarios import Scenario, make_trace
+from repro.workload.apps import VIDEO_STREAMING
+
+
+def main() -> None:
+    scenario = Scenario(name="fault-demo", app=VIDEO_STREAMING,
+                        n_requests=12, n_clients=12, arrival_rate=6.0)
+    trace = make_trace(scenario)
+    print(f"workload: {len(trace)} video requests, "
+          f"{trace.total_mb():.0f} MB total\n")
+
+    system = EDRSystem(trace, RuntimeConfig(
+        algorithm="lddm", heartbeats=True,
+        hb_interval=0.05, hb_timeout=0.25,
+        batch_capacity_fraction=0.35))
+
+    victim = "replica2"
+    crash_time = 2.0
+    # Network-level crash only: the heartbeat ring must *detect* it.
+    system.faults.crash_at(crash_time, victim)
+    print(f"scheduling crash of {victim} at t = {crash_time:.1f}s "
+          f"(detection left to the heartbeat ring)\n")
+
+    result = system.run(app="video")
+
+    print(f"makespan:            {result.makespan:.2f}s")
+    print(f"delivered:           {result.extras['delivered_mb']:.1f} MB "
+          f"of {trace.total_mb():.1f} MB requested")
+    print(f"client re-requests:  {result.extras['retries']}")
+    print(f"surviving ring:      {system.ring.live}")
+    print("\nmembership events (time-ordered):")
+    for what, who in system.ring.events:
+        print(f"  {what:>5s}: {who}")
+    assert victim not in system.ring.live
+    assert abs(result.extras["delivered_mb"] - trace.total_mb()) < 1e-6
+    print("\nAll requested data was served despite the crash.")
+
+
+if __name__ == "__main__":
+    main()

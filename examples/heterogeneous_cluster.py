@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Extension: a heterogeneous cluster (mixed NIC capacities).
+
+The paper's SystemG testbed is homogeneous (100 MB/s everywhere); real
+fleets mix generations.  Here the *cheapest* replica has a 10 MB/s NIC,
+so naive price-greedy placement would bottleneck on it — EDR's capacity
+constraint makes the planner spill load to the next-cheapest replicas
+instead.
+
+Run:  python examples/heterogeneous_cluster.py
+"""
+
+from repro.edr.system import EDRSystem, RuntimeConfig
+from repro.experiments.scenarios import PAPER_VIDEO, make_trace
+from repro.util.tables import render_table
+
+
+def main() -> None:
+    trace = make_trace(PAPER_VIDEO)
+    prices = RuntimeConfig().prices
+    bandwidths = (10.0, 100.0, 100.0, 100.0, 100.0, 100.0, 100.0, 100.0)
+
+    results = {}
+    for label, bws in (("homogeneous", None), ("replica1@10MB/s", bandwidths)):
+        cfg = RuntimeConfig(algorithm="lddm", bandwidths=bws,
+                            batch_capacity_fraction=0.35)
+        res = EDRSystem(trace, cfg).run(app="video")
+        results[label] = res
+
+    rows = []
+    for i in range(8):
+        rows.append([
+            f"replica{i + 1}",
+            prices[i],
+            bandwidths[i],
+            round(results["homogeneous"].extras["transferred_mb"]
+                  .get(f"replica{i + 1}", 0.0), 1),
+            round(results["replica1@10MB/s"].extras["transferred_mb"]
+                  .get(f"replica{i + 1}", 0.0), 1),
+        ])
+    print(render_table(
+        ["replica", "¢/kWh", "NIC MB/s", "MB served (homog.)",
+         "MB served (hetero.)"],
+        rows, title="Load placement under heterogeneous NICs"))
+    print("\nNote replica1 (cheapest, tiny NIC): the capacity constraint "
+          "caps its share and the planner routes the overflow to the "
+          "other price-1 replicas.")
+    print("Also visible: the per-batch capacity constraint doesn't model "
+          "queueing across batches, so the slow NIC still stretches the "
+          "makespan — the paper's static model shares this limit.")
+    for label, res in results.items():
+        print(f"{label:18s} total cost {1000 * res.total_cents:.3f} m¢, "
+              f"makespan {res.makespan:.2f}s")
+
+
+if __name__ == "__main__":
+    main()

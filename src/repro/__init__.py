@@ -1,0 +1,52 @@
+"""repro — a complete reproduction of *EDR: An Energy-Aware Runtime Load
+Distribution System for Data-Intensive Applications in the Cloud*
+(Li, Song, Bezakova, Cameron; IEEE CLUSTER 2013).
+
+Three entry levels:
+
+* **Optimization only** — :class:`repro.core.ProblemData` /
+  :class:`repro.core.ReplicaSelectionProblem` with
+  :func:`repro.core.solve_lddm`, :func:`repro.core.solve_cdpsm`,
+  :func:`repro.core.solve_reference`.
+* **Full runtime** — :class:`repro.edr.system.EDRSystem` runs the
+  emulated cluster, agents, power meters, and fault-tolerance ring.
+* **Paper figures** — ``python -m repro.experiments <fig...>``.
+"""
+
+from repro.core import (
+    ProblemData,
+    ReplicaParams,
+    ReplicaSelectionProblem,
+    Solution,
+    solve_cdpsm,
+    solve_lddm,
+    solve_reference,
+)
+from repro.edr.system import EDRSystem, RuntimeConfig
+from repro.errors import (
+    ConvergenceError,
+    InfeasibleProblemError,
+    ReproError,
+    SimulationError,
+    ValidationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ProblemData",
+    "ReplicaParams",
+    "ReplicaSelectionProblem",
+    "Solution",
+    "solve_cdpsm",
+    "solve_lddm",
+    "solve_reference",
+    "EDRSystem",
+    "RuntimeConfig",
+    "ReproError",
+    "ValidationError",
+    "InfeasibleProblemError",
+    "ConvergenceError",
+    "SimulationError",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Baseline replica-selection algorithms the paper compares against:
+Round-Robin (energy-oblivious) and DONAR (performance-aware, decentralized,
+energy-oblivious), plus a price-greedy waterfill ablation."""
+
+from repro.baselines.round_robin import RoundRobinScheduler, solve_round_robin
+from repro.baselines.donar import DonarSolver, solve_donar
+from repro.baselines.greedy import solve_price_greedy
+
+__all__ = [
+    "RoundRobinScheduler",
+    "solve_round_robin",
+    "DonarSolver",
+    "solve_donar",
+    "solve_price_greedy",
+]

@@ -1,0 +1,88 @@
+"""Round-Robin replica selection — the paper's baseline.
+
+Requests (or, in matrix form, equal demand shares) are assigned cyclically
+over each client's latency-eligible replicas, skipping replicas whose
+bandwidth cap is already saturated.  Energy prices are ignored entirely —
+that ignorance is precisely the cost gap the paper's Figs. 6-8 quantify.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.params import ProblemData
+from repro.core.problem import ReplicaSelectionProblem
+from repro.core.solution import Solution
+from repro.errors import InfeasibleProblemError
+from repro.workload.requests import Request
+
+__all__ = ["RoundRobinScheduler", "solve_round_robin"]
+
+
+class RoundRobinScheduler:
+    """Stateful per-request round-robin over eligible replicas.
+
+    Used by the runtime simulation: each incoming request is handed whole
+    to the next eligible replica in cyclic order (capacity permitting).
+    """
+
+    def __init__(self, replica_names: list[str], capacities: np.ndarray,
+                 eligibility: dict[str, np.ndarray] | None = None) -> None:
+        self.replicas = list(replica_names)
+        self.capacities = np.asarray(capacities, dtype=float)
+        self.eligibility = eligibility or {}
+        self._cursor = 0
+        self._committed = np.zeros(len(self.replicas))
+
+    def assign(self, request: Request) -> str:
+        """Pick the next replica for ``request`` (whole-request assignment).
+
+        Walks the ring from the cursor, skipping ineligible replicas and
+        replicas whose committed load would exceed capacity; if all are
+        saturated, the least-loaded eligible replica is used (graceful
+        overload rather than rejection, matching a best-effort server).
+        """
+        n = len(self.replicas)
+        eligible = self.eligibility.get(request.client,
+                                        np.ones(n, dtype=bool))
+        if not eligible.any():
+            raise InfeasibleProblemError(
+                f"client {request.client} has no eligible replica")
+        for offset in range(n):
+            idx = (self._cursor + offset) % n
+            if not eligible[idx]:
+                continue
+            if self._committed[idx] + request.size_mb <= self.capacities[idx]:
+                self._cursor = (idx + 1) % n
+                self._committed[idx] += request.size_mb
+                return self.replicas[idx]
+        # Every eligible replica saturated: least-loaded fallback.
+        loads = np.where(eligible, self._committed, np.inf)
+        idx = int(np.argmin(loads))
+        self._cursor = (idx + 1) % n
+        self._committed[idx] += request.size_mb
+        return self.replicas[idx]
+
+    def release(self, replica: str, size_mb: float) -> None:
+        """Return committed capacity when a transfer finishes."""
+        idx = self.replicas.index(replica)
+        self._committed[idx] = max(0.0, self._committed[idx] - size_mb)
+
+
+def solve_round_robin(problem: ReplicaSelectionProblem) -> Solution:
+    """Matrix-form round-robin allocation for the optimization benchmarks.
+
+    Each client's demand is split equally across its eligible replicas —
+    the steady-state load pattern cyclic assignment produces — then
+    repaired onto capacity.
+    """
+    problem.require_feasible()
+    P = problem.uniform_allocation()
+    P = problem.repair(P)
+    return Solution(
+        allocation=P,
+        objective=problem.objective(P),
+        iterations=1,
+        converged=True,
+        method="round_robin",
+    )

@@ -1,0 +1,37 @@
+"""Cluster/datacenter emulation: node power models, PDU sampling, pricing.
+
+This package is the substitute for the paper's SystemG testbed: each
+replica is a simulated node whose instantaneous power follows the same
+linear-server + polynomial-network shape as the paper's energy cost model
+(Eq. 1), sampled at 50 Hz by a simulated Dominion-PX-style PDU.
+"""
+
+from repro.cluster.power import PowerModel, SYSTEMG_POWER_MODEL
+from repro.cluster.node import ReplicaNode, NodeActivity
+from repro.cluster.pdu import PowerSampler
+from repro.cluster.pricing import (
+    ElectricityPricing,
+    PAPER_PRICES,
+    random_prices,
+)
+from repro.cluster.datacenter import (
+    ReplicaSite,
+    datacenter_energy,
+    single_node_energy,
+    apply_pue,
+)
+
+__all__ = [
+    "PowerModel",
+    "SYSTEMG_POWER_MODEL",
+    "ReplicaNode",
+    "NodeActivity",
+    "PowerSampler",
+    "ElectricityPricing",
+    "PAPER_PRICES",
+    "random_prices",
+    "ReplicaSite",
+    "datacenter_energy",
+    "single_node_energy",
+    "apply_pue",
+]

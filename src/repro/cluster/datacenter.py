@@ -1,0 +1,87 @@
+"""Datacenter-level aggregates and the paper's node~datacenter equivalence.
+
+Section IV-A-1 argues that for data-intensive workloads a single cluster
+node's energy model has the same shape as a whole data center's: with
+workload p split across N internal nodes, the linear server term is
+unchanged and the polynomial network term only shrinks
+(``sum p_i**g <= (sum p_i)**g``), so ``E_s >= E_d`` with equality as
+``beta -> 0``.  :func:`single_node_energy` / :func:`datacenter_energy`
+express both sides; the tests verify the inequality and the limit.
+
+PUE (Sec. III-A-3) scales total facility energy but not the scheduling
+decision; :func:`apply_pue` is provided for reporting only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.node import ReplicaNode
+from repro.cluster.pdu import PowerSampler
+from repro.errors import ValidationError
+from repro.util.validation import check_nonnegative
+
+__all__ = ["single_node_energy", "datacenter_energy", "apply_pue",
+           "ReplicaSite"]
+
+
+def single_node_energy(p: float, alpha: float, beta: float,
+                       gamma: float = 3.0) -> float:
+    """Eq. (7): ``E_s = alpha*p + beta*p**gamma`` for workload ``p``."""
+    if p < 0:
+        raise ValidationError("workload must be nonnegative")
+    return alpha * p + beta * p ** gamma
+
+
+def datacenter_energy(splits, alpha: float, beta: float,
+                      gamma: float = 3.0) -> float:
+    """Eq. (8): ``E_d = alpha*sum(p_i) + beta*sum(p_i**gamma)``.
+
+    ``splits`` is the division of the total workload across the data
+    center's internal nodes.
+    """
+    p = check_nonnegative(splits, "splits")
+    return float(alpha * p.sum() + beta * np.sum(p ** gamma))
+
+
+def apply_pue(it_energy_joules: float, pue: float = 1.5) -> float:
+    """Total facility energy given IT energy and a PUE >= 1."""
+    if pue < 1.0:
+        raise ValidationError("PUE must be >= 1")
+    if it_energy_joules < 0:
+        raise ValidationError("energy must be nonnegative")
+    return it_energy_joules * pue
+
+
+@dataclass
+class ReplicaSite:
+    """One replica site: node + meter + regional price.
+
+    The EDR system builds one per replica; metrics read energy from the
+    meter and convert to cost at the site price.
+    """
+
+    node: ReplicaNode
+    meter: PowerSampler
+    price_cents_per_kwh: float
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.price_cents_per_kwh <= 0:
+            raise ValidationError("price must be positive")
+
+    @property
+    def name(self) -> str:
+        """Site/node name."""
+        return self.node.name
+
+    def energy_joules(self) -> float:
+        """Metered energy so far."""
+        return self.meter.energy_joules()
+
+    def energy_cost_cents(self) -> float:
+        """Metered energy converted to cents at the site price."""
+        from repro.cluster.pricing import JOULES_PER_KWH
+        return self.energy_joules() / JOULES_PER_KWH * self.price_cents_per_kwh

@@ -1,0 +1,112 @@
+"""Simulated replica node: activity state feeding the power model.
+
+The EDR server agent moves its node between activities (idle, selecting,
+transferring); NIC utilization is read live from the
+:class:`~repro.net.flows.FlowManager`.  ``power()`` is the probe the PDU
+samples.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Callable
+
+from repro.cluster.power import PowerModel, SYSTEMG_POWER_MODEL
+from repro.errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.flows import FlowManager
+
+__all__ = ["NodeActivity", "ReplicaNode"]
+
+
+class NodeActivity(enum.Enum):
+    """Coarse activity phases observed in the paper's power profiles."""
+
+    IDLE = "idle"                 # listening for requests (the "valleys")
+    SELECTING = "selecting"       # solving the distributed optimization
+    TRANSFERRING = "transferring" # serving file downloads (the "peaks")
+    STANDBY = "standby"           # deep low-power state (extension)
+    OFF = "off"                   # crashed / powered down
+
+
+#: CPU utilization by activity.  Selection keeps cores busy with local
+#: solves plus (de)serialization of coordination messages; transfers cost
+#: some CPU for the file-service path.
+_CPU_BY_ACTIVITY = {
+    NodeActivity.IDLE: 0.05,
+    NodeActivity.SELECTING: 0.80,
+    NodeActivity.TRANSFERRING: 0.35,
+    NodeActivity.STANDBY: 0.0,
+    NodeActivity.OFF: 0.0,
+}
+
+
+class ReplicaNode:
+    """One emulated cluster node.
+
+    Parameters
+    ----------
+    name: node identifier (must match the topology name).
+    power_model: watts as a function of utilization.
+    net_probe: callable returning NIC utilization in [0, 1] — normally
+        ``lambda: flow_manager.utilization(name)``.
+    """
+
+    def __init__(self, name: str, power_model: PowerModel = SYSTEMG_POWER_MODEL,
+                 net_probe: Callable[[], float] | None = None,
+                 standby_w: float = 20.0) -> None:
+        self.name = name
+        self.power_model = power_model
+        if standby_w < 0:
+            raise ValidationError("standby power must be nonnegative")
+        #: Deep-sleep draw (suspend-to-RAM class) — used by the standby
+        #: extension; a sleeping node neither computes nor serves.
+        self.standby_w = float(standby_w)
+        self._net_probe = net_probe or (lambda: 0.0)
+        self._activity = NodeActivity.IDLE
+        #: extra CPU load stacked on top of the base activity (e.g. CDPSM's
+        #: continuous consensus coordination while transferring).
+        self._cpu_overlay = 0.0
+        self.activity_log: list[tuple[float, NodeActivity]] = []
+
+    # -- state -----------------------------------------------------------------
+    @property
+    def activity(self) -> NodeActivity:
+        """Current activity phase."""
+        return self._activity
+
+    def set_activity(self, activity: NodeActivity, now: float | None = None) -> None:
+        """Move to a new activity phase (logged when ``now`` is given)."""
+        if not isinstance(activity, NodeActivity):
+            raise ValidationError("activity must be a NodeActivity")
+        self._activity = activity
+        if now is not None:
+            self.activity_log.append((now, activity))
+
+    def set_cpu_overlay(self, extra: float) -> None:
+        """Stack extra CPU utilization (clipped into [0, 1] at read time)."""
+        if extra < 0:
+            raise ValidationError("cpu overlay must be nonnegative")
+        self._cpu_overlay = extra
+
+    # -- probes -----------------------------------------------------------------
+    @property
+    def cpu_utilization(self) -> float:
+        """CPU utilization implied by activity plus overlay, in [0, 1]."""
+        return min(1.0, _CPU_BY_ACTIVITY[self._activity] + self._cpu_overlay)
+
+    @property
+    def net_utilization(self) -> float:
+        """NIC utilization reported by the flow manager probe, in [0, 1]."""
+        if self._activity is NodeActivity.OFF:
+            return 0.0
+        return min(1.0, max(0.0, float(self._net_probe())))
+
+    def power(self) -> float:
+        """Instantaneous watts (0 when off; ``standby_w`` when asleep)."""
+        if self._activity is NodeActivity.OFF:
+            return 0.0
+        if self._activity is NodeActivity.STANDBY:
+            return self.standby_w
+        return self.power_model.power(self.cpu_utilization, self.net_utilization)

@@ -1,0 +1,61 @@
+"""Node power model.
+
+Instantaneous node power is a weighted combination of a linear server
+(CPU) term and a degree-``gamma`` polynomial network term over NIC
+utilization — the physical-layer mirror of the paper's Eq. (1):
+
+    P(u_cpu, u_net) = idle_w + cpu_w * u_cpu + net_w * u_net**gamma
+
+Calibration follows the SystemG power profiles in Figs. 3-4: ~215 W idle,
+low-220s during the replica-selection (compute+coordination) phase, and
+peaks near 240 W when a node computes while saturating its NIC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+__all__ = ["PowerModel", "SYSTEMG_POWER_MODEL"]
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Maps (cpu utilization, NIC utilization) to watts.
+
+    Attributes
+    ----------
+    idle_w: baseline draw with the node powered on but idle.
+    cpu_w: additional draw at 100% CPU (linear in utilization — the
+        paper's server-term assumption, Sec. III-A-1).
+    net_w: additional draw at 100% NIC utilization.
+    gamma: polynomial degree of the network term (Sec. III-A-2; "Cubic"
+        for the data-intensive workloads, i.e. gamma = 3).
+    """
+
+    idle_w: float = 215.0
+    cpu_w: float = 10.0
+    net_w: float = 15.0
+    gamma: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.idle_w < 0 or self.cpu_w < 0 or self.net_w < 0:
+            raise ValidationError("power coefficients must be nonnegative")
+        if self.gamma < 1:
+            raise ValidationError("gamma must be >= 1 (convexity)")
+
+    def power(self, cpu_util: float, net_util: float) -> float:
+        """Instantaneous watts at the given utilizations (clipped to [0,1])."""
+        u_cpu = min(1.0, max(0.0, cpu_util))
+        u_net = min(1.0, max(0.0, net_util))
+        return self.idle_w + self.cpu_w * u_cpu + self.net_w * u_net ** self.gamma
+
+    @property
+    def peak_w(self) -> float:
+        """Watts at full CPU and NIC utilization."""
+        return self.idle_w + self.cpu_w + self.net_w
+
+
+#: Calibrated to the runtime power profiles of Figs. 3-4 (SystemG nodes).
+SYSTEMG_POWER_MODEL = PowerModel(idle_w=215.0, cpu_w=10.0, net_w=15.0, gamma=3.0)

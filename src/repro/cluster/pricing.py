@@ -1,0 +1,148 @@
+"""Regional electricity pricing.
+
+The paper randomizes an integer price in [1, 20] ¢/kWh per replica to
+simulate geographic price diversity, and fixes
+``[1, 8, 1, 6, 1, 5, 2, 3]`` for the Fig. 6/7 case study.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.util.validation import check_positive
+
+__all__ = ["ElectricityPricing", "PriceSchedule", "PAPER_PRICES",
+           "random_prices", "JOULES_PER_KWH"]
+
+#: Fig. 6/7 price vector for replicas 1..8, in cents/kWh.
+PAPER_PRICES: tuple[float, ...] = (1.0, 8.0, 1.0, 6.0, 1.0, 5.0, 2.0, 3.0)
+
+JOULES_PER_KWH = 3.6e6
+
+
+def random_prices(rng: np.random.Generator, n: int, lo: int = 1,
+                  hi: int = 20) -> np.ndarray:
+    """The paper's price generator: integer ¢/kWh uniform in [lo, hi]."""
+    if n < 1:
+        raise ValidationError("need at least one replica")
+    if lo < 1 or hi < lo:
+        raise ValidationError("require 1 <= lo <= hi")
+    return rng.integers(lo, hi + 1, size=n).astype(float)
+
+
+class ElectricityPricing:
+    """Per-replica unit prices with joules -> cents conversion."""
+
+    def __init__(self, prices: Sequence[float]) -> None:
+        self._prices = check_positive(prices, "prices")
+
+    @property
+    def prices(self) -> np.ndarray:
+        """Unit prices in cents/kWh, one per replica."""
+        return self._prices
+
+    def __len__(self) -> int:
+        return len(self._prices)
+
+    def price(self, replica_index: int) -> float:
+        """Unit price of one replica in cents/kWh."""
+        return float(self._prices[replica_index])
+
+    def cost_cents(self, replica_index: int, joules: float) -> float:
+        """Cost in cents of consuming ``joules`` at the replica's price."""
+        if joules < 0:
+            raise ValidationError("energy must be nonnegative")
+        return joules / JOULES_PER_KWH * self.price(replica_index)
+
+    def cost_vector(self, joules) -> np.ndarray:
+        """Vectorized per-replica cost in cents for per-replica joules."""
+        j = np.asarray(joules, dtype=float)
+        if j.shape != self._prices.shape:
+            raise ValidationError("joules vector length mismatch")
+        if np.any(j < 0):
+            raise ValidationError("energy must be nonnegative")
+        return j / JOULES_PER_KWH * self._prices
+
+
+class PriceSchedule:
+    """Piecewise-constant per-replica electricity prices over time.
+
+    Extension beyond the paper (its future work calls for "more
+    restrictions" and commercial-cloud deployment, where time-of-use
+    tariffs are the norm): prices change at given instants, EDR re-solves
+    each batch at the tariff in force, and cost accounting integrates
+    ``power(t) * price(t)``.
+
+    Parameters
+    ----------
+    times:
+        Nondecreasing segment start times; ``times[0]`` must be 0.
+    price_matrix:
+        ``(K, N)`` — row k holds the per-replica prices from ``times[k]``
+        until ``times[k+1]`` (the last row holds forever).
+    """
+
+    def __init__(self, times, price_matrix) -> None:
+        t = np.asarray(times, dtype=float)
+        p = np.asarray(price_matrix, dtype=float)
+        if t.ndim != 1 or t.size == 0 or t[0] != 0.0:
+            raise ValidationError("times must start at 0")
+        if np.any(np.diff(t) <= 0):
+            raise ValidationError("times must be strictly increasing")
+        if p.ndim != 2 or p.shape[0] != t.size:
+            raise ValidationError("price_matrix must have one row per time")
+        if np.any(p <= 0):
+            raise ValidationError("prices must be positive")
+        self._times = t
+        self._prices = p
+
+    @property
+    def n_replicas(self) -> int:
+        """Number of replicas priced by this schedule."""
+        return self._prices.shape[1]
+
+    @property
+    def segment_times(self) -> np.ndarray:
+        """Segment start times."""
+        return self._times
+
+    @classmethod
+    def constant(cls, prices) -> "PriceSchedule":
+        """A schedule that never changes (equivalent to static pricing)."""
+        return cls([0.0], np.asarray(prices, dtype=float)[None, :])
+
+    @classmethod
+    def two_phase(cls, first, second, switch_at: float) -> "PriceSchedule":
+        """Prices ``first`` until ``switch_at`` seconds, then ``second``."""
+        if switch_at <= 0:
+            raise ValidationError("switch_at must be positive")
+        return cls([0.0, float(switch_at)],
+                   np.stack([np.asarray(first, dtype=float),
+                             np.asarray(second, dtype=float)]))
+
+    def prices_at(self, t: float) -> np.ndarray:
+        """Per-replica prices in force at time ``t``."""
+        if t < 0:
+            raise ValidationError("time must be nonnegative")
+        idx = int(np.searchsorted(self._times, t, side="right")) - 1
+        return self._prices[idx]
+
+    def cost_cents(self, replica_index: int, power_series,
+                   t_end: float) -> float:
+        """Integral of ``power(t) * price(t)`` over ``[0, t_end]``, in cents.
+
+        ``power_series`` is a :class:`~repro.util.timeseries.TimeSeries`
+        of watts (zero-order hold).
+        """
+        if t_end < 0:
+            raise ValidationError("t_end must be nonnegative")
+        total = 0.0
+        bounds = [t for t in self._times if t < t_end] + [t_end]
+        for k in range(len(bounds) - 1):
+            joules = power_series.integrate_between(bounds[k], bounds[k + 1])
+            price = self.prices_at(bounds[k])[replica_index]
+            total += joules / JOULES_PER_KWH * price
+        return total

@@ -1,0 +1,91 @@
+"""Consensus weight matrices for CDPSM.
+
+CDPSM's consensus step averages the replicas' solution estimates with
+weights ``a`` (Table I / Algorithm 1, step 5: ``sum_n a_n = 1``).
+Convergence of the Nedic-Ozdaglar-Parrilo scheme requires a doubly
+stochastic weight matrix compatible with the communication graph; the
+paper's EDR exchanges solutions among *all* replicas, i.e. uniform weights
+on the complete graph.  Ring and Metropolis variants are provided for the
+topology ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["uniform_weights", "ring_weights", "metropolis_weights",
+           "is_doubly_stochastic"]
+
+
+def uniform_weights(n: int) -> np.ndarray:
+    """Complete-graph uniform averaging: ``W[i, j] = 1/n``."""
+    if n < 1:
+        raise ValidationError("need at least one replica")
+    return np.full((n, n), 1.0 / n)
+
+
+def ring_weights(n: int, self_weight: float = 0.5) -> np.ndarray:
+    """Symmetric averaging on a ring: self + two neighbors.
+
+    ``W[i, i] = self_weight``; each ring neighbor gets
+    ``(1 - self_weight) / 2``.  Matches EDR's fault-tolerance ring when
+    used as the communication graph.
+    """
+    if n < 1:
+        raise ValidationError("need at least one replica")
+    if not 0.0 < self_weight < 1.0:
+        raise ValidationError("self_weight must lie in (0, 1)")
+    if n == 1:
+        return np.ones((1, 1))
+    if n == 2:
+        # Each node has a single (doubly counted) neighbor.
+        w = 1.0 - self_weight
+        return np.array([[self_weight, w], [w, self_weight]])
+    W = np.zeros((n, n))
+    side = (1.0 - self_weight) / 2.0
+    for i in range(n):
+        W[i, i] = self_weight
+        W[i, (i - 1) % n] = side
+        W[i, (i + 1) % n] = side
+    return W
+
+
+def metropolis_weights(adjacency: np.ndarray) -> np.ndarray:
+    """Metropolis-Hastings weights for an undirected graph.
+
+    ``W[i, j] = 1 / (1 + max(deg(i), deg(j)))`` for edges,
+    ``W[i, i] = 1 - sum_j W[i, j]``.  Doubly stochastic for any
+    connected undirected graph.
+    """
+    A = np.asarray(adjacency)
+    if A.ndim != 2 or A.shape[0] != A.shape[1]:
+        raise ValidationError("adjacency must be square")
+    A = A.astype(bool)
+    if np.any(np.diag(A)):
+        raise ValidationError("adjacency must have empty diagonal")
+    if not np.array_equal(A, A.T):
+        raise ValidationError("adjacency must be symmetric")
+    n = A.shape[0]
+    deg = A.sum(axis=1)
+    W = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if A[i, j]:
+                W[i, j] = W[j, i] = 1.0 / (1.0 + max(deg[i], deg[j]))
+    for i in range(n):
+        W[i, i] = 1.0 - W[i].sum()
+    return W
+
+
+def is_doubly_stochastic(W: np.ndarray, tol: float = 1e-9) -> bool:
+    """True if ``W`` is nonnegative with unit row and column sums."""
+    W = np.asarray(W, dtype=float)
+    if W.ndim != 2 or W.shape[0] != W.shape[1]:
+        return False
+    if np.any(W < -tol):
+        return False
+    ones = np.ones(W.shape[0])
+    return (np.allclose(W.sum(axis=0), ones, atol=tol)
+            and np.allclose(W.sum(axis=1), ones, atol=tol))

@@ -1,0 +1,66 @@
+"""The energy cost model (Eq. 1) and its gradient, vectorized.
+
+    E_n(L_n) = u_n * (alpha_n * L_n + beta_n * L_n**gamma_n)
+    E_g(P)   = sum_n E_n(sum_c P[c, n])
+
+The objective is convex in P for ``gamma >= 1`` and its gradient with
+respect to ``P[c, n]`` depends only on the column load:
+
+    dE_g/dP[c, n] = u_n * (alpha_n + beta_n * gamma_n * L_n**(gamma_n - 1))
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.params import ProblemData
+from repro.errors import ValidationError
+
+__all__ = ["replica_loads", "replica_energy", "total_energy",
+           "energy_gradient", "load_marginal_cost"]
+
+
+def replica_loads(allocation: np.ndarray) -> np.ndarray:
+    """Column loads ``L_n = sum_c P[c, n]`` of an allocation matrix."""
+    P = np.asarray(allocation, dtype=float)
+    if P.ndim != 2:
+        raise ValidationError("allocation must be a (C, N) matrix")
+    return P.sum(axis=0)
+
+
+def replica_energy(data: ProblemData, loads: np.ndarray) -> np.ndarray:
+    """Per-replica energy cost ``E_n`` for column loads ``loads``."""
+    L = np.asarray(loads, dtype=float)
+    if L.shape != (data.n_replicas,):
+        raise ValidationError("loads must have one entry per replica")
+    if np.any(L < -1e-9):
+        raise ValidationError("loads must be nonnegative")
+    L = np.maximum(L, 0.0)
+    return data.u * (data.alpha * L + data.beta * L ** data.gamma)
+
+
+def total_energy(data: ProblemData, allocation: np.ndarray) -> float:
+    """The global objective ``E_g(P)``."""
+    return float(replica_energy(data, replica_loads(allocation)).sum())
+
+
+def load_marginal_cost(data: ProblemData, loads: np.ndarray) -> np.ndarray:
+    """Marginal cost ``E_n'(L_n)`` per replica (the gradient's row value)."""
+    L = np.maximum(np.asarray(loads, dtype=float), 0.0)
+    if L.shape != (data.n_replicas,):
+        raise ValidationError("loads must have one entry per replica")
+    # gamma >= 1 so the exponent is nonnegative; numpy gives 0**0 == 1,
+    # which is the correct gamma == 1 limit (derivative beta*gamma at L=0).
+    powered = L ** (data.gamma - 1.0)
+    return data.u * (data.alpha + data.beta * data.gamma * powered)
+
+
+def energy_gradient(data: ProblemData, allocation: np.ndarray) -> np.ndarray:
+    """Gradient of ``E_g`` with respect to P, masked to eligible entries."""
+    P = np.asarray(allocation, dtype=float)
+    if P.shape != data.shape:
+        raise ValidationError("allocation shape mismatch")
+    marginal = load_marginal_cost(data, replica_loads(P))
+    grad = np.broadcast_to(marginal, data.shape).copy()
+    grad[~data.mask] = 0.0
+    return grad

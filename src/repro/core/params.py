@@ -1,0 +1,156 @@
+"""Problem parameters (the paper's Table I notation).
+
+``ProblemData`` holds, for C clients and N replicas:
+
+* ``R`` (C,)  — client traffic demands (``R_c``), in load units (MB/s);
+* ``B`` (N,)  — replica bandwidth capacities (``B_n``);
+* ``u`` (N,)  — unit electricity prices (``u_n``), cents/kWh;
+* ``alpha`` (N,) — server energy weight (``alpha_n``);
+* ``beta`` (N,)  — network-device energy weight (``beta_n``);
+* ``gamma`` (N,) — network polynomial degree (``gamma_n``, >= 1);
+* ``mask`` (C, N) bool — latency eligibility (``l_{c,n} <= T``).
+
+The paper's SystemG calibration (Sec. IV-A-2) is ``alpha = 1``,
+``beta = 0.01``, ``gamma = 3``, ``B = 100`` MB/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.util.validation import (
+    check_finite,
+    check_nonnegative,
+    check_positive,
+)
+
+__all__ = ["ReplicaParams", "ProblemData", "PAPER_ALPHA", "PAPER_BETA",
+           "PAPER_GAMMA", "PAPER_BANDWIDTH", "PAPER_MAX_LATENCY"]
+
+#: Paper calibration constants (Sec. IV-A-2).
+PAPER_ALPHA = 1.0
+PAPER_BETA = 0.01
+PAPER_GAMMA = 3.0
+PAPER_BANDWIDTH = 100.0       # MB/s Ethernet cap on SystemG
+PAPER_MAX_LATENCY = 0.0018    # T = 1.8 ms
+
+
+@dataclass(frozen=True)
+class ReplicaParams:
+    """Per-replica model parameters (one row of Table I)."""
+
+    price: float           # u_n, cents/kWh
+    bandwidth: float       # B_n, MB/s
+    alpha: float = PAPER_ALPHA
+    beta: float = PAPER_BETA
+    gamma: float = PAPER_GAMMA
+
+    def __post_init__(self) -> None:
+        if self.price <= 0:
+            raise ValidationError("price must be positive")
+        if self.bandwidth <= 0:
+            raise ValidationError("bandwidth must be positive")
+        if self.alpha < 0 or self.beta < 0:
+            raise ValidationError("alpha/beta must be nonnegative")
+        if self.gamma < 1:
+            raise ValidationError("gamma must be >= 1 (convexity)")
+
+
+class ProblemData:
+    """Validated arrays describing one replica-selection instance."""
+
+    def __init__(self, demands, capacities, prices, alpha, beta, gamma,
+                 mask=None) -> None:
+        self.R = check_nonnegative(demands, "demands").astype(float)
+        if self.R.ndim != 1:
+            raise ValidationError("demands must be a vector")
+        self.B = check_positive(capacities, "capacities").astype(float)
+        if self.B.ndim != 1:
+            raise ValidationError("capacities must be a vector")
+        n = self.B.shape[0]
+
+        def _per_replica(x, name, validator):
+            arr = validator(np.broadcast_to(np.asarray(x, dtype=float),
+                                            (n,)).copy(), name)
+            return arr
+
+        self.u = _per_replica(prices, "prices", check_positive)
+        self.alpha = _per_replica(alpha, "alpha", check_nonnegative)
+        self.beta = _per_replica(beta, "beta", check_nonnegative)
+        self.gamma = _per_replica(gamma, "gamma", check_finite)
+        if np.any(self.gamma < 1):
+            raise ValidationError("gamma must be >= 1 (convexity)")
+        c = self.R.shape[0]
+        if mask is None:
+            self.mask = np.ones((c, n), dtype=bool)
+        else:
+            m = np.asarray(mask)
+            if m.shape != (c, n):
+                raise ValidationError(
+                    f"mask must be shape ({c}, {n}), got {m.shape}")
+            self.mask = m.astype(bool)
+        for name, arr in (("prices", self.u), ("alpha", self.alpha),
+                          ("beta", self.beta), ("gamma", self.gamma)):
+            if arr.shape != (n,):
+                raise ValidationError(f"{name} must have one entry per replica")
+
+    # -- views -------------------------------------------------------------
+    @property
+    def n_clients(self) -> int:
+        """C, the number of clients."""
+        return self.R.shape[0]
+
+    @property
+    def n_replicas(self) -> int:
+        """N, the number of replicas."""
+        return self.B.shape[0]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(C, N) allocation-matrix shape."""
+        return (self.n_clients, self.n_replicas)
+
+    def replica(self, n: int) -> ReplicaParams:
+        """Parameters of replica ``n`` as a :class:`ReplicaParams`."""
+        return ReplicaParams(price=float(self.u[n]),
+                             bandwidth=float(self.B[n]),
+                             alpha=float(self.alpha[n]),
+                             beta=float(self.beta[n]),
+                             gamma=float(self.gamma[n]))
+
+    # -- builders -----------------------------------------------------------
+    @classmethod
+    def paper_defaults(cls, demands: Sequence[float],
+                       prices: Sequence[float],
+                       bandwidth: float = PAPER_BANDWIDTH,
+                       mask=None) -> "ProblemData":
+        """Instance with the paper's alpha/beta/gamma calibration."""
+        n = len(prices)
+        return cls(demands=demands, capacities=np.full(n, float(bandwidth)),
+                   prices=prices, alpha=PAPER_ALPHA, beta=PAPER_BETA,
+                   gamma=PAPER_GAMMA, mask=mask)
+
+    @classmethod
+    def from_replicas(cls, replicas: Sequence[ReplicaParams], demands,
+                      mask=None) -> "ProblemData":
+        """Instance assembled from per-replica parameter records."""
+        if not replicas:
+            raise ValidationError("need at least one replica")
+        return cls(
+            demands=demands,
+            capacities=[r.bandwidth for r in replicas],
+            prices=[r.price for r in replicas],
+            alpha=[r.alpha for r in replicas],
+            beta=[r.beta for r in replicas],
+            gamma=[r.gamma for r in replicas],
+            mask=mask,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ProblemData(C={self.n_clients}, N={self.n_replicas}, "
+                f"total_demand={self.R.sum():g}, "
+                f"total_capacity={self.B.sum():g})")

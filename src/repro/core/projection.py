@@ -1,0 +1,157 @@
+"""Euclidean projections used by the distributed solvers.
+
+* :func:`project_simplex` — onto ``{x >= 0, sum x = s}`` (exact
+  sort-and-threshold algorithm).
+* :func:`project_capped_simplex` — onto ``{x >= 0, sum x <= cap}``.
+* :func:`project_demands` — row-wise demand projection of a full
+  allocation matrix (each client's row onto its masked simplex).
+* :func:`project_local_set` — Dykstra's alternating projection onto a
+  replica's CDPSM local constraint set ``P_n`` (demand rows intersected
+  with that replica's capacity column); this realizes the paper's
+  ``Proj_{P_n}[.]^+`` operator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["project_simplex", "project_capped_simplex", "project_demands",
+           "project_local_set"]
+
+
+def project_simplex(v: np.ndarray, total: float) -> np.ndarray:
+    """Project ``v`` onto ``{x >= 0, sum x = total}`` (Euclidean).
+
+    Sort-based threshold algorithm (Held/Wolfe/Crowder): O(d log d).
+    """
+    v = np.asarray(v, dtype=float)
+    if v.ndim != 1:
+        raise ValidationError("project_simplex expects a vector")
+    if total < 0:
+        raise ValidationError("simplex total must be nonnegative")
+    if v.size == 0:
+        if total > 0:
+            raise ValidationError("cannot place positive mass on empty support")
+        return v.copy()
+    if total == 0:
+        return np.zeros_like(v)
+    # Find threshold tau with sum(max(v - tau, 0)) = total.
+    mu = np.sort(v)[::-1]
+    cumsum = np.cumsum(mu)
+    k = np.arange(1, v.size + 1)
+    cond = mu - (cumsum - total) / k >= 0
+    hits = np.nonzero(cond)[0]
+    # cond holds at k=1 in exact arithmetic; guard the fully-degenerate
+    # float case (e.g. total underflowing against max(v)).
+    rho = int(hits[-1]) if hits.size else 0
+    tau = (cumsum[rho] - total) / (rho + 1)
+    return np.maximum(v - tau, 0.0)
+
+
+def project_capped_simplex(v: np.ndarray, cap: float) -> np.ndarray:
+    """Project ``v`` onto ``{x >= 0, sum x <= cap}``."""
+    if cap < 0:
+        raise ValidationError("cap must be nonnegative")
+    v = np.asarray(v, dtype=float)
+    clipped = np.maximum(v, 0.0)
+    if clipped.sum() <= cap:
+        return clipped
+    return project_simplex(v, cap)
+
+
+def _project_rows_vectorized(P: np.ndarray, R: np.ndarray) -> np.ndarray:
+    """Row-wise simplex projection, all rows at once (full support).
+
+    Vectorized form of the sort-and-threshold algorithm: one sort per row
+    via a single ``np.sort`` call, thresholds found with cumulative sums —
+    the hot path for CDPSM's per-iteration projections.
+    """
+    C, N = P.shape
+    mu = np.sort(P, axis=1)[:, ::-1]
+    cumsum = np.cumsum(mu, axis=1)
+    k = np.arange(1, N + 1)
+    cond = mu - (cumsum - R[:, None]) / k >= 0
+    # Last True per row (cond holds at k=1 in exact arithmetic).
+    rho = np.where(cond.any(axis=1),
+                   N - 1 - np.argmax(cond[:, ::-1], axis=1), 0)
+    tau = (cumsum[np.arange(C), rho] - R) / (rho + 1)
+    out = np.maximum(P - tau[:, None], 0.0)
+    # Rows with zero demand project to exactly zero.
+    out[R == 0.0] = 0.0
+    return out
+
+
+def project_demands(allocation: np.ndarray, demands: np.ndarray,
+                    mask: np.ndarray) -> np.ndarray:
+    """Project each row c onto ``{x >= 0 on mask, 0 off mask, sum = R_c}``.
+
+    Fully-eligible instances (the paper's LAN setup) take a vectorized
+    all-rows path; masked rows fall back to per-row projection on their
+    support.
+    """
+    P = np.asarray(allocation, dtype=float)
+    R = np.asarray(demands, dtype=float)
+    M = np.asarray(mask, dtype=bool)
+    if P.shape != M.shape or R.shape != (P.shape[0],):
+        raise ValidationError("shape mismatch in project_demands")
+    if np.any(R < 0):
+        raise ValidationError("demands must be nonnegative")
+    if M.all():
+        return _project_rows_vectorized(P, R)
+    out = np.zeros_like(P)
+    full = M.all(axis=1)
+    if full.any():
+        out[full] = _project_rows_vectorized(P[full], R[full])
+    for c in np.nonzero(~full)[0]:
+        support = M[c]
+        if not support.any():
+            if R[c] > 0:
+                raise ValidationError(
+                    f"client {c} has positive demand but no eligible replica")
+            continue
+        out[c, support] = project_simplex(P[c, support], float(R[c]))
+    return out
+
+
+def _project_column_cap(allocation: np.ndarray, column: int,
+                        cap: float) -> np.ndarray:
+    """Project onto ``{P : P[:, column] >= 0, sum_c P[c, column] <= cap}``.
+
+    Other columns are untouched (the set does not constrain them).
+    """
+    out = np.array(allocation, dtype=float, copy=True)
+    out[:, column] = project_capped_simplex(out[:, column], cap)
+    return out
+
+
+def project_local_set(allocation: np.ndarray, demands: np.ndarray,
+                      mask: np.ndarray, column: int, cap: float,
+                      max_iter: int = 1000, tol: float = 1e-8) -> np.ndarray:
+    """Dykstra projection onto replica ``column``'s local set ``P_n``:
+
+        {P : P >= 0 on mask (0 off mask),
+             sum_n P[c, n] = R_c for every client c,
+             sum_c P[c, column] <= cap}
+
+    Dykstra's algorithm converges to the exact Euclidean projection onto
+    the (nonempty) intersection of the two closed convex sets.  The loop
+    stops when the two per-set projections agree to ``tol`` (the true
+    convergence measure); the returned iterate is the *demand-side*
+    projection, so client demands hold exactly and any residual capacity
+    overshoot is bounded by the final discrepancy.
+    """
+    x = np.asarray(allocation, dtype=float).copy()
+    p = np.zeros_like(x)  # correction for the demand set
+    q = np.zeros_like(x)  # correction for the capacity set
+    scale = float(max(np.max(np.abs(demands), initial=0.0), cap, 1.0))
+    y = x
+    for _ in range(max_iter):
+        y = project_demands(x + p, demands, mask)
+        p = x + p - y
+        x = _project_column_cap(y + q, column, cap)
+        q = y + q - x
+        if float(np.max(np.abs(y - x))) < tol * scale:
+            break
+    return project_demands(x + p, demands, mask)

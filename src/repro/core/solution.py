@@ -1,0 +1,71 @@
+"""Solution container shared by all solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.params import ProblemData
+
+__all__ = ["Solution"]
+
+
+@dataclass
+class Solution:
+    """Result of one solver run.
+
+    Attributes
+    ----------
+    allocation: (C, N) matrix ``P[c, n]`` of load assigned from client c
+        to replica n.
+    objective: ``E_g`` at the allocation.
+    iterations: solver iterations performed.
+    converged: whether the stopping tolerance was met within the budget.
+    objective_history: ``E_g`` per iteration (Fig. 5's curves).
+    residual_history: primal-feasibility residual per iteration.
+    messages: control messages the distributed execution would exchange.
+    comm_floats: total floats moved between agents (communication volume).
+    method: solver tag ("cdpsm" / "lddm" / "reference" / baseline names).
+    """
+
+    allocation: np.ndarray
+    objective: float
+    iterations: int
+    converged: bool
+    objective_history: list[float] = field(default_factory=list)
+    residual_history: list[float] = field(default_factory=list)
+    messages: int = 0
+    comm_floats: int = 0
+    method: str = ""
+
+    @property
+    def loads(self) -> np.ndarray:
+        """Per-replica loads ``L_n``."""
+        return self.allocation.sum(axis=0)
+
+    def demand_residual(self, data: ProblemData) -> float:
+        """Max absolute violation of the per-client demand equalities."""
+        return float(np.max(np.abs(self.allocation.sum(axis=1) - data.R),
+                            initial=0.0))
+
+    def capacity_violation(self, data: ProblemData) -> float:
+        """Max overshoot of any replica's bandwidth capacity (0 if none)."""
+        return float(np.max(self.loads - data.B, initial=0.0))
+
+    def mask_violation(self, data: ProblemData) -> float:
+        """Total mass placed on latency-ineligible pairs."""
+        return float(np.abs(self.allocation[~data.mask]).sum())
+
+    def max_violation(self, data: ProblemData) -> float:
+        """Worst constraint violation across all constraint families."""
+        return max(self.demand_residual(data),
+                   self.capacity_violation(data),
+                   self.mask_violation(data),
+                   float(-min(self.allocation.min(), 0.0)))
+
+    def summary(self) -> str:
+        """One-line human-readable result."""
+        return (f"{self.method or 'solution'}: objective={self.objective:.6g} "
+                f"iters={self.iterations} converged={self.converged} "
+                f"messages={self.messages}")

@@ -1,0 +1,65 @@
+"""Step-size schedules for the iterative solvers.
+
+The paper uses *constant* step sizes for both algorithms "to guarantee the
+fairness of the comparison" (end of Sec. III-D); diminishing schedules
+(required for exact CDPSM convergence in theory) are provided for the
+ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+
+__all__ = ["ConstantStep", "DiminishingStep", "SqrtStep"]
+
+
+class ConstantStep:
+    """``d_k = d0`` — the paper's choice."""
+
+    def __init__(self, d0: float) -> None:
+        if d0 <= 0:
+            raise ValidationError("step size must be positive")
+        self.d0 = float(d0)
+
+    def __call__(self, k: int) -> float:
+        """Step size at iteration ``k`` (0-based)."""
+        return self.d0
+
+    def __repr__(self) -> str:
+        return f"ConstantStep({self.d0:g})"
+
+
+class DiminishingStep:
+    """``d_k = d0 / (k + 1)`` — classic subgradient schedule."""
+
+    def __init__(self, d0: float) -> None:
+        if d0 <= 0:
+            raise ValidationError("step size must be positive")
+        self.d0 = float(d0)
+
+    def __call__(self, k: int) -> float:
+        """Step size at iteration ``k`` (0-based)."""
+        if k < 0:
+            raise ValidationError("iteration index must be nonnegative")
+        return self.d0 / (k + 1)
+
+    def __repr__(self) -> str:
+        return f"DiminishingStep({self.d0:g})"
+
+
+class SqrtStep:
+    """``d_k = d0 / sqrt(k + 1)`` — slower decay, often faster in practice."""
+
+    def __init__(self, d0: float) -> None:
+        if d0 <= 0:
+            raise ValidationError("step size must be positive")
+        self.d0 = float(d0)
+
+    def __call__(self, k: int) -> float:
+        """Step size at iteration ``k`` (0-based)."""
+        if k < 0:
+            raise ValidationError("iteration index must be nonnegative")
+        return self.d0 / float((k + 1) ** 0.5)
+
+    def __repr__(self) -> str:
+        return f"SqrtStep({self.d0:g})"

@@ -1,0 +1,185 @@
+"""LDDM's per-replica local subproblem (paper problem (5)).
+
+Replica ``n`` solves, over its own column ``p = P[:, n]`` restricted to
+eligible clients:
+
+    minimize  u*(alpha*s + beta*s**gamma) + mu . p  [+ (eps/2)*||p - ref||^2]
+    s.t.      p >= 0,  s = sum(p) <= B
+
+where ``mu`` are the clients' dual prices.  The paper's exact subproblem
+(``eps = 0``) is *linear* in how the admitted load ``s`` is split across
+clients, so its minimizers are extreme points (all mass on the cheapest
+``mu``); the proximal term (``eps > 0``, default) restores strict
+convexity — a standard stabilization for dual decomposition — and is
+solved exactly here by a KKT reduction to one-dimensional bisection.
+
+Both paths are exact (verified against scipy in the tests).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["ReplicaSubproblem", "solve_replica_subproblem"]
+
+_BISECT_TOL = 1e-12
+_BISECT_ITERS = 200
+
+
+@dataclass(frozen=True)
+class ReplicaSubproblem:
+    """Inputs of one local solve (all per one replica)."""
+
+    price: float          # u_n
+    alpha: float
+    beta: float
+    gamma: float
+    bandwidth: float      # B_n
+    mu: np.ndarray        # dual prices of the *eligible* clients
+    ref: np.ndarray | None = None   # proximal center (eligible clients)
+    epsilon: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.price <= 0 or self.bandwidth <= 0:
+            raise ValidationError("price and bandwidth must be positive")
+        if self.alpha < 0 or self.beta < 0:
+            raise ValidationError("alpha/beta must be nonnegative")
+        if self.gamma < 1:
+            raise ValidationError("gamma must be >= 1")
+        if self.epsilon < 0:
+            raise ValidationError("epsilon must be nonnegative")
+        mu = np.asarray(self.mu, dtype=float)
+        if mu.ndim != 1:
+            raise ValidationError("mu must be a vector")
+        object.__setattr__(self, "mu", mu)
+        if self.ref is not None:
+            ref = np.asarray(self.ref, dtype=float)
+            if ref.shape != mu.shape:
+                raise ValidationError("ref must match mu in shape")
+            object.__setattr__(self, "ref", ref)
+
+
+def _marginal(sub: ReplicaSubproblem, s: float) -> float:
+    """d/ds of the energy term: ``u*(alpha + beta*gamma*s**(gamma-1))``."""
+    if sub.gamma == 1.0:
+        powered = 1.0
+    elif s <= 0.0:
+        powered = 0.0
+    else:
+        powered = s ** (sub.gamma - 1.0)
+    return sub.price * (sub.alpha + sub.beta * sub.gamma * powered)
+
+
+def _solve_exact(sub: ReplicaSubproblem) -> np.ndarray:
+    """The paper's eps=0 subproblem: closed form.
+
+    For fixed total ``s`` the linear term is minimized by sending all of
+    ``s`` to the clients with the smallest ``mu`` (ties split evenly);
+    the optimal ``s`` then minimizes the 1-D convex
+    ``u*(alpha*s + beta*s**gamma) + mu_min*s`` over ``[0, B]``.
+    """
+    mu = sub.mu
+    if mu.size == 0:
+        return np.zeros(0)
+    mu_min = float(mu.min())
+    u, a, b, g, B = sub.price, sub.alpha, sub.beta, sub.gamma, sub.bandwidth
+    # h'(s) = u*alpha + u*beta*gamma*s**(g-1) + mu_min
+    base = u * a + mu_min
+    if g == 1.0 or b == 0.0:
+        slope = base + (u * b * g if g == 1.0 else 0.0)
+        s_star = B if slope < 0 else 0.0
+    elif base >= 0:
+        s_star = 0.0
+    else:
+        s_star = min(B, (-base / (u * b * g)) ** (1.0 / (g - 1.0)))
+    out = np.zeros_like(mu)
+    ties = np.isclose(mu, mu_min, rtol=0, atol=1e-12)
+    out[ties] = s_star / int(ties.sum())
+    return out
+
+
+def _solve_proximal(sub: ReplicaSubproblem) -> np.ndarray:
+    """The eps>0 subproblem, exact via nested bisection.
+
+    KKT gives ``p_c = max(0, ref_c - (mu_c + t)/eps)`` with
+    ``t = u*(alpha + beta*gamma*s**(gamma-1)) + nu`` and ``nu >= 0``
+    complementary to the capacity constraint.
+    """
+    mu = sub.mu
+    if mu.size == 0:
+        return np.zeros(0)
+    eps = sub.epsilon
+    ref = sub.ref if sub.ref is not None else np.zeros_like(mu)
+    if ref.shape != mu.shape:
+        raise ValidationError("ref must match mu in shape")
+
+    def p_of_t(t: float) -> np.ndarray:
+        return np.maximum(0.0, ref - (mu + t) / eps)
+
+    def S(t: float) -> float:
+        return float(p_of_t(t).sum())
+
+    def t_of_s(s: float, nu: float = 0.0) -> float:
+        return _marginal(sub, s) + nu
+
+    # --- Phase 1: capacity ignored (nu = 0) -------------------------------
+    s_hi = S(t_of_s(0.0))
+    if s_hi <= 0.0:
+        return np.zeros_like(mu)
+    lo, hi = 0.0, s_hi
+
+    def g_fn(s: float) -> float:
+        return S(t_of_s(s)) - s
+
+    # g is strictly decreasing, g(0) >= 0, g(s_hi) <= 0: bisect.
+    for _ in range(_BISECT_ITERS):
+        mid = 0.5 * (lo + hi)
+        if g_fn(mid) > 0:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < _BISECT_TOL * max(1.0, s_hi):
+            break
+    s_star = 0.5 * (lo + hi)
+    if s_star <= sub.bandwidth + 1e-12:
+        return p_of_t(t_of_s(s_star))
+
+    # --- Phase 2: capacity binds (s = B, find nu >= 0) ---------------------
+    B = sub.bandwidth
+
+    def h_fn(nu: float) -> float:
+        return S(t_of_s(B, nu)) - B
+
+    nu_hi = 1.0
+    while h_fn(nu_hi) > 0:
+        nu_hi *= 2.0
+        if nu_hi > 1e18:  # pragma: no cover - defensive
+            break
+    lo, hi = 0.0, nu_hi
+    for _ in range(_BISECT_ITERS):
+        mid = 0.5 * (lo + hi)
+        if h_fn(mid) > 0:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < _BISECT_TOL * max(1.0, nu_hi):
+            break
+    nu = 0.5 * (lo + hi)
+    p = p_of_t(t_of_s(B, nu))
+    # Snap the total exactly onto the capacity.
+    total = p.sum()
+    if total > 0:
+        p *= B / total
+    return p
+
+
+def solve_replica_subproblem(sub: ReplicaSubproblem) -> np.ndarray:
+    """Solve one local subproblem exactly; returns the eligible-client column."""
+    if sub.epsilon == 0.0:
+        return _solve_exact(sub)
+    return _solve_proximal(sub)

@@ -1,0 +1,27 @@
+"""The EDR runtime system: replica servers, clients, distributed solve
+sessions, ring fault tolerance — all running over the simulation substrate.
+
+:class:`~repro.edr.system.EDRSystem` is the main entry point: it wires the
+cluster, network, workload and agents together, runs a scenario, and
+returns an :class:`~repro.metrics.report.ExperimentResult`.
+"""
+
+from repro.edr.messages import Ports, MsgKind
+from repro.edr.membership import MembershipRing
+from repro.edr.scheduler import SolveTimingModel, DistributedSolveSession
+from repro.edr.system import EDRSystem, RuntimeConfig
+from repro.edr.donar_runtime import DonarRuntime
+from repro.edr.agents import AgentBasedLddm, AgentBasedCdpsm
+
+__all__ = [
+    "Ports",
+    "MsgKind",
+    "MembershipRing",
+    "SolveTimingModel",
+    "DistributedSolveSession",
+    "EDRSystem",
+    "RuntimeConfig",
+    "DonarRuntime",
+    "AgentBasedLddm",
+    "AgentBasedCdpsm",
+]

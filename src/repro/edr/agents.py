@@ -1,0 +1,291 @@
+"""Fully agent-based LDDM execution.
+
+:mod:`repro.edr.scheduler` computes solver iterations centrally and
+simulates the communication around them (fast, used by the experiment
+harness).  This module is the fidelity proof for that shortcut: every
+replica and every client is an *independent simulated process* holding
+only its own state, exchanging only the protocol's messages —
+
+* ``REGISTER``  client -> replicas: its demand ``R_c``;
+* ``INIT``      replica -> clients: its marginal cost at the uniform
+  operating point (the clients' warm start needs only the min of these);
+* ``MU``        client -> replicas: its dual price for round k;
+* ``SOL``       replica -> clients: the client's entry of the replica's
+  local solution for round k.
+
+Rounds are tagged and agents proceed when they have heard from all their
+peers, so execution is synchronous but coordinator-free.  The test suite
+verifies this message-passing execution reproduces the matrix-form
+:class:`~repro.core.lddm.LddmSolver` iterates *exactly* (same warm
+start, same subproblems, same suffix averaging).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.params import ProblemData
+from repro.core.stepsize import ConstantStep
+from repro.core.subproblem import ReplicaSubproblem, solve_replica_subproblem
+from repro.errors import ValidationError
+from repro.net.transport import Network
+from repro.sim.engine import Simulator
+
+__all__ = ["AgentBasedLddm", "AgentBasedCdpsm"]
+
+_PORT_REPLICA = "lddm.replica"
+_PORT_CLIENT = "lddm.client"
+_PORT_CDPSM = "cdpsm.replica"
+
+
+@dataclass
+class _RoundInbox:
+    """Collects tagged messages until a round is complete."""
+
+    expected: int
+    buffers: dict = field(default_factory=dict)
+
+    def add(self, round_no: int, sender: str, value) -> None:
+        self.buffers.setdefault(round_no, {})[sender] = value
+
+    def ready(self, round_no: int) -> bool:
+        return len(self.buffers.get(round_no, {})) >= self.expected
+
+    def take(self, round_no: int) -> dict:
+        return self.buffers.pop(round_no)
+
+
+class AgentBasedLddm:
+    """Coordinator-free LDDM over the simulated network.
+
+    Parameters
+    ----------
+    sim, network: the substrate; replica and client names must exist in
+        the network's topology.
+    data: the problem instance (row order = ``client_names``, column
+        order = ``replica_names``).
+    rounds: fixed iteration count (distributed convergence detection is
+        orthogonal; the equivalence tests run fixed budgets).
+    epsilon, step: as in :class:`~repro.core.lddm.LddmSolver`; defaults
+        are computed identically so results line up.
+    """
+
+    def __init__(self, sim: Simulator, network: Network, data: ProblemData,
+                 replica_names: list[str], client_names: list[str],
+                 rounds: int = 60, epsilon: float | None = None,
+                 step=None) -> None:
+        if len(replica_names) != data.n_replicas:
+            raise ValidationError("replica_names length mismatch")
+        if len(client_names) != data.n_clients:
+            raise ValidationError("client_names length mismatch")
+        if rounds < 1:
+            raise ValidationError("rounds must be >= 1")
+        self.sim = sim
+        self.network = network
+        self.data = data
+        self.replicas = list(replica_names)
+        self.clients = list(client_names)
+        self.rounds = int(rounds)
+        from repro.core.lddm import default_lddm_parameters
+        eps_default, step_default = default_lddm_parameters(data)
+        self.epsilon = eps_default if epsilon is None else float(epsilon)
+        self.step = step if step is not None else ConstantStep(step_default)
+        #: Final per-client averaged rows, keyed by client name.
+        self.rows: dict[str, np.ndarray] = {}
+        self._procs = [sim.process(self._replica(i))
+                       for i in range(len(self.replicas))]
+        self._procs += [sim.process(self._client(i))
+                        for i in range(len(self.clients))]
+
+    @property
+    def done(self):
+        """Event-ish: all agent processes (joinable list)."""
+        return self._procs
+
+    def allocation(self) -> np.ndarray:
+        """Assemble the (C, N) allocation from the clients' rows."""
+        if len(self.rows) != len(self.clients):
+            raise ValidationError("agents have not finished")
+        return np.stack([self.rows[c] for c in self.clients])
+
+    # -- replica agent ----------------------------------------------------------
+    def _replica(self, n: int):
+        data = self.data
+        name = self.replicas[n]
+        ep = self.network.endpoint(name)
+        eligible = data.mask[:, n]
+        C = data.n_clients
+        inbox = _RoundInbox(expected=C)
+        demands: dict[str, float] = {}
+        # Phase 1: collect every client's demand (REGISTER).
+        while len(demands) < C:
+            msg = yield ep.recv(_PORT_REPLICA)
+            if msg.kind == "REGISTER":
+                demands[msg.src] = float(msg.payload)
+            elif msg.kind == "MU":
+                inbox.add(msg.payload["k"], msg.src, msg.payload["mu"])
+        # Warm-start marginal at the uniform operating point (matches
+        # LddmSolver._initial_mu: marginal of E_n at the uniform loads).
+        counts = data.mask.sum(axis=1)
+        uniform_load = sum(
+            demands[self.clients[c]] / counts[c]
+            for c in range(C) if data.mask[c, n] and counts[c] > 0)
+        marginal = float(data.u[n] * (
+            data.alpha[n] + data.beta[n] * data.gamma[n]
+            * uniform_load ** (data.gamma[n] - 1.0)))
+        for cname in self.clients:
+            ep.send(cname, _PORT_CLIENT, "INIT",
+                    payload={"replica": name, "marginal": marginal,
+                             "eligible": True})
+        # Phase 2: iterate.
+        order = [c for c in range(C) if eligible[c]]
+        prev = np.array([demands[self.clients[c]] / counts[c]
+                         for c in order])  # uniform-allocation column
+        for k in range(self.rounds):
+            while not inbox.ready(k):
+                msg = yield ep.recv(_PORT_REPLICA)
+                if msg.kind == "MU":
+                    inbox.add(msg.payload["k"], msg.src, msg.payload["mu"])
+            mu_by_client = inbox.take(k)
+            mu = np.array([mu_by_client[self.clients[c]] for c in order])
+            if order:
+                sub = ReplicaSubproblem(
+                    price=float(data.u[n]), alpha=float(data.alpha[n]),
+                    beta=float(data.beta[n]), gamma=float(data.gamma[n]),
+                    bandwidth=float(data.B[n]), mu=mu, ref=prev,
+                    epsilon=self.epsilon)
+                p = solve_replica_subproblem(sub)
+                prev = p
+            for idx, c in enumerate(order):
+                ep.send(self.clients[c], _PORT_CLIENT, "SOL",
+                        payload={"k": k, "value": float(p[idx])
+                                 if order else 0.0})
+            for c in range(C):
+                if not eligible[c]:
+                    ep.send(self.clients[c], _PORT_CLIENT, "SOL",
+                            payload={"k": k, "value": 0.0})
+
+    # -- client agent -------------------------------------------------------------
+    def _client(self, ci: int):
+        data = self.data
+        name = self.clients[ci]
+        ep = self.network.endpoint(name)
+        N = data.n_replicas
+        # Phase 1: register demand, collect INIT marginals.
+        ep.broadcast(self.replicas, _PORT_REPLICA, "REGISTER",
+                     payload=float(data.R[ci]))
+        marginals: dict[str, float] = {}
+        inbox = _RoundInbox(expected=N)
+        while len(marginals) < N:
+            msg = yield ep.recv(_PORT_CLIENT)
+            if msg.kind == "INIT":
+                marginals[msg.payload["replica"]] = msg.payload["marginal"]
+            elif msg.kind == "SOL":
+                inbox.add(msg.payload["k"], msg.src, msg.payload["value"])
+        eligible_marginals = [
+            marginals[self.replicas[n]] for n in range(N)
+            if data.mask[ci, n]]
+        mu = -min(eligible_marginals) if eligible_marginals else 0.0
+        # Phase 2: iterate (suffix averaging mirrors the matrix solver).
+        average = np.zeros(N)
+        avg_count = 0
+        next_restart = 1
+        for k in range(self.rounds):
+            ep.broadcast(self.replicas, _PORT_REPLICA, "MU",
+                         payload={"k": k, "mu": float(mu)})
+            while not inbox.ready(k):
+                msg = yield ep.recv(_PORT_CLIENT)
+                if msg.kind == "SOL":
+                    inbox.add(msg.payload["k"], msg.src, msg.payload["value"])
+            sols = inbox.take(k)
+            row = np.array([sols[r] for r in self.replicas])
+            r_resid = float(row.sum() - data.R[ci])
+            mu = mu + self.step(k) * r_resid
+            if k == next_restart:
+                average = np.zeros(N)
+                avg_count = 0
+                next_restart *= 2
+            average = (average * avg_count + row) / (avg_count + 1)
+            avg_count += 1
+        self.rows[name] = average
+
+
+class AgentBasedCdpsm:
+    """Coordinator-free CDPSM: each replica is a process holding its own
+    estimate of the full allocation matrix, exchanging it with every peer
+    each round (the paper's consensus step), then stepping and projecting
+    locally.  Verified identical to the matrix-form
+    :class:`~repro.core.cdpsm.CdpsmSolver` with uniform weights.
+
+    Clients are not part of this protocol (the paper's Algorithm 1 runs
+    among replicas only; demands arrive with the requests), so only
+    ``replica_names`` must exist in the network.
+    """
+
+    def __init__(self, sim: Simulator, network: Network, data: ProblemData,
+                 replica_names: list[str], rounds: int = 60,
+                 step=None, dykstra_iter: int = 60) -> None:
+        if len(replica_names) != data.n_replicas:
+            raise ValidationError("replica_names length mismatch")
+        if data.n_replicas < 2:
+            raise ValidationError("CDPSM needs at least two replicas")
+        if rounds < 1:
+            raise ValidationError("rounds must be >= 1")
+        self.sim = sim
+        self.network = network
+        self.data = data
+        self.replicas = list(replica_names)
+        self.rounds = int(rounds)
+        from repro.core.cdpsm import default_cdpsm_step
+        self.step = step if step is not None else ConstantStep(
+            default_cdpsm_step(data))
+        self.dykstra_iter = int(dykstra_iter)
+        #: Final per-replica estimates, keyed by replica name.
+        self.estimates: dict[str, np.ndarray] = {}
+        self._procs = [sim.process(self._replica(i))
+                       for i in range(len(self.replicas))]
+
+    def consensus_mean(self) -> np.ndarray:
+        """Mean of the replicas' final estimates (the solver's output)."""
+        if len(self.estimates) != len(self.replicas):
+            raise ValidationError("agents have not finished")
+        return np.mean([self.estimates[r] for r in self.replicas], axis=0)
+
+    def _replica(self, n: int):
+        from repro.core import model
+        from repro.core.projection import project_local_set
+
+        data = self.data
+        name = self.replicas[n]
+        ep = self.network.endpoint(name)
+        peers = [r for r in self.replicas if r != name]
+        N = data.n_replicas
+        inbox = _RoundInbox(expected=N - 1)
+        # Initial estimate: uniform allocation projected into the local set.
+        counts = data.mask.sum(axis=1)
+        base = np.zeros(data.shape)
+        for c in range(data.n_clients):
+            if counts[c]:
+                base[c, data.mask[c]] = data.R[c] / counts[c]
+        x = project_local_set(base, data.R, data.mask, n, float(data.B[n]),
+                              max_iter=self.dykstra_iter)
+        for k in range(self.rounds):
+            # Consensus round: broadcast my estimate, gather everyone's.
+            for peer in peers:
+                ep.send(peer, _PORT_CDPSM, "EST",
+                        payload={"k": k, "x": x.copy()},
+                        size=x.size * 8e-6)
+            while not inbox.ready(k):
+                msg = yield ep.recv(_PORT_CDPSM)
+                inbox.add(msg.payload["k"], msg.src, msg.payload["x"])
+            others = inbox.take(k)
+            v = (x + sum(others.values())) / N  # uniform weights
+            marginal = model.load_marginal_cost(data, v.sum(axis=0))[n]
+            stepped = v.copy()
+            stepped[:, n] -= self.step(k) * marginal * data.mask[:, n]
+            x = project_local_set(stepped, data.R, data.mask, n,
+                                  float(data.B[n]),
+                                  max_iter=self.dykstra_iter)
+        self.estimates[name] = x

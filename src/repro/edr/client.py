@@ -1,0 +1,128 @@
+"""The EDR client agent.
+
+A client broadcasts each request to the live replicas (replica selection
+is transparent — the client does not choose), waits for the runtime's
+ASSIGN decision, then opens parallel downloads from every replica with a
+positive share, exactly as the paper's client side does with its
+per-replica download threads.  If a replica dies mid-download the client
+re-requests the undelivered remainder.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.edr.messages import MsgKind, Ports
+from repro.metrics.latency import ResponseTimeStats
+from repro.net.flows import FlowManager
+from repro.net.transport import Network
+from repro.sim.process import Interrupt
+from repro.workload.requests import Request
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+__all__ = ["ClientAgent"]
+
+
+class ClientAgent:
+    """One client's request issuing + download processes."""
+
+    def __init__(self, sim: "Simulator", network: Network, flows: FlowManager,
+                 name: str, requests: list[Request],
+                 live_replicas: Callable[[], list[str]],
+                 stats: ResponseTimeStats,
+                 on_transfer_event: Callable[[str, str, float], None] | None = None,
+                 on_delivered: Callable[[str, float], None] | None = None) -> None:
+        self.sim = sim
+        self.network = network
+        self.flows = flows
+        self.name = name
+        self.endpoint = network.endpoint(name)
+        self.requests = sorted(requests, key=lambda r: r.arrival)
+        self.live_replicas = live_replicas
+        self.stats = stats
+        self.on_transfer_event = on_transfer_event or (lambda *_: None)
+        self.on_delivered = on_delivered or (lambda *_: None)
+        self.delivered_mb = 0.0
+        self.retries = 0
+        self._req_seq = 0
+        self._issuer = sim.process(self._issue_requests())
+        self._assignee = sim.process(self._assign_listener())
+
+    # -- issuing ------------------------------------------------------------------
+    def _request_id(self) -> str:
+        self._req_seq += 1
+        return f"{self.name}/r{self._req_seq}"
+
+    def _broadcast_request(self, size_mb: float) -> str:
+        uid = self._request_id()
+        self.stats.issued(uid, self.sim.now)
+        self.endpoint.broadcast(self.live_replicas(), Ports.CLIENT,
+                                MsgKind.REQUEST,
+                                payload={"uid": uid, "client": self.name,
+                                         "size": size_mb})
+        return uid
+
+    def _issue_requests(self):
+        try:
+            for req in self.requests:
+                delay = req.arrival - self.sim.now
+                if delay > 0:
+                    yield self.sim.timeout(delay)
+                self._broadcast_request(req.size_mb)
+        except Interrupt:
+            return
+
+    # -- receiving assignments & downloading --------------------------------------
+    def _assign_listener(self):
+        try:
+            while True:
+                msg = yield self.endpoint.recv(Ports.ASSIGN)
+                if msg.kind != MsgKind.ASSIGN:
+                    continue
+                payload = msg.payload
+                for uid, shares in payload["shares"].items():
+                    self.stats.answered(uid, self.sim.now)
+                    self.sim.process(self._download(uid, shares))
+        except Interrupt:
+            return
+
+    def _download(self, uid: str, shares: dict[str, float]):
+        """Parallel downloads, one flow per replica with a positive share."""
+        flows = []
+        for replica, amount in shares.items():
+            if amount <= 0:
+                continue
+            flow = self.flows.transfer(replica, self.name, amount)
+            self.on_transfer_event(replica, "start", amount)
+            # Notify at the flow's true completion instant — the download
+            # loop below awaits flows in list order, which can be later.
+            flow.done.add_callback(
+                lambda _ev, r=replica, f=flow:
+                self.on_transfer_event(r, "finish", f.size))
+            flows.append((replica, flow))
+        lost = 0.0
+        for replica, flow in flows:
+            yield flow.done
+            if flow.completed:
+                self.delivered_mb += flow.size
+                self.on_delivered(self.name, flow.size)
+            else:
+                lost += flow.size - max(0.0, flow.size - flow.remaining)
+                # Count the partial delivery that did land.
+                got = flow.size - flow.remaining
+                if got > 0:
+                    self.delivered_mb += got
+                    self.on_delivered(self.name, got)
+        if lost > 1e-9:
+            # Replica died mid-transfer: re-request the missing remainder.
+            self.retries += 1
+            self._broadcast_request(lost)
+
+    def shutdown(self) -> None:
+        """Stop this client's processes."""
+        for proc in (self._issuer, self._assignee):
+            if proc.is_alive:
+                proc.defused = True
+                proc.interrupt("client shutdown")

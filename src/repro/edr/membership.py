@@ -1,0 +1,175 @@
+"""Ring membership and failure detection (Sec. III-C).
+
+EDR guarantees reliability "by using a combination of time-out mechanism
+and ring fault-tolerance structure": replicas heartbeat their ring
+successor; a missed-heartbeat timeout marks the predecessor dead, the
+survivor announces ``MEMBER_DEAD``, every replica drops the node from its
+active member list, and the ring is rebuilt from the survivors.
+
+:class:`MembershipRing` holds the shared membership logic;
+:class:`HeartbeatProtocol` runs it over the network as simulated processes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.edr.messages import MsgKind, Ports
+from repro.errors import MembershipError
+from repro.net.transport import Network
+from repro.sim.process import Interrupt
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+__all__ = ["MembershipRing", "HeartbeatProtocol"]
+
+
+class MembershipRing:
+    """Active member list plus ring ordering."""
+
+    def __init__(self, members: list[str]) -> None:
+        if not members:
+            raise MembershipError("ring needs at least one member")
+        if len(set(members)) != len(members):
+            raise MembershipError("duplicate members")
+        self._order = list(members)
+        self._alive = set(members)
+        self.events: list[tuple[str, str]] = []
+
+    @property
+    def live(self) -> list[str]:
+        """Live members, in ring order."""
+        return [m for m in self._order if m in self._alive]
+
+    def is_alive(self, name: str) -> bool:
+        """True while ``name`` is on the active member list."""
+        return name in self._alive
+
+    def successor(self, name: str) -> str:
+        """The next live member clockwise from ``name``."""
+        live = self.live
+        if name not in live:
+            raise MembershipError(f"{name} is not a live member")
+        if len(live) == 1:
+            return name
+        return live[(live.index(name) + 1) % len(live)]
+
+    def predecessor(self, name: str) -> str:
+        """The previous live member counterclockwise from ``name``."""
+        live = self.live
+        if name not in live:
+            raise MembershipError(f"{name} is not a live member")
+        return live[(live.index(name) - 1) % len(live)]
+
+    def mark_dead(self, name: str) -> None:
+        """Remove ``name`` from the active member list (idempotent)."""
+        if name in self._alive:
+            self._alive.discard(name)
+            self.events.append(("dead", name))
+
+    def mark_alive(self, name: str) -> None:
+        """Re-admit a member (restart support)."""
+        if name not in self._order:
+            raise MembershipError(f"{name} was never a ring member")
+        if name not in self._alive:
+            self._alive.add(name)
+            self.events.append(("alive", name))
+
+
+class HeartbeatProtocol:
+    """Runs heartbeats around the ring and detects silent members.
+
+    Each live replica sends a ``HEARTBEAT`` to its ring successor every
+    ``interval`` seconds; each replica tracks the last heartbeat seen from
+    its predecessor, and if nothing arrives within ``timeout`` seconds it
+    declares the predecessor dead and broadcasts ``MEMBER_DEAD``.
+    """
+
+    def __init__(self, sim: "Simulator", network: Network,
+                 ring: MembershipRing, *, interval: float = 0.05,
+                 timeout: float = 0.25,
+                 on_death: Callable[[str], None] | None = None) -> None:
+        if timeout <= interval:
+            raise MembershipError("timeout must exceed heartbeat interval")
+        self.sim = sim
+        self.network = network
+        self.ring = ring
+        self.interval = float(interval)
+        self.timeout = float(timeout)
+        self.on_death = on_death
+        self._last_seen: dict[str, float] = {m: sim.now for m in ring.live}
+        self.processes = []
+        for member in ring.live:
+            self.processes.append(sim.process(self._beat(member)))
+            self.processes.append(sim.process(self._listen(member)))
+            self.processes.append(sim.process(self._watch(member)))
+
+    # -- per-member processes -------------------------------------------------
+    def _participating(self, me: str) -> bool:
+        """A member participates while alive on the ring and not crashed."""
+        return self.ring.is_alive(me) and not self.network.is_crashed(me)
+
+    def _beat(self, me: str):
+        ep = self.network.endpoint(me)
+        try:
+            while self._participating(me):
+                succ = self.ring.successor(me)
+                if succ != me:
+                    ep.send(succ, Ports.RING, MsgKind.HEARTBEAT, payload=me)
+                yield self.sim.timeout(self.interval)
+        except Interrupt:
+            return
+
+    def _listen(self, me: str):
+        ep = self.network.endpoint(me)
+        try:
+            while True:
+                msg = yield ep.recv(Ports.RING)
+                if not self._participating(me):
+                    return
+                if msg.kind == MsgKind.HEARTBEAT:
+                    self._last_seen[msg.payload] = self.sim.now
+                elif msg.kind == MsgKind.MEMBER_DEAD:
+                    self._declare_dead(msg.payload, announce=False)
+        except Interrupt:
+            return
+
+    def _watch(self, me: str):
+        try:
+            while True:
+                yield self.sim.timeout(self.interval)
+                if not self._participating(me):
+                    return
+                pred = self.ring.predecessor(me)
+                if pred == me:
+                    continue
+                last = self._last_seen.get(pred, 0.0)
+                if self.sim.now - last > self.timeout:
+                    self._declare_dead(pred, announce=True, reporter=me)
+        except Interrupt:
+            return
+
+    def _declare_dead(self, name: str, announce: bool,
+                      reporter: str | None = None) -> None:
+        if not self.ring.is_alive(name):
+            return
+        self.ring.mark_dead(name)
+        # Ring repair changes everyone's predecessor; grant the survivors a
+        # fresh timeout window so stale timestamps don't cascade into
+        # false positives.
+        for member in self.ring.live:
+            self._last_seen[member] = self.sim.now
+        if self.on_death is not None:
+            self.on_death(name)
+        if announce and reporter is not None:
+            ep = self.network.endpoint(reporter)
+            ep.broadcast(self.ring.live, Ports.RING, MsgKind.MEMBER_DEAD,
+                         payload=name)
+
+    def stop(self) -> None:
+        """Terminate all protocol processes."""
+        for proc in self.processes:
+            if proc.is_alive:
+                proc.defused = True
+                proc.interrupt("heartbeat stopped")

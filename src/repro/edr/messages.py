@@ -1,0 +1,30 @@
+"""Protocol constants: ports (the paper's listener threads) and message kinds."""
+
+from __future__ import annotations
+
+__all__ = ["Ports", "MsgKind"]
+
+
+class Ports:
+    """Logical listener ports on each node (Fig. 2's threads)."""
+
+    #: ClientListener — new client requests arrive here.
+    CLIENT = "client"
+    #: ReplicaListener — solver coordination between replicas.
+    REPLICA = "replica"
+    #: Client-side mailbox for scheduling decisions.
+    ASSIGN = "assign"
+    #: Membership/heartbeat traffic (the fault-tolerance ring).
+    RING = "ring"
+
+
+class MsgKind:
+    """Application message type tags."""
+
+    REQUEST = "REQUEST"            # client -> replicas: new demand
+    SOLVE_SYNC = "SOLVE_SYNC"      # replica <-> replica: CDPSM solution share
+    MU_UPDATE = "MU_UPDATE"        # client -> replica: LDDM dual price
+    SOLUTION = "SOLUTION"          # replica -> client: LDDM column share
+    ASSIGN = "ASSIGN"              # replica -> client: final share decision
+    HEARTBEAT = "HEARTBEAT"        # ring liveness probe
+    MEMBER_DEAD = "MEMBER_DEAD"    # failure announcement

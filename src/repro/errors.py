@@ -1,0 +1,58 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by library code derive from :class:`ReproError` so that
+callers can catch library failures without masking programming errors
+(``TypeError``/``ValueError`` raised by argument validation derive from the
+builtin types *and* from :class:`ReproError` via mixin subclasses).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "InfeasibleProblemError",
+    "ConvergenceError",
+    "SimulationError",
+    "ProcessKilled",
+    "MembershipError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (bad shape, sign, or range)."""
+
+
+class InfeasibleProblemError(ReproError):
+    """The replica-selection instance admits no feasible allocation.
+
+    Raised by :meth:`repro.core.problem.ReplicaSelectionProblem.require_feasible`
+    when total demand exceeds reachable capacity, or when a client has no
+    latency-eligible replica.
+    """
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to reach its tolerance within its budget."""
+
+    def __init__(self, message: str, *, iterations: int | None = None,
+                 residual: float | None = None) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an invalid state."""
+
+
+class ProcessKilled(ReproError):
+    """Injected into a simulated process to terminate it (fault injection)."""
+
+
+class MembershipError(ReproError):
+    """Invalid operation on the replica membership ring."""

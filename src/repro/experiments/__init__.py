@@ -1,0 +1,15 @@
+"""Experiment drivers: one module per paper figure, plus the 40-run
+headline sweep and ablations.  Run from the command line::
+
+    python -m repro.experiments fig5
+    python -m repro.experiments all --quick
+"""
+
+from repro.experiments.scenarios import (
+    Scenario,
+    PAPER_VIDEO,
+    PAPER_DFS,
+    make_trace,
+)
+
+__all__ = ["Scenario", "PAPER_VIDEO", "PAPER_DFS", "make_trace"]

@@ -1,0 +1,194 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+* **Step-size schedule** (Sec. III-D's closing remark): constant vs
+  diminishing vs 1/sqrt(k) for both solvers.
+* **Consensus topology** for CDPSM: complete graph (the paper's choice)
+  vs ring vs Metropolis on a random graph.
+* **LDDM stabilizations**: proximal term and suffix averaging on/off,
+  warm-started duals on/off.
+* **Communication complexity**: measured floats per iteration vs N,
+  confirming O(C*N) (LDDM) against O(C*N^3) (CDPSM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cdpsm import CdpsmSolver, default_cdpsm_step
+from repro.core.consensus import metropolis_weights, ring_weights
+from repro.core.lddm import LddmSolver
+from repro.core.params import ProblemData
+from repro.core.problem import ReplicaSelectionProblem
+from repro.core.reference import solve_reference
+from repro.core.stepsize import ConstantStep, DiminishingStep, SqrtStep
+from repro.util.rng import make_rng
+from repro.util.tables import render_table
+
+__all__ = ["AblationResult", "run_stepsize", "run_topology",
+           "run_lddm_variants", "run_comm_complexity", "run_all"]
+
+
+@dataclass
+class AblationResult:
+    """One ablation table."""
+
+    title: str
+    headers: list[str]
+    rows: list[list]
+    notes: str = ""
+
+    def render(self) -> str:
+        out = render_table(self.headers, self.rows, title=self.title)
+        if self.notes:
+            out += "\n" + self.notes
+        return out
+
+
+def _instance(n_clients=6, n_replicas=8, seed=0) -> ReplicaSelectionProblem:
+    rng = make_rng(seed)
+    demands = rng.uniform(20, 60, size=n_clients)
+    # Keep total demand at ~60% of aggregate capacity so every replica
+    # count in a sweep yields a feasible instance.
+    demands *= 0.6 * n_replicas * 100.0 / demands.sum()
+    prices = rng.integers(1, 21, size=n_replicas).astype(float)
+    return ReplicaSelectionProblem(
+        ProblemData.paper_defaults(demands=demands, prices=prices))
+
+
+def run_stepsize(max_iter: int = 300) -> AblationResult:
+    """Constant vs diminishing vs sqrt schedules for both solvers."""
+    prob = _instance()
+    ref = solve_reference(prob).objective
+    d0 = default_cdpsm_step(prob.data)
+    rows = []
+    for label, mk in (("constant", lambda: ConstantStep(d0)),
+                      ("1/k", lambda: DiminishingStep(d0 * 4)),
+                      ("1/sqrt(k)", lambda: SqrtStep(d0 * 4))):
+        sol = CdpsmSolver(prob, step=mk(), max_iter=max_iter,
+                          track_objective=False).solve()
+        rows.append(["cdpsm", label, sol.iterations,
+                     round(100 * (sol.objective / ref - 1), 3)])
+    lddm_default = LddmSolver(prob)
+    base = lddm_default.step(0)
+    for label, mk in (("constant", lambda: ConstantStep(base)),
+                      ("1/k", lambda: DiminishingStep(base * 4)),
+                      ("1/sqrt(k)", lambda: SqrtStep(base * 4))):
+        sol = LddmSolver(prob, step=mk(), max_iter=max_iter,
+                         track_objective=False).solve()
+        rows.append(["lddm", label, sol.iterations,
+                     round(100 * (sol.objective / ref - 1), 3)])
+    return AblationResult(
+        title="Ablation — step-size schedule (gap to optimum after "
+              f"<= {max_iter} iterations)",
+        headers=["solver", "schedule", "iterations", "gap_%"],
+        rows=rows,
+        notes="paper uses constant steps for both (fair comparison)")
+
+
+def run_topology(max_iter: int = 400) -> AblationResult:
+    """CDPSM consensus graph: complete vs ring vs random Metropolis."""
+    prob = _instance()
+    ref = solve_reference(prob).objective
+    n = prob.data.n_replicas
+    rng = make_rng(1)
+    adj = rng.random((n, n)) < 0.4
+    adj = np.triu(adj, 1)
+    adj = adj | adj.T
+    # Ensure connectivity by adding a ring backbone.
+    for i in range(n):
+        adj[i, (i + 1) % n] = adj[(i + 1) % n, i] = True
+    rows = []
+    for label, weights in (("complete (paper)", None),
+                           ("ring", ring_weights(n)),
+                           ("metropolis(random)", metropolis_weights(adj))):
+        sol = CdpsmSolver(prob, weights=weights, max_iter=max_iter,
+                          track_objective=False).solve()
+        rows.append([label, sol.iterations,
+                     round(100 * (sol.objective / ref - 1), 3)])
+    return AblationResult(
+        title="Ablation — CDPSM consensus topology",
+        headers=["topology", "iterations", "gap_%"],
+        rows=rows,
+        notes="sparser graphs mix information more slowly")
+
+
+def run_lddm_variants(max_iter: int = 2000) -> AblationResult:
+    """LDDM stabilizations on/off."""
+    prob = _instance()
+    ref = solve_reference(prob).objective
+    variants = [
+        ("full (prox + suffix-avg + warm mu)", {}),
+        ("no averaging", {"averaging": False}),
+        ("exact subproblem (paper)", {"exact_subproblem": True}),
+        ("cold-start mu", {"warm_start_mu": False}),
+    ]
+    rows = []
+    for label, kwargs in variants:
+        sol = LddmSolver(prob, max_iter=max_iter, track_objective=False,
+                         **kwargs).solve()
+        rows.append([label, sol.iterations, sol.converged,
+                     round(100 * (sol.objective / ref - 1), 3),
+                     f"{prob.violation(sol.allocation):.2e}"])
+    return AblationResult(
+        title="Ablation — LDDM stabilizations",
+        headers=["variant", "iterations", "converged", "gap_%", "violation"],
+        rows=rows)
+
+
+def run_comm_complexity(sizes=(2, 4, 8, 12)) -> AblationResult:
+    """Measured communication volume per iteration vs replica count."""
+    rows = []
+    for n in sizes:
+        prob = _instance(n_clients=6, n_replicas=n, seed=3)
+        lddm = LddmSolver(prob, max_iter=5, tol=0.0,
+                          track_objective=False).solve()
+        cdpsm = CdpsmSolver(prob, max_iter=5, tol=0.0,
+                            track_objective=False).solve()
+        rows.append([n,
+                     lddm.comm_floats // lddm.iterations,
+                     cdpsm.comm_floats // cdpsm.iterations])
+    return AblationResult(
+        title="Ablation — communication floats per iteration vs N "
+              "(C = 6 clients)",
+        headers=["N", "lddm O(CN)", "cdpsm O(CN^3)"],
+        rows=rows,
+        notes="lddm column grows linearly in N; cdpsm column cubically")
+
+
+def run_gossip(max_iter: int = 4000) -> AblationResult:
+    """Synchronous all-pairs CDPSM vs randomized gossip (extension).
+
+    Gossip removes the global synchronization barrier (one random pair
+    per round) at the price of many more rounds; total communication
+    volume stays comparable, but no round ever waits for the slowest
+    replica — attractive in the wide-area deployments EDR targets.
+    """
+    from repro.core.gossip import GossipCdpsmSolver
+
+    prob = _instance()
+    ref = solve_reference(prob).objective
+    sync = CdpsmSolver(prob, max_iter=400, track_objective=False).solve()
+    gossip = GossipCdpsmSolver(prob, make_rng(42),
+                               max_iter=max_iter).solve()
+    rows = [
+        ["cdpsm complete-graph (paper)", sync.iterations,
+         round(100 * (sync.objective / ref - 1), 3), sync.comm_floats,
+         "yes"],
+        ["gossip (random pair/round)", gossip.iterations,
+         round(100 * (gossip.objective / ref - 1), 3), gossip.comm_floats,
+         "no"],
+    ]
+    return AblationResult(
+        title="Ablation — synchronous vs gossip consensus (N = 8)",
+        headers=["variant", "rounds", "gap_%", "comm_floats",
+                 "needs barrier"],
+        rows=rows,
+        notes="gossip pays rounds for asynchrony; volume stays comparable")
+
+
+def run_all() -> list[AblationResult]:
+    """Run every ablation (used by the CLI)."""
+    return [run_stepsize(), run_topology(), run_lddm_variants(),
+            run_comm_complexity(), run_gossip()]

@@ -1,0 +1,105 @@
+"""Extension — time-of-use electricity tariffs.
+
+The paper's future work targets commercial clouds, where electricity
+prices change through the day.  This experiment runs two bursts of video
+requests separated by a tariff flip (the cheap and expensive regions swap)
+and compares:
+
+* **tariff-aware EDR** — each batch solved at the prices in force;
+* **stale-tariff EDR** — the scheduler keeps using the old prices
+  (accounting follows the true tariff in both cases);
+* **Round-Robin** — price-blind, as ever.
+
+Expected shape: the aware scheduler shifts the second burst's load onto
+the newly-cheap replicas and beats both baselines on total cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.pricing import PriceSchedule
+from repro.edr.system import EDRSystem, RuntimeConfig
+from repro.metrics.report import ExperimentResult
+from repro.util.rng import RngFactory
+from repro.util.tables import render_table
+from repro.workload.apps import VIDEO_STREAMING
+from repro.workload.clients import ClientPopulation
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.requests import Request, RequestTrace
+from repro.workload.youtube import YoutubeTrafficModel
+
+__all__ = ["DynamicPricesResult", "run", "PHASE1_PRICES", "PHASE2_PRICES"]
+
+#: Fig. 6 prices, and the same vector reversed — the cheap regions swap.
+PHASE1_PRICES = (1.0, 8.0, 1.0, 6.0, 1.0, 5.0, 2.0, 3.0)
+PHASE2_PRICES = tuple(reversed(PHASE1_PRICES))
+
+
+@dataclass
+class DynamicPricesResult:
+    """Costs of the three schedulers under the tariff flip."""
+
+    aware: ExperimentResult
+    stale: ExperimentResult
+    round_robin: ExperimentResult
+    switch_at: float
+
+    def render(self) -> str:
+        rows = [
+            ["EDR (tariff-aware)", self.aware.total_cents,
+             self.aware.total_joules],
+            ["EDR (stale tariff)", self.stale.total_cents,
+             self.stale.total_joules],
+            ["Round-Robin", self.round_robin.total_cents,
+             self.round_robin.total_joules],
+        ]
+        table = render_table(
+            ["scheduler", "total cents", "total J"], rows,
+            title=(f"Extension — tariff flip at t={self.switch_at:g}s "
+                   f"(cheap and expensive regions swap)"))
+        save_stale = 1 - self.aware.total_cents / self.stale.total_cents
+        save_rr = 1 - self.aware.total_cents / self.round_robin.total_cents
+        return (table +
+                f"\ntariff-aware saving vs stale EDR: {100 * save_stale:+.1f}%"
+                f"\ntariff-aware saving vs Round-Robin: {100 * save_rr:+.1f}%")
+
+
+def _two_burst_trace(switch_at: float, per_burst: int, n_clients: int,
+                     seed: int) -> RequestTrace:
+    """Two video bursts: one in each tariff phase."""
+    factory = RngFactory(seed)
+    gen = WorkloadGenerator(
+        traffic=YoutubeTrafficModel(base_rate=per_burst, amplitude=0.0,
+                                    period=1000.0),
+        clients=ClientPopulation.uniform(n_clients),
+        app=VIDEO_STREAMING)
+    first = gen.generate(factory.stream("burst1"), count=per_burst)
+    second = gen.generate(factory.stream("burst2"), count=per_burst)
+    shifted = [Request(client=r.client, arrival=r.arrival + switch_at + 0.1,
+                       size_mb=r.size_mb, app=r.app, object_id=r.object_id)
+               for r in second]
+    return RequestTrace(list(first) + shifted)
+
+
+def run(switch_at: float = 15.0, per_burst: int = 24,
+        n_clients: int = 24, seed: int = 11) -> DynamicPricesResult:
+    """Run the tariff-flip experiment."""
+    schedule = PriceSchedule.two_phase(PHASE1_PRICES, PHASE2_PRICES,
+                                       switch_at)
+    trace = _two_burst_trace(switch_at, per_burst, n_clients, seed)
+
+    def make(algorithm: str, stale: bool) -> ExperimentResult:
+        cfg = RuntimeConfig(
+            algorithm=algorithm, prices=PHASE1_PRICES,
+            price_schedule=schedule, solve_with_stale_prices=stale,
+            batch_capacity_fraction=0.35)
+        return EDRSystem(trace, cfg).run(app="video")
+
+    return DynamicPricesResult(
+        aware=make("lddm", stale=False),
+        stale=make("lddm", stale=True),
+        round_robin=make("round_robin", stale=False),
+        switch_at=switch_at)

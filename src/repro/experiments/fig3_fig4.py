@@ -1,0 +1,78 @@
+"""Figs. 3-4 — runtime power profiles per replica (DFS application).
+
+Fig. 3 shows all eight replicas' 50 Hz power traces under CDPSM;
+Fig. 4 the same under LDDM.  The published shapes:
+
+* profiles live between ~215 W (idle "valleys": listening / pure
+  selection) and ~225-240 W ("peaks": serving transfers);
+* LDDM finishes earlier than CDPSM for the same request load and draws
+  lower average power (less coordination work);
+* under LDDM, replicas that never get selected as download targets stay
+  near the idle floor for the whole run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.runtime_common import run_runtime
+from repro.experiments.scenarios import PAPER_DFS, Scenario
+from repro.util.tables import render_table
+from repro.util.timeseries import TimeSeries
+
+__all__ = ["PowerProfileResult", "run"]
+
+
+@dataclass
+class PowerProfileResult:
+    """Per-replica power traces for one algorithm."""
+
+    algorithm: str
+    profiles: dict[str, TimeSeries]
+    busy_end: dict[str, float]
+    makespan: float
+
+    def summary_rows(self):
+        rows = []
+        for name, series in self.profiles.items():
+            window = series.window(0.0, self.busy_end[name] + 1e-9)
+            rows.append([
+                name,
+                round(self.busy_end[name], 2),
+                round(window.mean() if len(window) else 0.0, 2),
+                round(window.max() if len(window) else 0.0, 2),
+                round(window.min() if len(window) else 0.0, 2),
+            ])
+        return rows
+
+    def render(self) -> str:
+        from repro.util.sparkline import profile_panel
+
+        fig = "3" if self.algorithm == "cdpsm" else "4"
+        table = render_table(
+            ["replica", "exec_time_s", "avg_W", "peak_W", "min_W"],
+            self.summary_rows(),
+            title=(f"Fig. {fig} — runtime power profile summary "
+                   f"({self.algorithm}, distributed file service)"))
+        windows = {
+            name: series.window(0.0, self.busy_end[name] + 1e-9)
+            for name, series in self.profiles.items()}
+        windows = {n: s for n, s in windows.items() if len(s)}
+        panel = profile_panel(
+            windows, width=64,
+            title=f"power profiles (each replica over its execution window)")
+        return table + "\n\n" + panel
+
+
+def run(scenario: Scenario | None = None) -> dict[str, PowerProfileResult]:
+    """Run the DFS workload under CDPSM (Fig. 3) and LDDM (Fig. 4)."""
+    scenario = scenario or PAPER_DFS
+    out: dict[str, PowerProfileResult] = {}
+    for algorithm in ("cdpsm", "lddm"):
+        result, system = run_runtime(scenario, algorithm, keep_system=True)
+        out[algorithm] = PowerProfileResult(
+            algorithm=algorithm,
+            profiles=system.power_profiles(),
+            busy_end=result.extras["busy_end"],
+            makespan=result.makespan)
+    return out

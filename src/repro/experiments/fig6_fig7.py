@@ -1,0 +1,63 @@
+"""Figs. 6-7 — per-replica energy cost under LDDM / CDPSM / Round-Robin.
+
+Fig. 6: video streaming; Fig. 7: distributed file service; prices fixed
+to ``[1, 8, 1, 6, 1, 5, 2, 3]`` ¢/kWh.  The published shape: EDR steers
+traffic toward the low-price replicas (1, 3, 5, then 7), so their share
+of the energy cost rises while the expensive replicas' bars shrink
+relative to Round-Robin's price-blind spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.runtime_common import ALGORITHMS, run_runtime
+from repro.experiments.scenarios import PAPER_DFS, PAPER_VIDEO, Scenario
+from repro.metrics.report import ExperimentResult, compare_table
+
+__all__ = ["PerReplicaCostResult", "run"]
+
+
+@dataclass
+class PerReplicaCostResult:
+    """All three schedulers' per-replica costs on one application."""
+
+    scenario: Scenario
+    results: dict[str, ExperimentResult]
+
+    def replica_names(self) -> list[str]:
+        n = len(self.scenario.prices)
+        return [f"replica{i + 1}" for i in range(n)]
+
+    def render(self) -> str:
+        fig = "6" if self.scenario.app.name == "video" else "7"
+        table = compare_table(
+            self.results, self.replica_names(), quantity="cents",
+            title=(f"Fig. {fig} — per-replica energy cost (cents), "
+                   f"{self.scenario.app.name}, prices "
+                   f"{list(self.scenario.prices)}"))
+        rr = self.results["round_robin"]
+        lines = [table, ""]
+        for algo in ("lddm", "cdpsm"):
+            s = self.results[algo].savings_vs(rr, "cents")
+            lines.append(f"{algo} total cost saving vs round-robin: "
+                         f"{100 * s:+.1f}%")
+        return "\n".join(lines)
+
+    def cheap_replica_share(self, algorithm: str) -> float:
+        """Fraction of that scheduler's cost carried by price<=2 replicas."""
+        res = self.results[algorithm]
+        prices = np.asarray(self.scenario.prices, dtype=float)
+        cheap = res.cents_by_replica[prices <= 2].sum()
+        return float(cheap / res.total_cents)
+
+
+def run(scenario: Scenario | None = None, app: str = "video"
+        ) -> PerReplicaCostResult:
+    """Run Fig. 6 (``app="video"``) or Fig. 7 (``app="dfs"``)."""
+    if scenario is None:
+        scenario = PAPER_VIDEO if app == "video" else PAPER_DFS
+    results = {algo: run_runtime(scenario, algo) for algo in ALGORITHMS}
+    return PerReplicaCostResult(scenario=scenario, results=results)

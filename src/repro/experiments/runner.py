@@ -1,0 +1,106 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments fig5
+    python -m repro.experiments fig3 fig4 fig6
+    python -m repro.experiments all --quick
+    python -m repro.experiments headline --runs 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    ablations,
+    ext_dynamic_prices,
+    ext_geo_latency,
+    fig3_fig4,
+    fig5,
+    fig6_fig7,
+    fig8,
+    fig9,
+)
+from repro.experiments import headline as headline_mod
+from repro.experiments.scenarios import PAPER_DFS, PAPER_VIDEO
+
+__all__ = ["main"]
+
+_ALL = ("fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+        "headline", "ablations", "ext_prices", "ext_geo", "ext_standby",
+        "validation")
+
+
+def _scaled(scenario, quick: bool):
+    return scenario.scaled(0.5) if quick else scenario
+
+
+def run_one(name: str, args) -> str:
+    """Run one experiment by name; returns its rendered report."""
+    quick = args.quick
+    if name in ("fig3", "fig4"):
+        results = fig3_fig4.run(_scaled(PAPER_DFS, quick))
+        key = "cdpsm" if name == "fig3" else "lddm"
+        return results[key].render()
+    if name == "fig5":
+        return fig5.run(max_iter=100 if quick else 300).render()
+    if name == "fig6":
+        return fig6_fig7.run(_scaled(PAPER_VIDEO, quick), app="video").render()
+    if name == "fig7":
+        return fig6_fig7.run(_scaled(PAPER_DFS, quick), app="dfs").render()
+    if name == "fig8":
+        return fig8.run(video=_scaled(PAPER_VIDEO, quick),
+                        dfs=_scaled(PAPER_DFS, quick)).render()
+    if name == "fig9":
+        counts = (24, 48, 96) if quick else fig9.DEFAULT_REQUEST_COUNTS
+        return fig9.run(request_counts=counts).render()
+    if name == "headline":
+        runs = args.runs if args.runs else (6 if quick else 40)
+        return headline_mod.run(n_runs=runs).render()
+    if name == "ablations":
+        return "\n\n".join(r.render() for r in ablations.run_all())
+    if name == "ext_prices":
+        per_burst = 12 if quick else 24
+        return ext_dynamic_prices.run(per_burst=per_burst).render()
+    if name == "ext_geo":
+        return ext_geo_latency.run().render()
+    if name == "ext_standby":
+        from repro.experiments import ext_standby
+        n = 12 if quick else 24
+        return ext_standby.run(n_requests=n, n_clients=n).render()
+    if name == "validation":
+        from repro.experiments import model_validation
+        return model_validation.run(
+            n_policies=4 if quick else 8).render()
+    raise SystemExit(f"unknown experiment {name!r}; choose from {_ALL}")
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's figures.")
+    parser.add_argument("experiments", nargs="+",
+                        help=f"experiment names: {', '.join(_ALL)}, or 'all'")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workloads for a fast pass")
+    parser.add_argument("--runs", type=int, default=0,
+                        help="override run count for the headline sweep")
+    args = parser.parse_args(argv)
+    names = list(args.experiments)
+    if names == ["all"]:
+        names = list(_ALL)
+    for name in names:
+        t0 = time.time()
+        report = run_one(name, args)
+        elapsed = time.time() - t0
+        print(f"\n=== {name} ({elapsed:.1f}s) " + "=" * 40)
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Measurement and reporting: energy/cost accounting, response times,
+power profiles, and experiment-result containers."""
+
+from repro.metrics.energy import EnergyAccount
+from repro.metrics.latency import ResponseTimeStats
+from repro.metrics.report import ExperimentResult, compare_table
+
+__all__ = [
+    "EnergyAccount",
+    "ResponseTimeStats",
+    "ExperimentResult",
+    "compare_table",
+]

@@ -1,0 +1,61 @@
+"""Energy and cost accounting across replica sites."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.cluster.datacenter import ReplicaSite
+from repro.cluster.pricing import JOULES_PER_KWH
+from repro.errors import ValidationError
+
+__all__ = ["EnergyAccount"]
+
+
+class EnergyAccount:
+    """Reads per-replica meters and aggregates joules and cents.
+
+    The paper reports both quantities separately because they diverge:
+    Fig. 8(a) is cents (the objective EDR minimizes), Fig. 8(b) joules
+    (which CDPSM can win while losing on cents).
+    """
+
+    def __init__(self, sites: Sequence[ReplicaSite]) -> None:
+        if not sites:
+            raise ValidationError("need at least one replica site")
+        self.sites = list(sites)
+
+    @property
+    def names(self) -> list[str]:
+        """Replica names in account order."""
+        return [s.name for s in self.sites]
+
+    def joules_by_replica(self) -> np.ndarray:
+        """Metered energy per replica (J)."""
+        return np.array([s.energy_joules() for s in self.sites])
+
+    def cents_by_replica(self) -> np.ndarray:
+        """Metered energy cost per replica (cents at the site price)."""
+        return np.array([s.energy_cost_cents() for s in self.sites])
+
+    def total_joules(self) -> float:
+        """Total system energy (J) — Fig. 8(b)'s quantity."""
+        return float(self.joules_by_replica().sum())
+
+    def total_cents(self) -> float:
+        """Total system energy cost (cents) — Fig. 8(a)'s quantity."""
+        return float(self.cents_by_replica().sum())
+
+    def prices(self) -> np.ndarray:
+        """Per-replica electricity prices (cents/kWh)."""
+        return np.array([s.price_cents_per_kwh for s in self.sites])
+
+    @staticmethod
+    def cents_from_joules(joules, prices) -> np.ndarray:
+        """Vectorized joules -> cents at per-replica prices."""
+        j = np.asarray(joules, dtype=float)
+        p = np.asarray(prices, dtype=float)
+        if j.shape != p.shape:
+            raise ValidationError("joules/prices length mismatch")
+        return j / JOULES_PER_KWH * p

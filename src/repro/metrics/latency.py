@@ -1,0 +1,62 @@
+"""Response-time bookkeeping for the Fig. 9 comparison."""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+from repro.util.stats import Summary, summarize
+
+__all__ = ["ResponseTimeStats"]
+
+
+class ResponseTimeStats:
+    """Collects per-request response times.
+
+    *Response time* follows the paper's Fig. 9 semantics: the interval
+    between a client issuing a request and receiving its load-distribution
+    decision (the moment its downloads can begin) — the replica-selection
+    system's latency, independent of file size.
+    """
+
+    def __init__(self) -> None:
+        self._issued: dict[object, float] = {}
+        self.samples: list[float] = []
+
+    def issued(self, key, now: float) -> None:
+        """Record that request ``key`` was issued at ``now``."""
+        if key in self._issued:
+            raise ValidationError(f"request {key!r} already issued")
+        self._issued[key] = now
+
+    def answered(self, key, now: float) -> None:
+        """Record that request ``key`` got its decision at ``now``."""
+        try:
+            t0 = self._issued.pop(key)
+        except KeyError:
+            raise ValidationError(f"request {key!r} was never issued") from None
+        if now < t0:
+            raise ValidationError("response precedes request")
+        self.samples.append(now - t0)
+
+    @property
+    def pending(self) -> int:
+        """Requests issued but not yet answered."""
+        return len(self._issued)
+
+    @property
+    def count(self) -> int:
+        """Answered requests."""
+        return len(self.samples)
+
+    def total(self) -> float:
+        """Sum of all response times (Fig. 9's cumulative y-axis shape)."""
+        return float(sum(self.samples))
+
+    def mean(self) -> float:
+        """Mean response time per request."""
+        if not self.samples:
+            raise ValidationError("no answered requests")
+        return self.total() / len(self.samples)
+
+    def summary(self) -> Summary:
+        """Distribution summary of response times."""
+        return summarize(self.samples)

@@ -1,0 +1,94 @@
+"""Experiment-result containers and comparison tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.util.tables import render_table
+
+__all__ = ["ExperimentResult", "compare_table"]
+
+
+@dataclass
+class ExperimentResult:
+    """One scheduling algorithm's measured outcome on one scenario.
+
+    Attributes
+    ----------
+    method: scheduler tag ("lddm" / "cdpsm" / "round_robin" / "donar").
+    app: application tag ("video" / "dfs").
+    joules_by_replica, cents_by_replica: per-replica energy and cost.
+    makespan: time until the last transfer finished (s).
+    response_times: per-request selection latencies (s).
+    extras: free-form diagnostics (message counts, iterations, ...).
+    """
+
+    method: str
+    app: str
+    joules_by_replica: np.ndarray
+    cents_by_replica: np.ndarray
+    makespan: float
+    response_times: list[float] = field(default_factory=list)
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def total_joules(self) -> float:
+        """Total system energy (J)."""
+        return float(np.sum(self.joules_by_replica))
+
+    @property
+    def total_cents(self) -> float:
+        """Total system energy cost (cents)."""
+        return float(np.sum(self.cents_by_replica))
+
+    @property
+    def mean_response(self) -> float:
+        """Mean per-request response time (s)."""
+        if not self.response_times:
+            raise ValidationError("no response times recorded")
+        return float(np.mean(self.response_times))
+
+    def savings_vs(self, other: "ExperimentResult",
+                   quantity: str = "cents") -> float:
+        """Fractional saving of this result relative to ``other``.
+
+        ``quantity`` is ``"cents"`` (Fig. 8a) or ``"joules"`` (Fig. 8b).
+        Positive means this result is cheaper than ``other``.
+        """
+        if quantity == "cents":
+            mine, theirs = self.total_cents, other.total_cents
+        elif quantity == "joules":
+            mine, theirs = self.total_joules, other.total_joules
+        else:
+            raise ValidationError("quantity must be 'cents' or 'joules'")
+        if theirs <= 0:
+            raise ValidationError("cannot compute savings vs zero baseline")
+        return 1.0 - mine / theirs
+
+
+def compare_table(results: Mapping[str, ExperimentResult],
+                  replica_names: Sequence[str],
+                  quantity: str = "cents",
+                  title: str | None = None) -> str:
+    """Render a per-replica comparison across methods (Figs. 6-7 layout)."""
+    if quantity not in ("cents", "joules"):
+        raise ValidationError("quantity must be 'cents' or 'joules'")
+    headers = ["replica"] + list(results.keys())
+    rows = []
+    for i, name in enumerate(replica_names):
+        row = [name]
+        for method in results:
+            vec = (results[method].cents_by_replica if quantity == "cents"
+                   else results[method].joules_by_replica)
+            row.append(float(vec[i]))
+        rows.append(row)
+    totals = ["TOTAL"]
+    for method in results:
+        r = results[method]
+        totals.append(r.total_cents if quantity == "cents" else r.total_joules)
+    rows.append(totals)
+    return render_table(headers, rows, title=title)

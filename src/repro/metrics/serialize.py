@@ -1,0 +1,75 @@
+"""JSON (de)serialization of experiment results.
+
+The benchmark harness saves machine-readable results next to the rendered
+text reports, so downstream tooling (plotting, regression comparison) can
+consume them without re-running experiments.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.metrics.report import ExperimentResult
+
+__all__ = ["result_to_dict", "result_from_dict", "dump_results",
+           "load_results"]
+
+
+def _jsonable(value):
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """Plain-dict form of a result (JSON-ready)."""
+    return {
+        "method": result.method,
+        "app": result.app,
+        "joules_by_replica": result.joules_by_replica.tolist(),
+        "cents_by_replica": result.cents_by_replica.tolist(),
+        "makespan": result.makespan,
+        "response_times": list(result.response_times),
+        "extras": _jsonable(result.extras),
+    }
+
+
+def result_from_dict(data: dict) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from its dict form."""
+    required = {"method", "app", "joules_by_replica", "cents_by_replica",
+                "makespan"}
+    missing = required - set(data)
+    if missing:
+        raise ValidationError(f"result dict missing keys: {sorted(missing)}")
+    return ExperimentResult(
+        method=data["method"],
+        app=data["app"],
+        joules_by_replica=np.asarray(data["joules_by_replica"], dtype=float),
+        cents_by_replica=np.asarray(data["cents_by_replica"], dtype=float),
+        makespan=float(data["makespan"]),
+        response_times=[float(t) for t in data.get("response_times", [])],
+        extras=dict(data.get("extras", {})),
+    )
+
+
+def dump_results(results: dict[str, ExperimentResult]) -> str:
+    """Serialize a name -> result mapping to a JSON string."""
+    return json.dumps({name: result_to_dict(r) for name, r in results.items()},
+                      indent=2, sort_keys=True)
+
+
+def load_results(text: str) -> dict[str, ExperimentResult]:
+    """Parse a mapping produced by :func:`dump_results`."""
+    raw = json.loads(text)
+    if not isinstance(raw, dict):
+        raise ValidationError("expected a JSON object of results")
+    return {name: result_from_dict(d) for name, d in raw.items()}

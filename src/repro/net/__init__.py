@@ -1,0 +1,25 @@
+"""Network substrate: topology, message transport, bulk-data flows, faults.
+
+Control messages (requests, solver iterations, heartbeats) travel through
+:class:`~repro.net.transport.Network` with per-pair propagation latency plus
+serialization delay.  Bulk data (the actual replica downloads) travels
+through :class:`~repro.net.flows.FlowManager`, which shares each node's NIC
+capacity among concurrent transfers with max-min fairness and exposes the
+instantaneous per-node throughput that drives the power model.
+"""
+
+from repro.net.topology import Topology
+from repro.net.message import Message
+from repro.net.transport import Network, Endpoint
+from repro.net.flows import FlowManager, Flow
+from repro.net.faults import FaultInjector
+
+__all__ = [
+    "Topology",
+    "Message",
+    "Network",
+    "Endpoint",
+    "FlowManager",
+    "Flow",
+    "FaultInjector",
+]

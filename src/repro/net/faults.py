@@ -1,0 +1,65 @@
+"""Crash-fault injection for replicas.
+
+Crashing a node (1) drops all its control messages in both directions,
+(2) aborts its in-flight bulk flows, and (3) interrupts its registered
+server processes — the combination the EDR ring failure detector must
+survive (Sec. III-C of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import SimulationError
+from repro.net.flows import FlowManager
+from repro.net.transport import Network
+from repro.sim.process import Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Coordinates crash/restore of nodes across transport, flows, processes."""
+
+    def __init__(self, sim: "Simulator", network: Network,
+                 flows: FlowManager | None = None) -> None:
+        self.sim = sim
+        self.network = network
+        self.flows = flows
+        self._processes: dict[str, list[Process]] = {}
+        self.crash_log: list[tuple[float, str, str]] = []
+
+    def register_process(self, node: str, process: Process) -> None:
+        """Associate a process with ``node`` so crashes interrupt it."""
+        self._processes.setdefault(node, []).append(process)
+
+    def crash(self, node: str) -> None:
+        """Crash ``node`` now."""
+        if self.network.is_crashed(node):
+            raise SimulationError(f"{node} is already crashed")
+        self.network.crash(node)
+        if self.flows is not None:
+            self.flows.cancel_node(node)
+        for proc in self._processes.get(node, []):
+            if proc.is_alive:
+                proc.defused = True  # intentional kill: don't crash the sim
+                proc.interrupt(f"crash:{node}")
+        self.crash_log.append((self.sim.now, node, "crash"))
+
+    def restore(self, node: str) -> None:
+        """Reconnect ``node`` (processes are not restarted automatically)."""
+        if not self.network.is_crashed(node):
+            raise SimulationError(f"{node} is not crashed")
+        self.network.restore(node)
+        self.crash_log.append((self.sim.now, node, "restore"))
+
+    def crash_at(self, time: float, node: str) -> None:
+        """Schedule a crash of ``node`` at absolute simulated ``time``."""
+        self.sim.call_at(time, lambda: self.crash(node))
+
+    def restore_at(self, time: float, node: str) -> None:
+        """Schedule a restore of ``node`` at absolute simulated ``time``."""
+        self.sim.call_at(time, lambda: self.restore(node))

@@ -1,0 +1,251 @@
+"""Bulk data transfers with max-min fair bandwidth sharing.
+
+Every node's NIC is a single capacity shared by all flows touching it
+(ingress and egress combined, matching a half-duplex 100 MB/s Ethernet
+budget).  Active flows get the max-min fair allocation computed by
+progressive filling; rates are recomputed whenever a flow starts, finishes,
+or is cancelled.  Between recomputations rates are constant, so remaining
+bytes settle exactly and the power model can read instantaneous per-node
+throughput at any sample time.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import SimulationError, ValidationError
+from repro.net.topology import Topology
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+__all__ = ["Flow", "FlowManager"]
+
+_EPS = 1e-9
+
+
+class Flow:
+    """One bulk transfer.
+
+    Attributes
+    ----------
+    src, dst: node names.
+    size: total MB to move.
+    remaining: MB still to move (settled as of the manager's last update).
+    rate: current fair-share rate in MB/s.
+    done: event fired on completion *or* cancellation; check
+        :attr:`completed` to distinguish.
+    """
+
+    def __init__(self, sim, src: str, dst: str, size: float) -> None:
+        self.src = src
+        self.dst = dst
+        self.size = float(size)
+        self.remaining = float(size)
+        self.rate = 0.0
+        self.done: Event = Event(sim)
+        self.started_at = sim.now
+        self.finished_at: float | None = None
+        self.cancelled = False
+
+    @property
+    def completed(self) -> bool:
+        """True once all bytes moved (False for cancelled flows)."""
+        return self.finished_at is not None and not self.cancelled
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Flow({self.src}->{self.dst}, size={self.size:g}, "
+                f"remaining={self.remaining:g}, rate={self.rate:g})")
+
+
+def max_min_fair_rates(flows: Iterable[Flow],
+                       capacity: dict[str, float]) -> dict[Flow, float]:
+    """Progressive-filling max-min fair allocation.
+
+    Each flow consumes capacity at both its endpoints; each node's total
+    is bounded by ``capacity[node]``.  Returns the fair rate per flow.
+    """
+    flows = list(flows)
+    rates: dict[Flow, float] = {}
+    if not flows:
+        return rates
+    cap_left = dict(capacity)
+    unfrozen = set(flows)
+    touching: dict[str, set[Flow]] = {}
+    for f in flows:
+        touching.setdefault(f.src, set()).add(f)
+        touching.setdefault(f.dst, set()).add(f)
+    while unfrozen:
+        # Fair share at each node still carrying unfrozen flows.
+        best_node = None
+        best_share = math.inf
+        for node, fset in touching.items():
+            live = fset & unfrozen
+            if not live:
+                continue
+            share = max(cap_left.get(node, math.inf), 0.0) / len(live)
+            if share < best_share:
+                best_share = share
+                best_node = node
+        if best_node is None:  # pragma: no cover - defensive
+            break
+        for f in touching[best_node] & unfrozen:
+            rates[f] = best_share
+            unfrozen.discard(f)
+            cap_left[f.src] = cap_left.get(f.src, math.inf) - best_share
+            cap_left[f.dst] = cap_left.get(f.dst, math.inf) - best_share
+        # Guard tiny negative residue from float subtraction.
+        for node in (f.src, f.dst):
+            if node in cap_left and cap_left[node] < 0:
+                cap_left[node] = max(cap_left[node], -1e-6)
+    return rates
+
+
+class FlowManager:
+    """Tracks active flows, assigns fair rates, fires completion events.
+
+    ``crashed`` is an optional oracle (``name -> bool``): transfers whose
+    endpoint is already crashed are born cancelled — a dead server cannot
+    serve bytes, even if a stale assignment still names it.
+    """
+
+    def __init__(self, sim: "Simulator", topology: Topology,
+                 crashed=None) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.crashed = crashed or (lambda name: False)
+        self._flows: set[Flow] = set()
+        self._last_update = sim.now
+        self._generation = 0
+        self.total_mb = 0.0
+        self.completed_flows = 0
+
+    @property
+    def active(self) -> frozenset[Flow]:
+        """Currently running flows."""
+        return frozenset(self._flows)
+
+    # -- public operations --------------------------------------------------
+    def transfer(self, src: str, dst: str, size: float) -> Flow:
+        """Start a transfer of ``size`` MB from ``src`` to ``dst``.
+
+        Returns the :class:`Flow`; wait on ``flow.done`` for completion.
+        Zero-size transfers complete at the propagation latency alone.
+        """
+        if size < 0:
+            raise ValidationError("flow size must be nonnegative")
+        self.topology.index(src)
+        self.topology.index(dst)
+        if src == dst:
+            raise ValidationError("flow endpoints must differ")
+        flow = Flow(self.sim, src, dst, size)
+        prop = self.topology.latency(src, dst)
+        if self.crashed(src) or self.crashed(dst):
+            # Born dead: the caller's completion handling (retry logic)
+            # sees a cancelled flow after the usual propagation delay.
+            flow.cancelled = True
+
+            def _finish_dead(_ev, flow=flow):
+                flow.finished_at = self.sim.now
+                flow.done.succeed(flow)
+
+            self.sim.timeout(prop).add_callback(_finish_dead)
+            return flow
+        if size <= _EPS:
+            flow.remaining = 0.0
+
+            def _finish_empty(_ev, flow=flow):
+                flow.finished_at = self.sim.now
+                flow.done.succeed(flow)
+
+            self.sim.timeout(prop).add_callback(_finish_empty)
+            return flow
+        self._settle()
+        self._flows.add(flow)
+        self.total_mb += size
+        self._reschedule()
+        return flow
+
+    def cancel_node(self, node: str) -> list[Flow]:
+        """Abort every flow touching ``node`` (crash semantics).
+
+        Aborted flows get ``cancelled=True`` and their ``done`` event fires.
+        Returns the aborted flows.
+        """
+        self._settle()
+        hit = [f for f in self._flows if node in (f.src, f.dst)]
+        for f in hit:
+            self._flows.discard(f)
+            f.cancelled = True
+            f.finished_at = self.sim.now
+            f.rate = 0.0
+            f.done.succeed(f)
+        if hit:
+            self._reschedule()
+        return hit
+
+    def node_throughput(self, node: str) -> float:
+        """Instantaneous MB/s through ``node``'s NIC (all active flows)."""
+        return sum(f.rate for f in self._flows if node in (f.src, f.dst))
+
+    def utilization(self, node: str) -> float:
+        """``node_throughput / capacity`` in [0, 1] (clipped)."""
+        cap = self.topology.capacity(node)
+        return min(1.0, self.node_throughput(node) / cap)
+
+    # -- internals -------------------------------------------------------------
+    def _settle(self) -> None:
+        """Account bytes moved since the last rate change."""
+        now = self.sim.now
+        dt = now - self._last_update
+        if dt > 0:
+            for f in self._flows:
+                f.remaining = max(0.0, f.remaining - f.rate * dt)
+        self._last_update = now
+
+    def _reschedule(self) -> None:
+        """Recompute fair rates and arm the next completion timer."""
+        self._generation += 1
+        caps = {n: self.topology.capacity(n) for n in self.topology.nodes}
+        rates = max_min_fair_rates(self._flows, caps)
+        for f in self._flows:
+            f.rate = rates.get(f, 0.0)
+        # Fire any flows that already hit zero remaining.
+        finished = [f for f in self._flows if f.remaining <= _EPS]
+        for f in finished:
+            self._complete(f)
+        if finished:
+            # Completion changed the flow set; recurse once to re-arm.
+            self._reschedule()
+            return
+        horizon = math.inf
+        for f in self._flows:
+            if f.rate > 0:
+                horizon = min(horizon, f.remaining / f.rate)
+        if math.isinf(horizon):
+            return
+        generation = self._generation
+        ev = self.sim.timeout(horizon)
+        ev.add_callback(lambda _ev: self._on_timer(generation))
+
+    def _on_timer(self, generation: int) -> None:
+        if generation != self._generation:
+            return  # superseded by a later rate change
+        self._settle()
+        done = [f for f in self._flows if f.remaining <= 1e-6 * max(1.0, f.size)]
+        if not done:
+            # Numerical drift: force the closest flow to completion.
+            done = [min(self._flows, key=lambda f: f.remaining)]
+        for f in done:
+            f.remaining = 0.0
+            self._complete(f)
+        self._reschedule()
+
+    def _complete(self, flow: Flow) -> None:
+        self._flows.discard(flow)
+        flow.finished_at = self.sim.now
+        flow.rate = 0.0
+        self.completed_flows += 1
+        flow.done.succeed(flow)

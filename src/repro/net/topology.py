@@ -1,0 +1,142 @@
+"""Network topology: node inventory, latency matrix, NIC capacities.
+
+Latencies are one-way propagation delays in seconds; capacities are NIC
+line rates in MB/s.  The latency-eligibility mask required by the paper's
+constraint ``l[c,n] <= T`` is derived here.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.util.validation import check_nonnegative, check_positive
+
+__all__ = ["Topology"]
+
+
+class Topology:
+    """Immutable node inventory with pairwise latency and per-node capacity.
+
+    Parameters
+    ----------
+    nodes:
+        Ordered node names (clients and replicas alike).
+    latency:
+        ``(n, n)`` matrix of one-way delays in seconds.  The diagonal must
+        be zero; the matrix need not be symmetric (paths can be asymmetric).
+    capacity:
+        Per-node NIC capacity in MB/s (applies to ingress and egress).
+    """
+
+    def __init__(self, nodes: Sequence[str], latency, capacity) -> None:
+        if len(set(nodes)) != len(nodes):
+            raise ValidationError("duplicate node names in topology")
+        self._nodes = tuple(str(n) for n in nodes)
+        n = len(self._nodes)
+        lat = check_nonnegative(latency, "latency")
+        if lat.shape != (n, n):
+            raise ValidationError(
+                f"latency must be shape ({n}, {n}), got {lat.shape}")
+        if np.any(np.diag(lat) != 0):
+            raise ValidationError("latency diagonal must be zero")
+        cap = check_positive(capacity, "capacity")
+        if cap.shape != (n,):
+            raise ValidationError(f"capacity must have length {n}")
+        self._latency = lat.copy()
+        self._latency.setflags(write=False)
+        self._capacity = cap.copy()
+        self._capacity.setflags(write=False)
+        self._index = {name: i for i, name in enumerate(self._nodes)}
+
+    # -- inventory -----------------------------------------------------------
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        """Ordered node names."""
+        return self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def index(self, name: str) -> int:
+        """Position of ``name`` in the node ordering."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise ValidationError(f"unknown node {name!r}") from None
+
+    # -- quantities ------------------------------------------------------------
+    @property
+    def latency_matrix(self) -> np.ndarray:
+        """Read-only ``(n, n)`` latency matrix in seconds."""
+        return self._latency
+
+    def latency(self, src: str, dst: str) -> float:
+        """One-way delay from ``src`` to ``dst`` in seconds."""
+        return float(self._latency[self.index(src), self.index(dst)])
+
+    def capacity(self, name: str) -> float:
+        """NIC capacity of ``name`` in MB/s."""
+        return float(self._capacity[self.index(name)])
+
+    def eligibility(self, clients: Sequence[str], replicas: Sequence[str],
+                    max_latency: float) -> np.ndarray:
+        """Boolean ``(C, N)`` mask: True where ``l[c, n] <= max_latency``.
+
+        This is the paper's latency constraint ``e_{c,n}(P) = l_{c,n} - T <= 0``
+        realized as a variable-support mask.
+        """
+        if max_latency < 0:
+            raise ValidationError("max_latency must be nonnegative")
+        ci = [self.index(c) for c in clients]
+        ri = [self.index(r) for r in replicas]
+        return self._latency[np.ix_(ci, ri)] <= max_latency
+
+    # -- builders ----------------------------------------------------------------
+    @classmethod
+    def lan(cls, nodes: Sequence[str], latency: float = 0.0005,
+            capacity: float = 100.0) -> "Topology":
+        """Uniform switched-LAN topology (the paper's SystemG setup).
+
+        Every distinct pair has the same one-way ``latency`` (default
+        0.5 ms, below the paper's T = 1.8 ms bound) and every node the same
+        NIC ``capacity`` (default 100 MB/s Ethernet).
+        """
+        n = len(nodes)
+        lat = np.full((n, n), float(latency))
+        np.fill_diagonal(lat, 0.0)
+        return cls(nodes, lat, np.full(n, float(capacity)))
+
+    @classmethod
+    def geo(cls, nodes: Sequence[str], positions: Mapping[str, tuple[float, float]],
+            *, seconds_per_unit: float = 0.001, base_latency: float = 0.0002,
+            capacity: float = 100.0) -> "Topology":
+        """Geometric topology: latency proportional to Euclidean distance.
+
+        Used by the geo-distributed experiments; ``positions`` maps node
+        name to a 2-D coordinate, and latency(src, dst) =
+        ``base_latency + seconds_per_unit * dist(src, dst)``.
+        """
+        n = len(nodes)
+        pts = np.array([positions[name] for name in nodes], dtype=float)
+        diff = pts[:, None, :] - pts[None, :, :]
+        dist = np.sqrt(np.sum(diff * diff, axis=2))
+        lat = base_latency + seconds_per_unit * dist
+        np.fill_diagonal(lat, 0.0)
+        return cls(nodes, lat, np.full(n, float(capacity)))
+
+    @classmethod
+    def random_geo(cls, nodes: Sequence[str], rng: np.random.Generator,
+                   *, extent: float = 10.0, seconds_per_unit: float = 0.0002,
+                   base_latency: float = 0.0001,
+                   capacity: float = 100.0) -> "Topology":
+        """Random geometric topology with nodes uniform in a square."""
+        positions = {name: tuple(rng.uniform(0, extent, size=2))
+                     for name in nodes}
+        return cls.geo(nodes, positions, seconds_per_unit=seconds_per_unit,
+                       base_latency=base_latency, capacity=capacity)

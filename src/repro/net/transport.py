@@ -1,0 +1,134 @@
+"""Control-plane message transport.
+
+Reliable, ordered-per-pair delivery with one-way propagation latency from
+the :class:`~repro.net.topology.Topology` plus a serialization delay
+``size / min(src_capacity, dst_capacity)``.  Each node registers named
+*ports* (mailboxes); the EDR server's ClientListener and ReplicaListener
+threads map to processes blocked on different ports of the same node.
+
+Crashed nodes (see :class:`~repro.net.faults.FaultInjector`) silently drop
+traffic in both directions, which is what lets the ring failure detector
+observe timeouts.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import SimulationError, ValidationError
+from repro.net.message import Message
+from repro.net.topology import Topology
+from repro.sim.events import Event
+from repro.sim.resources import Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+__all__ = ["Network", "Endpoint"]
+
+
+class Endpoint:
+    """A node's handle on the network: send messages, receive per port."""
+
+    def __init__(self, network: "Network", name: str) -> None:
+        self._network = network
+        self.name = name
+
+    def send(self, dst: str, port: str, kind: str, payload=None,
+             size: float = 1e-4) -> None:
+        """Fire-and-forget a message to ``dst``'s ``port``."""
+        msg = Message(src=self.name, dst=dst, port=port, kind=kind,
+                      payload=payload, size=size,
+                      sent_at=self._network.sim.now)
+        self._network.deliver(msg)
+
+    def broadcast(self, dsts: Iterable[str], port: str, kind: str,
+                  payload=None, size: float = 1e-4) -> None:
+        """Send the same message to every destination (excluding self)."""
+        for dst in dsts:
+            if dst != self.name:
+                self.send(dst, port, kind, payload, size)
+
+    def recv(self, port: str) -> Event:
+        """Event firing with the next message on ``port`` (yield it)."""
+        return self._network.mailbox(self.name, port).get()
+
+    def pending(self, port: str) -> int:
+        """Number of queued, undelivered messages on ``port``."""
+        return len(self._network.mailbox(self.name, port))
+
+
+class Network:
+    """Message switch over a topology.
+
+    Statistics (message and byte counters, per node and total) feed the
+    communication-complexity comparisons between CDPSM, LDDM and DONAR.
+    """
+
+    def __init__(self, sim: "Simulator", topology: Topology) -> None:
+        self.sim = sim
+        self.topology = topology
+        self._mailboxes: dict[tuple[str, str], Store] = {}
+        self._crashed: set[str] = set()
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.mb_sent = 0.0
+        self.sent_by_node: dict[str, int] = {n: 0 for n in topology.nodes}
+
+    # -- wiring ----------------------------------------------------------------
+    def endpoint(self, name: str) -> Endpoint:
+        """Handle for node ``name`` (must exist in the topology)."""
+        self.topology.index(name)  # validates
+        return Endpoint(self, name)
+
+    def mailbox(self, node: str, port: str) -> Store:
+        """The (auto-created) mailbox for ``(node, port)``."""
+        key = (node, port)
+        box = self._mailboxes.get(key)
+        if box is None:
+            self.topology.index(node)  # validates
+            box = Store(self.sim)
+            self._mailboxes[key] = box
+        return box
+
+    # -- fault hooks -------------------------------------------------------------
+    def crash(self, node: str) -> None:
+        """Drop all traffic to and from ``node`` until :meth:`restore`."""
+        self.topology.index(node)
+        self._crashed.add(node)
+
+    def restore(self, node: str) -> None:
+        """Reconnect a crashed node."""
+        self._crashed.discard(node)
+
+    def is_crashed(self, node: str) -> bool:
+        """True while ``node`` is crash-faulted."""
+        return node in self._crashed
+
+    # -- delivery ---------------------------------------------------------------
+    def transit_delay(self, msg: Message) -> float:
+        """Propagation + serialization delay for ``msg``."""
+        prop = self.topology.latency(msg.src, msg.dst)
+        line = min(self.topology.capacity(msg.src),
+                   self.topology.capacity(msg.dst))
+        return prop + msg.size / line
+
+    def deliver(self, msg: Message) -> None:
+        """Accept a message for delivery (used by :class:`Endpoint`)."""
+        if msg.src == msg.dst:
+            raise ValidationError("cannot send a message to self")
+        self.messages_sent += 1
+        self.mb_sent += msg.size
+        self.sent_by_node[msg.src] = self.sent_by_node.get(msg.src, 0) + 1
+        if msg.src in self._crashed:
+            return  # sender is dead: message never leaves
+        delay = self.transit_delay(msg)
+        ev = self.sim.timeout(delay, msg)
+        ev.add_callback(self._arrive)
+
+    def _arrive(self, ev: Event) -> None:
+        msg: Message = ev.value
+        if msg.dst in self._crashed:
+            return  # receiver is dead: drop silently
+        self.mailbox(msg.dst, msg.port).put(msg)
+        self.messages_delivered += 1

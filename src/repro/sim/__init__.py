@@ -1,0 +1,29 @@
+"""Discrete-event simulation substrate.
+
+A compact, deterministic process-based simulator in the style of SimPy:
+processes are Python generators that ``yield`` events (timeouts, one-shot
+events, other processes, or combinators) and are resumed when those events
+trigger.  The EDR runtime (:mod:`repro.edr`), the network substrate
+(:mod:`repro.net`) and the cluster emulation (:mod:`repro.cluster`) are all
+built on this engine.
+"""
+
+from repro.sim.events import Event, EventQueue, Timeout, AnyOf, AllOf
+from repro.sim.engine import Simulator
+from repro.sim.process import Process, Interrupt
+from repro.sim.resources import Store, Resource
+from repro.sim.monitor import PeriodicSampler
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Timeout",
+    "AnyOf",
+    "AllOf",
+    "Simulator",
+    "Process",
+    "Interrupt",
+    "Store",
+    "Resource",
+    "PeriodicSampler",
+]

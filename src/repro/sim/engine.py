@@ -1,0 +1,133 @@
+"""The simulation engine: clock + event loop.
+
+The engine fires triggered events in nondecreasing time order; processes
+(:mod:`repro.sim.process`) are resumed from event callbacks.  Time never
+moves backwards, and two events scheduled for the same instant fire in the
+order they were scheduled — both properties are enforced and tested.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, EventQueue, Timeout
+from repro.sim.process import Process
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Discrete-event simulator: owns the clock and the pending-event heap.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> log = []
+    >>> def proc(sim):
+    ...     yield sim.timeout(1.5)
+    ...     log.append(sim.now)
+    >>> _ = sim.process(proc(sim))
+    >>> sim.run()
+    >>> log
+    [1.5]
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue = EventQueue()
+        self._active: Optional[Event] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- event construction --------------------------------------------------
+    def event(self) -> Event:
+        """A fresh untriggered one-shot event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value=None) -> Timeout:
+        """An event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def any_of(self, events) -> AnyOf:
+        """Fires when any of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events) -> AllOf:
+        """Fires when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def process(self, generator: Generator) -> Process:
+        """Launch ``generator`` as a simulated process; returns its handle."""
+        return Process(self, generator)
+
+    def call_at(self, time: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn()`` at absolute simulated ``time`` (>= now)."""
+        if time < self._now:
+            raise SimulationError(f"call_at({time}) is in the past (now={self._now})")
+        ev = self.timeout(time - self._now)
+        ev.add_callback(lambda _ev: fn())
+        return ev
+
+    # -- scheduling (internal) ------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self._queue.push(self._now + delay, event)
+
+    # -- running ---------------------------------------------------------------
+    def step(self) -> None:
+        """Process the single earliest pending event."""
+        time, event = self._queue.pop()
+        if time < self._now:
+            raise SimulationError("event queue returned a past event")
+        self._now = time
+        callbacks = event.callbacks
+        event.callbacks = None  # mark processed
+        if callbacks:
+            for fn in callbacks:
+                fn(event)
+        elif not event.ok and not getattr(event, "defused", False):
+            # A failed event nobody waited on: surface the error rather than
+            # silently dropping it (matching SimPy semantics).
+            raise event.value
+
+    def peek(self) -> float:
+        """Time of the next pending event, or +inf if none."""
+        if len(self._queue) == 0:
+            return math.inf
+        return self._queue.peek_time()
+
+    def run(self, until: float | Event | None = None) -> None:
+        """Drain the event queue.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run until no events remain.
+            ``float`` — run until the clock would pass this time; the clock
+            is then set to exactly ``until``.
+            :class:`Event` — run until this event has been processed.
+        """
+        if until is None:
+            while len(self._queue):
+                self.step()
+            return
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                if len(self._queue) == 0:
+                    raise SimulationError(
+                        "run(until=event): queue drained before event fired")
+                self.step()
+            return
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError(f"run(until={horizon}) is in the past")
+        while len(self._queue) and self._queue.peek_time() <= horizon:
+            self.step()
+        self._now = horizon

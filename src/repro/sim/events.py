@@ -1,0 +1,180 @@
+"""Events and the simulation event queue.
+
+An :class:`Event` is a one-shot future: it can *succeed* with a value or
+*fail* with an exception, after which its callbacks run inside the engine
+loop.  :class:`EventQueue` is the time-ordered heap the engine drains;
+entries at equal times fire in FIFO scheduling order (stable ties), which
+keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.engine import Simulator
+
+__all__ = ["Event", "Timeout", "Condition", "AnyOf", "AllOf", "EventQueue"]
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    States: *pending* -> *triggered* (scheduled to fire) -> *processed*
+    (callbacks ran).  ``succeed``/``fail`` move it to triggered exactly once.
+    """
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value = _PENDING
+        self._ok = True
+
+    # -- state inspection ---------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not have fired yet)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid only once triggered)."""
+        return self._ok
+
+    @property
+    def value(self):
+        """The success value or failure exception."""
+        if self._value is _PENDING:
+            raise SimulationError("event value read before trigger")
+        return self._value
+
+    # -- triggering ---------------------------------------------------------
+    def succeed(self, value=None, delay: float = 0.0) -> "Event":
+        """Mark the event successful; callbacks fire after ``delay``."""
+        if self._value is not _PENDING:
+            raise SimulationError("event already triggered")
+        self._value = value
+        self._ok = True
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Mark the event failed; waiting processes get the exception thrown."""
+        if self._value is not _PENDING:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._value = exception
+        self._ok = False
+        self.sim._schedule(self, delay)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when this event fires (immediately if already fired)."""
+        if self.callbacks is None:
+            # Already processed: run inline so late waiters don't hang.
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    def __init__(self, sim: "Simulator", delay: float, value=None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._value = value
+        self._ok = True
+        sim._schedule(self, delay)
+
+
+class Condition(Event):
+    """Base for AnyOf / AllOf combinators over a set of events."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self.events = tuple(events)
+        if not self.events:
+            self.succeed({})
+            return
+        self._fired: list[Event] = []
+        for ev in self.events:
+            ev.add_callback(self._on_child)
+
+    def _satisfied(self) -> bool:
+        raise NotImplementedError
+
+    def _on_child(self, child: Event) -> None:
+        if self.triggered:
+            return
+        if not child.ok:
+            self.fail(child.value)
+            return
+        self._fired.append(child)
+        if self._satisfied():
+            self.succeed({ev: ev.value for ev in self._fired})
+
+    @property
+    def _done(self) -> int:
+        return len(self._fired)
+
+
+class AnyOf(Condition):
+    """Fires when any child event fires; value maps fired events to values."""
+
+    def _satisfied(self) -> bool:
+        return self._done >= 1
+
+
+class AllOf(Condition):
+    """Fires when every child event has fired; value maps events to values."""
+
+    def _satisfied(self) -> bool:
+        return self._done == len(self.events)
+
+
+class EventQueue:
+    """Time-ordered heap of (time, seq, event); stable at equal times."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, event: Event) -> None:
+        """Insert ``event`` to fire at ``time``."""
+        heapq.heappush(self._heap, (time, self._seq, event))
+        self._seq += 1
+
+    def pop(self) -> tuple[float, Event]:
+        """Remove and return the earliest ``(time, event)`` pair."""
+        if not self._heap:
+            raise SimulationError("pop from empty event queue")
+        time, _seq, event = heapq.heappop(self._heap)
+        return time, event
+
+    def peek_time(self) -> float:
+        """Time stamp of the earliest entry."""
+        if not self._heap:
+            raise SimulationError("peek on empty event queue")
+        return self._heap[0][0]

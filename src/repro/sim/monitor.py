@@ -1,0 +1,63 @@
+"""Periodic sampling of simulation state.
+
+:class:`PeriodicSampler` polls a probe function at a fixed rate and appends
+``(time, value)`` samples to a :class:`~repro.util.timeseries.TimeSeries`.
+The cluster PDU (:mod:`repro.cluster.pdu`) is a sampler at 50 Hz, matching
+the Dominion PX units used on SystemG in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import ValidationError
+from repro.sim.process import Interrupt
+from repro.util.timeseries import TimeSeries
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+__all__ = ["PeriodicSampler"]
+
+
+class PeriodicSampler:
+    """Samples ``probe()`` every ``period`` seconds into a time series.
+
+    Parameters
+    ----------
+    sim: the simulator to run on.
+    probe: zero-argument callable returning the instantaneous value.
+    period: sampling period in simulated seconds (e.g. ``0.02`` for 50 Hz).
+    start: absolute time of the first sample (default: creation time).
+
+    The sampler runs until :meth:`stop` is called or the simulation ends.
+    """
+
+    def __init__(self, sim: "Simulator", probe: Callable[[], float],
+                 period: float, start: float | None = None) -> None:
+        if period <= 0:
+            raise ValidationError("sampling period must be positive")
+        self.sim = sim
+        self.probe = probe
+        self.period = float(period)
+        self.series = TimeSeries()
+        self._stopped = False
+        delay = 0.0 if start is None else max(0.0, start - sim.now)
+        self._process = sim.process(self._run(delay))
+
+    def _run(self, initial_delay: float):
+        if initial_delay > 0:
+            yield self.sim.timeout(initial_delay)
+        try:
+            while not self._stopped:
+                self.series.append(self.sim.now, float(self.probe()))
+                yield self.sim.timeout(self.period)
+        except Interrupt:
+            return
+
+    def stop(self) -> None:
+        """Stop sampling; the series keeps all samples taken so far."""
+        if not self._stopped:
+            self._stopped = True
+            if self._process.is_alive:
+                self._process.interrupt("sampler stopped")

@@ -1,0 +1,111 @@
+"""Generator-coroutine processes.
+
+A process wraps a generator; every value it yields must be an
+:class:`~repro.sim.events.Event` (timeouts, plain events, other processes,
+or ``AnyOf``/``AllOf`` combinators).  The process resumes with the event's
+value when it fires, or has the exception thrown in if the event failed.
+A process is itself an event that succeeds with the generator's return
+value, so processes can wait on each other (join).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+__all__ = ["Process", "Interrupt"]
+
+
+class Interrupt(Exception):
+    """Thrown inside a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value given by the interrupter.
+    Used for fault injection (crashing a replica server mid-protocol).
+    """
+
+    def __init__(self, cause=None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """A running simulated activity; also an event (fires on completion)."""
+
+    def __init__(self, sim: "Simulator", generator: Generator) -> None:
+        super().__init__(sim)
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError("Process requires a generator")
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        # Kick off at the current instant (priority of a zero timeout).
+        start = Event(sim)
+        start.succeed()
+        start.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause=None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant.
+
+        No-op scheduling-wise if the process already finished (raises), and
+        the event the process was waiting on is abandoned.
+        """
+        if self.triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        ev = Event(self.sim)
+        ev.fail(Interrupt(cause))
+        ev.defused = True
+        # Detach from whatever the process was waiting on.
+        waiting = self._waiting_on
+        if waiting is not None and waiting.callbacks is not None:
+            try:
+                waiting.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        ev.add_callback(self._resume)
+
+    # -- engine plumbing ------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event.ok:
+                target = self._generator.send(event.value)
+            else:
+                # Mark handled so the engine does not re-raise it.
+                event.defused = True
+                target = self._generator.throw(event.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt as exc:
+            # An unhandled interrupt terminates the process "successfully
+            # killed": fail the process event so joiners see it.
+            self.fail(exc)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self._generator.close()
+            self.fail(SimulationError(f"process yielded non-event {target!r}"))
+            return
+        if target.processed:
+            # Already fired & processed: resume at the current instant.
+            relay = Event(self.sim)
+            if target.ok:
+                relay.succeed(target.value)
+            else:
+                relay.fail(target.value)
+                relay.defused = True
+            target = relay
+        self._waiting_on = target
+        target.add_callback(self._resume)

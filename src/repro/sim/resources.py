@@ -1,0 +1,112 @@
+"""Shared resources for simulated processes: FIFO stores and semaphores.
+
+``Store`` is the mailbox primitive the EDR protocol uses — each listener
+thread in the paper's multithreaded server maps to a process blocked on a
+store ``get``.  ``Resource`` is a counting semaphore used e.g. to model a
+bounded pool of download slots.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+__all__ = ["Store", "Resource"]
+
+
+class Store:
+    """Unbounded FIFO queue of items with blocking ``get``.
+
+    ``put`` never blocks (the network substrate applies backpressure
+    elsewhere, through bandwidth-limited flows); ``get`` returns an event
+    that fires with the oldest item once one is available.  Pending getters
+    are served in request order.
+    """
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._items: Deque = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item) -> None:
+        """Deposit ``item``; wakes the oldest waiting getter, if any."""
+        while self._getters:
+            getter = self._getters.popleft()
+            if getter.triggered:  # abandoned (e.g. waiter interrupted)
+                continue
+            getter.succeed(item)
+            return
+        self._items.append(item)
+
+    def get(self) -> Event:
+        """Event that fires with the next item (immediately if available)."""
+        ev = Event(self.sim)
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self):
+        """Pop and return the oldest item, or ``None`` if empty (non-blocking)."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+
+class Resource:
+    """Counting semaphore with FIFO handoff.
+
+    ``request()`` yields an event that fires when a unit is granted;
+    ``release()`` returns one unit.  Used to bound concurrency (e.g. a
+    replica's simultaneous FileDownload workers).
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int) -> None:
+        if capacity < 1:
+            raise SimulationError("Resource capacity must be >= 1")
+        self.sim = sim
+        self.capacity = int(capacity)
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Units currently granted."""
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        """Units currently free."""
+        return self.capacity - self._in_use
+
+    def request(self) -> Event:
+        """Event that fires when a unit is granted to the caller."""
+        ev = Event(self.sim)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Return one unit; grants it to the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without matching request()")
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if waiter.triggered:
+                continue
+            waiter.succeed()
+            return
+        self._in_use -= 1

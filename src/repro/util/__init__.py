@@ -1,0 +1,29 @@
+"""Shared utilities: RNG streams, time series, validation, stats, tables."""
+
+from repro.util.rng import RngFactory, make_rng
+from repro.util.timeseries import TimeSeries
+from repro.util.validation import (
+    check_finite,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+    check_shape,
+)
+from repro.util.stats import Summary, summarize, percentile
+from repro.util.tables import render_table, render_series
+
+__all__ = [
+    "RngFactory",
+    "make_rng",
+    "TimeSeries",
+    "check_finite",
+    "check_nonnegative",
+    "check_positive",
+    "check_probability",
+    "check_shape",
+    "Summary",
+    "summarize",
+    "percentile",
+    "render_table",
+    "render_series",
+]

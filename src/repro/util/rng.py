@@ -1,0 +1,96 @@
+"""Deterministic random-number streams.
+
+Every stochastic component in the library draws from a
+:class:`numpy.random.Generator` obtained through :class:`RngFactory`, which
+derives independent child streams from a single root seed using NumPy's
+``SeedSequence`` spawning.  Two runs with the same root seed therefore
+produce bit-identical traces regardless of the order in which components
+are constructed, because children are keyed by *name* rather than by
+creation order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["RngFactory", "make_rng"]
+
+
+def _key_to_ints(key: str) -> list[int]:
+    """Map a stream name to a stable list of 32-bit integers."""
+    data = key.encode("utf-8")
+    # Pack bytes into uint32 words; pad with the length to avoid collisions
+    # between e.g. "ab" + padding and "ab\x00\x00".
+    words = [len(data)]
+    for i in range(0, len(data), 4):
+        chunk = data[i:i + 4].ljust(4, b"\x00")
+        words.append(int.from_bytes(chunk, "little"))
+    return words
+
+
+def make_rng(seed: int | None = 0) -> np.random.Generator:
+    """Return a fresh :class:`numpy.random.Generator` for ``seed``."""
+    return np.random.default_rng(seed)
+
+
+class RngFactory:
+    """Derives named, independent random streams from one root seed.
+
+    Parameters
+    ----------
+    seed:
+        Root seed.  ``None`` gives OS entropy (not reproducible); every
+        experiment in this repository passes an explicit integer.
+
+    Examples
+    --------
+    >>> f = RngFactory(1234)
+    >>> a = f.stream("workload")
+    >>> b = f.stream("prices")
+    >>> a is not b
+    True
+    >>> f2 = RngFactory(1234)
+    >>> float(a.random()) == float(f2.stream("workload").random())
+    True
+    """
+
+    def __init__(self, seed: int | None = 0) -> None:
+        self._seed = seed
+        self._root = np.random.SeedSequence(seed)
+
+    @property
+    def seed(self) -> int | None:
+        """The root seed this factory was constructed with."""
+        return self._seed
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return a generator for the named stream.
+
+        Calling ``stream`` twice with the same name returns two generators
+        with identical state (same sequence), so components should call it
+        once and keep the result.
+        """
+        child = np.random.SeedSequence(
+            entropy=self._root.entropy,
+            spawn_key=tuple(self._root.spawn_key) + tuple(_key_to_ints(name)),
+        )
+        return np.random.default_rng(child)
+
+    def streams(self, names: Iterable[str]) -> dict[str, np.random.Generator]:
+        """Return a dict of named streams, one per entry of ``names``."""
+        return {n: self.stream(n) for n in names}
+
+    def child(self, name: str) -> "RngFactory":
+        """Return a sub-factory whose streams are namespaced under ``name``."""
+        sub = RngFactory.__new__(RngFactory)
+        sub._seed = self._seed
+        sub._root = np.random.SeedSequence(
+            entropy=self._root.entropy,
+            spawn_key=tuple(_key_to_ints("ns:" + name)),
+        )
+        return sub
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RngFactory(seed={self._seed!r})"

@@ -1,0 +1,74 @@
+"""ASCII sparklines for rendering time series in terminal reports.
+
+The benchmark harness is terminal-first; the paper's Figs. 3-4 are
+per-replica power *time series*, so the reports render each profile as a
+sparkline row in addition to the summary statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.util.timeseries import TimeSeries
+
+__all__ = ["sparkline", "profile_panel"]
+
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, width: int = 60, lo: float | None = None,
+              hi: float | None = None) -> str:
+    """Render ``values`` as a fixed-width unicode sparkline.
+
+    Values are bucketed to ``width`` columns (bucket mean) and scaled
+    into ``[lo, hi]`` (data range by default).
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return " " * width
+    if width < 1:
+        raise ValidationError("width must be >= 1")
+    if arr.size >= width:
+        # Bucket means; with size >= width every bucket is nonempty.
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        cols = np.array([arr[edges[i]:edges[i + 1]].mean()
+                         for i in range(width)])
+    else:
+        # Sample-and-hold: stretch the few points across the width.
+        pick = np.minimum((np.arange(width) * arr.size) // width,
+                          arr.size - 1)
+        cols = arr[pick]
+    cols = cols.astype(float)
+    lo = float(np.nanmin(cols)) if lo is None else float(lo)
+    hi = float(np.nanmax(cols)) if hi is None else float(hi)
+    if hi <= lo:
+        return _BARS[1] * width
+    idx = np.clip(((cols - lo) / (hi - lo) * (len(_BARS) - 1)).round(),
+                  0, len(_BARS) - 1).astype(int)
+    return "".join(_BARS[i] for i in idx)
+
+
+def profile_panel(profiles: dict[str, TimeSeries], width: int = 60,
+                  lo: float | None = None, hi: float | None = None,
+                  title: str | None = None) -> str:
+    """Render several named time series as aligned sparkline rows.
+
+    All rows share one vertical scale so shapes are comparable, matching
+    how the paper plots all eight replicas on common axes.
+    """
+    if not profiles:
+        raise ValidationError("no profiles to render")
+    if lo is None:
+        lo = min(s.min() for s in profiles.values() if len(s))
+    if hi is None:
+        hi = max(s.max() for s in profiles.values() if len(s))
+    name_w = max(len(n) for n in profiles)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{'':{name_w}}  scale: {lo:.1f} .. {hi:.1f} W")
+    for name, series in profiles.items():
+        spark = sparkline(series.values, width=width, lo=lo, hi=hi)
+        lines.append(f"{name:>{name_w}}  {spark}")
+    return "\n".join(lines)

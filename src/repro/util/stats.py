@@ -1,0 +1,57 @@
+"""Summary statistics for experiment reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["Summary", "summarize", "percentile"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    min: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    def __str__(self) -> str:
+        return (f"n={self.n} mean={self.mean:.4g} std={self.std:.4g} "
+                f"min={self.min:.4g} p50={self.p50:.4g} p95={self.p95:.4g} "
+                f"p99={self.p99:.4g} max={self.max:.4g}")
+
+
+def percentile(sample, q: float) -> float:
+    """The ``q``-th percentile (0..100) of ``sample`` (linear interpolation)."""
+    arr = np.asarray(sample, dtype=float)
+    if arr.size == 0:
+        raise ValidationError("percentile of empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValidationError("percentile q must lie in [0, 100]")
+    return float(np.percentile(arr, q))
+
+
+def summarize(sample) -> Summary:
+    """Compute a :class:`Summary` of a nonempty sample."""
+    arr = np.asarray(sample, dtype=float)
+    if arr.size == 0:
+        raise ValidationError("summarize of empty sample")
+    return Summary(
+        n=int(arr.size),
+        mean=float(np.mean(arr)),
+        std=float(np.std(arr)),
+        min=float(np.min(arr)),
+        p50=float(np.percentile(arr, 50)),
+        p95=float(np.percentile(arr, 95)),
+        p99=float(np.percentile(arr, 99)),
+        max=float(np.max(arr)),
+    )

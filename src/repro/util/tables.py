@@ -1,0 +1,61 @@
+"""Plain-text rendering of tables and figure series.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["render_table", "render_series"]
+
+
+def _fmt(value, ndigits: int = 4) -> str:
+    if isinstance(value, float):
+        return f"{value:.{ndigits}g}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str | None = None, ndigits: int = 4) -> str:
+    """Render rows as a fixed-width ASCII table.
+
+    Parameters
+    ----------
+    headers: column names.
+    rows: sequences of cells, one per row; floats are formatted to
+        ``ndigits`` significant digits.
+    title: optional caption printed above the table.
+    """
+    cells = [[_fmt(c, ndigits) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for row in cells:
+        out.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def render_series(series: Mapping[str, Sequence[float]],
+                  x: Sequence, x_label: str = "x",
+                  title: str | None = None, ndigits: int = 4) -> str:
+    """Render several named y-series against a shared x-axis as a table."""
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for i, xv in enumerate(x):
+        row = [xv]
+        for name in series:
+            ys = series[name]
+            row.append(ys[i] if i < len(ys) else float("nan"))
+        rows.append(row)
+    return render_table(headers, rows, title=title, ndigits=ndigits)

@@ -1,0 +1,196 @@
+"""A small append-friendly time-series container.
+
+Used throughout the cluster emulation for power profiles (watts vs. seconds)
+and by the metrics layer for energy integration.  Samples are kept in growing
+NumPy buffers (amortized O(1) append) and exposed as views, per the
+"views, not copies" guidance for numeric Python.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["TimeSeries"]
+
+_INITIAL_CAPACITY = 64
+
+
+class TimeSeries:
+    """Monotone-time sequence of ``(t, value)`` samples.
+
+    Parameters
+    ----------
+    times, values:
+        Optional initial samples; ``times`` must be nondecreasing.
+
+    Notes
+    -----
+    * ``append`` enforces nondecreasing time stamps — simulation monitors
+      sample forward in time only.
+    * :meth:`integrate` uses step ("zero-order hold") integration by
+      default, matching how a PDU sample stream is turned into energy:
+      the instrument reports the power level that held *since the previous
+      sample*.  Trapezoidal integration is available for smooth signals.
+    """
+
+    def __init__(self, times: Iterable[float] = (), values: Iterable[float] = ()) -> None:
+        t = np.asarray(list(times), dtype=float)
+        v = np.asarray(list(values), dtype=float)
+        if t.shape != v.shape:
+            raise ValidationError("times and values must have equal length")
+        if t.size > 1 and np.any(np.diff(t) < 0):
+            raise ValidationError("times must be nondecreasing")
+        cap = max(_INITIAL_CAPACITY, t.size)
+        self._t = np.empty(cap, dtype=float)
+        self._v = np.empty(cap, dtype=float)
+        self._n = t.size
+        self._t[: t.size] = t
+        self._v[: t.size] = v
+
+    # -- container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return self._n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._n == 0:
+            return "TimeSeries(empty)"
+        return (f"TimeSeries(n={self._n}, t=[{self._t[0]:g}, "
+                f"{self._t[self._n - 1]:g}])")
+
+    @property
+    def times(self) -> np.ndarray:
+        """View of the time stamps (do not mutate)."""
+        return self._t[: self._n]
+
+    @property
+    def values(self) -> np.ndarray:
+        """View of the sample values (do not mutate)."""
+        return self._v[: self._n]
+
+    # -- building -----------------------------------------------------------
+    def append(self, t: float, value: float) -> None:
+        """Append one sample; ``t`` must be >= the last time stamp."""
+        if self._n and t < self._t[self._n - 1]:
+            raise ValidationError(
+                f"time {t} precedes last sample {self._t[self._n - 1]}")
+        if self._n == self._t.size:
+            self._grow()
+        self._t[self._n] = t
+        self._v[self._n] = value
+        self._n += 1
+
+    def extend(self, times: Iterable[float], values: Iterable[float]) -> None:
+        """Append many samples (pairwise)."""
+        for t, v in zip(times, values):
+            self.append(t, v)
+
+    def _grow(self) -> None:
+        cap = max(_INITIAL_CAPACITY, self._t.size * 2)
+        t = np.empty(cap, dtype=float)
+        v = np.empty(cap, dtype=float)
+        t[: self._n] = self._t[: self._n]
+        v[: self._n] = self._v[: self._n]
+        self._t, self._v = t, v
+
+    # -- analysis -----------------------------------------------------------
+    def integrate(self, method: str = "step") -> float:
+        """Integral of value over time.
+
+        ``method="step"`` holds each sample until the next time stamp
+        (zero-order hold; the last sample contributes nothing).
+        ``method="trapezoid"`` uses the trapezoid rule.
+        """
+        if self._n < 2:
+            return 0.0
+        t = self._t[: self._n]
+        v = self._v[: self._n]
+        dt = np.diff(t)
+        if method == "step":
+            return float(np.sum(v[:-1] * dt))
+        if method == "trapezoid":
+            trapezoid = getattr(np, "trapezoid", None) or np.trapz
+            return float(trapezoid(v, t))
+        raise ValidationError(f"unknown integration method {method!r}")
+
+    def integrate_between(self, t0: float, t1: float) -> float:
+        """Exact zero-order-hold integral over ``[t0, t1]``.
+
+        Unlike ``window(...).integrate("step")`` this accounts for the
+        partial spans at both ends: each sample's value holds until the
+        next sample (or ``t1``), and time before the first sample
+        contributes zero.
+        """
+        if t1 < t0:
+            raise ValidationError("integrate_between requires t0 <= t1")
+        if self._n == 0 or t1 <= self._t[0]:
+            return 0.0
+        t = self._t[: self._n]
+        v = self._v[: self._n]
+        start = max(t0, float(t[0]))
+        # Breakpoints: start, interior sample times, end.
+        lo = int(np.searchsorted(t, start, side="right"))
+        hi = int(np.searchsorted(t, t1, side="left"))
+        points = np.concatenate(([start], t[lo:hi], [t1]))
+        # Value held on [points[i], points[i+1]) is value_at(points[i]).
+        idx = np.clip(np.searchsorted(t, points[:-1], side="right") - 1,
+                      0, self._n - 1)
+        return float(np.sum(v[idx] * np.diff(points)))
+
+    def mean(self) -> float:
+        """Time-weighted mean value (step interpretation).
+
+        Falls back to the arithmetic mean when the series spans zero time.
+        """
+        if self._n == 0:
+            raise ValidationError("mean of empty TimeSeries")
+        span = self._t[self._n - 1] - self._t[0]
+        if span <= 0:
+            return float(np.mean(self._v[: self._n]))
+        return self.integrate("step") / span
+
+    def max(self) -> float:
+        """Maximum sample value."""
+        if self._n == 0:
+            raise ValidationError("max of empty TimeSeries")
+        return float(np.max(self._v[: self._n]))
+
+    def min(self) -> float:
+        """Minimum sample value."""
+        if self._n == 0:
+            raise ValidationError("min of empty TimeSeries")
+        return float(np.min(self._v[: self._n]))
+
+    def value_at(self, t: float) -> float:
+        """Sample value holding at time ``t`` (zero-order hold).
+
+        Returns the value of the latest sample with time stamp ``<= t``.
+        """
+        if self._n == 0:
+            raise ValidationError("value_at on empty TimeSeries")
+        idx = int(np.searchsorted(self._t[: self._n], t, side="right")) - 1
+        if idx < 0:
+            raise ValidationError(f"time {t} precedes first sample")
+        return float(self._v[idx])
+
+    def window(self, t0: float, t1: float) -> "TimeSeries":
+        """Samples with ``t0 <= t < t1`` as a new TimeSeries."""
+        if t1 < t0:
+            raise ValidationError("window requires t0 <= t1")
+        t = self._t[: self._n]
+        mask = (t >= t0) & (t < t1)
+        return TimeSeries(t[mask], self._v[: self._n][mask])
+
+    def resample(self, period: float) -> "TimeSeries":
+        """Zero-order-hold resample onto a uniform grid of ``period`` seconds."""
+        if period <= 0:
+            raise ValidationError("period must be positive")
+        if self._n == 0:
+            return TimeSeries()
+        t = self._t[: self._n]
+        grid = np.arange(t[0], t[-1] + period * 0.5, period)
+        idx = np.clip(np.searchsorted(t, grid, side="right") - 1, 0, self._n - 1)
+        return TimeSeries(grid, self._v[: self._n][idx])

@@ -1,0 +1,82 @@
+"""Argument-validation helpers.
+
+Numerical code fails late and confusingly when fed NaNs, negative
+capacities or mis-shaped matrices; these helpers make public entry points
+fail early with a uniform error type (:class:`repro.errors.ValidationError`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "check_finite",
+    "check_nonnegative",
+    "check_positive",
+    "check_probability",
+    "check_shape",
+    "as_float_array",
+]
+
+
+def as_float_array(x, name: str = "array") -> np.ndarray:
+    """Convert ``x`` to a float64 ndarray, rejecting non-numeric input."""
+    try:
+        arr = np.asarray(x, dtype=float)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} is not numeric: {exc}") from exc
+    return arr
+
+
+def check_finite(x, name: str = "value") -> np.ndarray:
+    """Require every element of ``x`` to be finite; return it as ndarray."""
+    arr = as_float_array(x, name)
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} contains NaN or infinity")
+    return arr
+
+
+def check_nonnegative(x, name: str = "value") -> np.ndarray:
+    """Require ``x`` finite and elementwise ``>= 0``; return it as ndarray."""
+    arr = check_finite(x, name)
+    if np.any(arr < 0):
+        raise ValidationError(f"{name} must be nonnegative, got min "
+                              f"{float(arr.min())}")
+    return arr
+
+
+def check_positive(x, name: str = "value") -> np.ndarray:
+    """Require ``x`` finite and elementwise ``> 0``; return it as ndarray."""
+    arr = check_finite(x, name)
+    if np.any(arr <= 0):
+        raise ValidationError(f"{name} must be strictly positive, got min "
+                              f"{float(arr.min())}")
+    return arr
+
+
+def check_probability(x, name: str = "value") -> float:
+    """Require scalar ``x`` in ``[0, 1]``; return it as float."""
+    val = float(check_finite(x, name))
+    if not 0.0 <= val <= 1.0:
+        raise ValidationError(f"{name} must lie in [0, 1], got {val}")
+    return val
+
+
+def check_shape(x, shape: Sequence[int], name: str = "array") -> np.ndarray:
+    """Require ``x`` to have exactly ``shape``; return it as ndarray.
+
+    A ``-1`` in ``shape`` matches any extent along that axis.
+    """
+    arr = as_float_array(x, name)
+    if arr.ndim != len(shape):
+        raise ValidationError(
+            f"{name} must have {len(shape)} dimensions, got {arr.ndim}")
+    for axis, (have, want) in enumerate(zip(arr.shape, shape)):
+        if want != -1 and have != want:
+            raise ValidationError(
+                f"{name} axis {axis} must have extent {want}, got {have}")
+    return arr

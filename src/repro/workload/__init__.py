@@ -1,0 +1,25 @@
+"""Workload generation: YouTube-patterned request streams for the two
+data-intensive applications the paper evaluates (video streaming at
+~100 MB/request, distributed file service at ~10 MB/request)."""
+
+from repro.workload.requests import Request, RequestTrace
+from repro.workload.apps import (
+    ApplicationProfile,
+    VIDEO_STREAMING,
+    FILE_SERVICE,
+)
+from repro.workload.youtube import YoutubeTrafficModel, ZipfPopularity
+from repro.workload.clients import ClientPopulation
+from repro.workload.generator import WorkloadGenerator
+
+__all__ = [
+    "Request",
+    "RequestTrace",
+    "ApplicationProfile",
+    "VIDEO_STREAMING",
+    "FILE_SERVICE",
+    "YoutubeTrafficModel",
+    "ZipfPopularity",
+    "ClientPopulation",
+    "WorkloadGenerator",
+]

@@ -1,0 +1,107 @@
+"""Trace analysis: verify a workload exhibits its configured statistics.
+
+Used by tests and by users validating their own traces against the
+paper's assumptions (YouTube-like arrival pattern, Zipf popularity,
+application request sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.workload.requests import RequestTrace
+
+__all__ = ["TraceStats", "analyze", "fit_zipf_exponent",
+           "arrival_rate_series"]
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """First-order statistics of a request trace."""
+
+    n_requests: int
+    n_clients: int
+    span: float
+    total_mb: float
+    mean_size_mb: float
+    mean_rate: float          # requests/second over the span
+    zipf_exponent: float      # fitted popularity skew (nan if < 10 objects)
+    client_balance: float     # max/mean of per-client request counts
+
+    def render(self) -> str:
+        return (f"requests={self.n_requests} clients={self.n_clients} "
+                f"span={self.span:.2f}s total={self.total_mb:.1f}MB "
+                f"mean_size={self.mean_size_mb:.2f}MB "
+                f"rate={self.mean_rate:.2f}/s "
+                f"zipf~{self.zipf_exponent:.2f} "
+                f"balance={self.client_balance:.2f}")
+
+
+def fit_zipf_exponent(object_ids, n_grid: int = 200) -> float:
+    """MLE fit of the Zipf exponent from observed object ids.
+
+    Grid-searches the discrete-Zipf log-likelihood over s in [0, 3];
+    object ids are ranks (0 = most popular), as produced by
+    :class:`~repro.workload.youtube.ZipfPopularity`.
+    """
+    ids = np.asarray(object_ids, dtype=int)
+    if ids.size == 0:
+        raise ValidationError("no object ids to fit")
+    n_objects = int(ids.max()) + 1
+    if n_objects < 2:
+        return 0.0
+    ranks = np.arange(1, n_objects + 1, dtype=float)
+    log_ranks = np.log(ranks)
+    observed = np.log(ids + 1.0)
+    best_s, best_ll = 0.0, -np.inf
+    for s in np.linspace(0.0, 3.0, n_grid):
+        log_z = np.log(np.sum(ranks ** (-s)))
+        ll = -s * float(observed.sum()) - ids.size * log_z
+        if ll > best_ll:
+            best_s, best_ll = s, ll
+    return best_s
+
+
+def arrival_rate_series(trace: RequestTrace, bins: int = 20):
+    """Requests/second per time bin — reveals the diurnal shape."""
+    if len(trace) == 0:
+        raise ValidationError("empty trace")
+    if bins < 1:
+        raise ValidationError("bins must be >= 1")
+    times = np.array([r.arrival for r in trace])
+    t0, t1 = times.min(), times.max()
+    if t1 <= t0:
+        return np.array([float(len(trace))])
+    counts, edges = np.histogram(times, bins=bins, range=(t0, t1))
+    return counts / np.diff(edges)
+
+
+def analyze(trace: RequestTrace) -> TraceStats:
+    """Compute :class:`TraceStats` for a nonempty trace."""
+    if len(trace) == 0:
+        raise ValidationError("empty trace")
+    sizes = np.array([r.size_mb for r in trace])
+    counts: dict[str, int] = {}
+    for r in trace:
+        counts[r.client] = counts.get(r.client, 0) + 1
+    per_client = np.array(list(counts.values()), dtype=float)
+    span = trace.span
+    object_ids = [r.object_id for r in trace]
+    try:
+        zipf = fit_zipf_exponent(object_ids) \
+            if max(object_ids) >= 9 else float("nan")
+    except ValidationError:
+        zipf = float("nan")
+    return TraceStats(
+        n_requests=len(trace),
+        n_clients=len(trace.clients),
+        span=span,
+        total_mb=trace.total_mb(),
+        mean_size_mb=float(sizes.mean()),
+        mean_rate=len(trace) / span if span > 0 else float("inf"),
+        zipf_exponent=zipf,
+        client_balance=float(per_client.max() / per_client.mean()),
+    )

@@ -1,0 +1,59 @@
+"""Application profiles.
+
+The paper evaluates two data-intensive applications (Sec. IV-A-2):
+
+* **video streaming** — ~100 MB per request;
+* **distributed file service (DFS)** — ~10 MB per request.
+
+Request sizes get mild lognormal jitter around the nominal size — a
+first-order match to the heavy-tailed sizes in the cited YouTube
+characterization (Gill et al., IMC'07) without changing the mean workload
+the paper specifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["ApplicationProfile", "VIDEO_STREAMING", "FILE_SERVICE"]
+
+
+@dataclass(frozen=True)
+class ApplicationProfile:
+    """Size distribution and identity of one application.
+
+    Attributes
+    ----------
+    name: application tag used on :class:`~repro.workload.requests.Request`.
+    mean_size_mb: nominal request size.
+    size_sigma: lognormal shape parameter for jitter (0 disables jitter).
+    """
+
+    name: str
+    mean_size_mb: float
+    size_sigma: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.mean_size_mb <= 0:
+            raise ValidationError("mean request size must be positive")
+        if self.size_sigma < 0:
+            raise ValidationError("size sigma must be nonnegative")
+
+    def sample_size(self, rng: np.random.Generator) -> float:
+        """Draw one request size in MB (mean preserved under jitter)."""
+        if self.size_sigma == 0:
+            return self.mean_size_mb
+        # Lognormal with E[X] = mean: mu = ln(mean) - sigma^2/2.
+        mu = np.log(self.mean_size_mb) - self.size_sigma ** 2 / 2.0
+        return float(rng.lognormal(mu, self.size_sigma))
+
+
+#: Video streaming: ~100 MB per request (Sec. IV-A-2).
+VIDEO_STREAMING = ApplicationProfile(name="video", mean_size_mb=100.0)
+
+#: Distributed file service: ~10 MB per request (Sec. IV-A-2).
+FILE_SERVICE = ApplicationProfile(name="dfs", mean_size_mb=10.0)

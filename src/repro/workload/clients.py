@@ -1,0 +1,60 @@
+"""Client populations.
+
+A :class:`ClientPopulation` names the client nodes and assigns each a
+traffic weight (how much of the arrival stream it originates).  Weights
+default to uniform; a skewed population models hot regions.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.util.validation import check_positive
+
+__all__ = ["ClientPopulation"]
+
+
+class ClientPopulation:
+    """Named clients with request-origination weights."""
+
+    def __init__(self, names: Sequence[str], weights: Sequence[float] | None = None) -> None:
+        if len(names) < 1:
+            raise ValidationError("need at least one client")
+        if len(set(names)) != len(names):
+            raise ValidationError("duplicate client names")
+        self._names = tuple(str(n) for n in names)
+        if weights is None:
+            w = np.full(len(self._names), 1.0)
+        else:
+            w = check_positive(weights, "weights")
+            if w.shape != (len(self._names),):
+                raise ValidationError("weights length must match names")
+        self._probs = w / w.sum()
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Client node names."""
+        return self._names
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Per-client origination probability (sums to 1)."""
+        return self._probs
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        """Draw originating client name(s) for arrivals."""
+        idx = rng.choice(len(self._names), size=size, p=self._probs)
+        if size is None:
+            return self._names[int(idx)]
+        return [self._names[int(i)] for i in np.atleast_1d(idx)]
+
+    @classmethod
+    def uniform(cls, n: int, prefix: str = "client") -> "ClientPopulation":
+        """``n`` equally weighted clients named ``{prefix}{i}``."""
+        return cls([f"{prefix}{i}" for i in range(n)])

@@ -1,0 +1,103 @@
+"""End-to-end workload generation.
+
+Combines the diurnal arrival process, the client population, the
+application size profile and Zipf popularity into a
+:class:`~repro.workload.requests.RequestTrace`, plus CSV-ish export /
+replay so experiments can pin an exact trace.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.workload.apps import ApplicationProfile
+from repro.workload.clients import ClientPopulation
+from repro.workload.requests import Request, RequestTrace
+from repro.workload.youtube import YoutubeTrafficModel, ZipfPopularity
+
+__all__ = ["WorkloadGenerator"]
+
+
+class WorkloadGenerator:
+    """Generates YouTube-patterned request traces.
+
+    Parameters
+    ----------
+    traffic: the arrival-rate model.
+    clients: who originates requests.
+    app: request-size profile (video streaming or DFS).
+    popularity: object popularity (defaults to Zipf(1.0) over 1000 objects).
+    """
+
+    def __init__(self, traffic: YoutubeTrafficModel, clients: ClientPopulation,
+                 app: ApplicationProfile,
+                 popularity: ZipfPopularity | None = None) -> None:
+        self.traffic = traffic
+        self.clients = clients
+        self.app = app
+        self.popularity = popularity or ZipfPopularity(1000, 1.0)
+
+    def generate(self, rng: np.random.Generator, t0: float = 0.0,
+                 t1: float | None = None, *, count: int | None = None) -> RequestTrace:
+        """Generate a trace over ``[t0, t1)``, or exactly ``count`` requests.
+
+        Exactly one of ``t1`` / ``count`` must be given.  With ``count``,
+        arrivals are drawn from the same process and truncated/extended to
+        the requested number (used by the Fig. 9 request-count sweep).
+        """
+        if (t1 is None) == (count is None):
+            raise ValidationError("provide exactly one of t1 or count")
+        if t1 is not None:
+            times = self.traffic.arrivals(rng, t0, t1)
+        else:
+            times_list: list[float] = []
+            horizon = t0
+            # Expand the window until enough arrivals, then truncate.
+            chunk = max(1.0, count / self.traffic.base_rate)
+            while len(times_list) < count:
+                new = self.traffic.arrivals(rng, horizon, horizon + chunk)
+                times_list.extend(new.tolist())
+                horizon += chunk
+            times = np.asarray(times_list[:count])
+        n = len(times)
+        origins = self.clients.sample(rng, size=n) if n else []
+        objects = self.popularity.sample(rng, size=n) if n else []
+        requests = [
+            Request(client=origins[i], arrival=float(times[i]),
+                    size_mb=self.app.sample_size(rng), app=self.app.name,
+                    object_id=int(objects[i]))
+            for i in range(n)
+        ]
+        return RequestTrace(requests)
+
+    # -- trace (de)serialization ------------------------------------------------
+    @staticmethod
+    def dump(trace: RequestTrace) -> str:
+        """Serialize a trace to a CSV string (header + one row per request)."""
+        buf = io.StringIO()
+        buf.write("client,arrival,size_mb,app,object_id\n")
+        for r in trace:
+            buf.write(f"{r.client},{r.arrival!r},{r.size_mb!r},{r.app},"
+                      f"{r.object_id}\n")
+        return buf.getvalue()
+
+    @staticmethod
+    def load(text: str) -> RequestTrace:
+        """Parse a trace produced by :meth:`dump`."""
+        lines = [l for l in text.strip().splitlines() if l]
+        if not lines or lines[0] != "client,arrival,size_mb,app,object_id":
+            raise ValidationError("bad trace header")
+        requests = []
+        for line in lines[1:]:
+            parts = line.split(",")
+            if len(parts) != 5:
+                raise ValidationError(f"bad trace row: {line!r}")
+            requests.append(Request(
+                client=parts[0], arrival=float(parts[1]),
+                size_mb=float(parts[2]), app=parts[3],
+                object_id=int(parts[4])))
+        return RequestTrace(requests)

@@ -1,0 +1,98 @@
+"""Request records and traces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["Request", "RequestTrace"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client request for a replicated object.
+
+    Attributes
+    ----------
+    client: requesting client's node name.
+    arrival: arrival time in simulated seconds.
+    size_mb: requested data volume in MB (``R_c`` contribution).
+    app: application tag (``"video"`` / ``"dfs"``).
+    object_id: which replicated object is requested (Zipf-popular).
+    """
+
+    client: str
+    arrival: float
+    size_mb: float
+    app: str
+    object_id: int = 0
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0:
+            raise ValidationError("arrival time must be nonnegative")
+        if self.size_mb <= 0:
+            raise ValidationError("request size must be positive")
+
+
+class RequestTrace:
+    """An ordered collection of requests with aggregate views.
+
+    Iterable in arrival order; provides the per-client demand vector
+    ``R_c`` the optimization layer consumes.
+    """
+
+    def __init__(self, requests: Iterable[Request]) -> None:
+        reqs = sorted(requests, key=lambda r: (r.arrival, r.client))
+        self._requests: tuple[Request, ...] = tuple(reqs)
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self._requests)
+
+    def __getitem__(self, i: int) -> Request:
+        return self._requests[i]
+
+    @property
+    def clients(self) -> tuple[str, ...]:
+        """Distinct client names, sorted."""
+        return tuple(sorted({r.client for r in self._requests}))
+
+    @property
+    def span(self) -> float:
+        """Time between first and last arrival (0 for <2 requests)."""
+        if len(self._requests) < 2:
+            return 0.0
+        return self._requests[-1].arrival - self._requests[0].arrival
+
+    def total_mb(self) -> float:
+        """Total requested volume."""
+        return sum(r.size_mb for r in self._requests)
+
+    def demand_vector(self, clients: Sequence[str]) -> np.ndarray:
+        """Aggregate demand ``R_c`` (MB) per client, in ``clients`` order.
+
+        Clients absent from the trace get zero demand.
+        """
+        demand = {c: 0.0 for c in clients}
+        for r in self._requests:
+            if r.client in demand:
+                demand[r.client] += r.size_mb
+            else:
+                raise ValidationError(
+                    f"trace contains unknown client {r.client!r}")
+        return np.array([demand[c] for c in clients], dtype=float)
+
+    def window(self, t0: float, t1: float) -> "RequestTrace":
+        """Requests with ``t0 <= arrival < t1``."""
+        return RequestTrace(r for r in self._requests
+                            if t0 <= r.arrival < t1)
+
+    def by_app(self, app: str) -> "RequestTrace":
+        """Requests of one application type."""
+        return RequestTrace(r for r in self._requests if r.app == app)

@@ -1,0 +1,123 @@
+"""YouTube-like traffic model (Gill et al., IMC'07).
+
+The paper drives its experiments with "the pattern of data-intensive
+requests following YouTube commercial workload patterns".  The cited
+characterization's first-order properties are:
+
+* a strong *diurnal* arrival-rate cycle (evening peak, early-morning
+  trough, peak-to-trough ratio around 2-5x);
+* *Zipf-like content popularity* with exponent near 1.
+
+:class:`YoutubeTrafficModel` provides a non-homogeneous Poisson arrival
+process (sampled exactly by thinning) with a sinusoidal diurnal rate, and
+:class:`ZipfPopularity` provides the object popularity distribution.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["YoutubeTrafficModel", "ZipfPopularity"]
+
+_DAY_SECONDS = 86400.0
+
+
+class ZipfPopularity:
+    """Zipf(s) popularity over a finite catalog of objects.
+
+    ``pmf(k) ∝ 1 / (k+1)**s`` for ``k = 0..n_objects-1``.
+    """
+
+    def __init__(self, n_objects: int, exponent: float = 1.0) -> None:
+        if n_objects < 1:
+            raise ValidationError("catalog needs at least one object")
+        if exponent < 0:
+            raise ValidationError("Zipf exponent must be nonnegative")
+        self.n_objects = int(n_objects)
+        self.exponent = float(exponent)
+        ranks = np.arange(1, self.n_objects + 1, dtype=float)
+        weights = ranks ** (-self.exponent)
+        self._pmf = weights / weights.sum()
+        self._cdf = np.cumsum(self._pmf)
+
+    @property
+    def pmf(self) -> np.ndarray:
+        """Probability of each object id, most popular first."""
+        return self._pmf
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        """Draw object id(s) by inverse-CDF."""
+        u = rng.random(size)
+        return np.searchsorted(self._cdf, u, side="right")
+
+
+class YoutubeTrafficModel:
+    """Diurnal non-homogeneous Poisson arrival process.
+
+    Instantaneous rate (requests/second):
+
+        rate(t) = base_rate * (1 + amplitude * sin(2*pi*(t/day) + phase))
+
+    Parameters
+    ----------
+    base_rate: mean arrival rate over a full day.
+    amplitude: relative swing in [0, 1); 0.6 gives a ~4x peak/trough
+        ratio, matching the cited characterization.
+    period: cycle length in seconds (a day by default; experiments often
+        compress it so a run covers a full cycle).
+    phase: radians offset of the peak.
+    """
+
+    def __init__(self, base_rate: float, amplitude: float = 0.6,
+                 period: float = _DAY_SECONDS, phase: float = 0.0) -> None:
+        if base_rate <= 0:
+            raise ValidationError("base_rate must be positive")
+        if not 0.0 <= amplitude < 1.0:
+            raise ValidationError("amplitude must lie in [0, 1)")
+        if period <= 0:
+            raise ValidationError("period must be positive")
+        self.base_rate = float(base_rate)
+        self.amplitude = float(amplitude)
+        self.period = float(period)
+        self.phase = float(phase)
+
+    def rate(self, t: float) -> float:
+        """Instantaneous arrival rate at time ``t``."""
+        return self.base_rate * (
+            1.0 + self.amplitude * math.sin(
+                2.0 * math.pi * t / self.period + self.phase))
+
+    @property
+    def peak_rate(self) -> float:
+        """Upper bound on the instantaneous rate (thinning envelope)."""
+        return self.base_rate * (1.0 + self.amplitude)
+
+    def arrivals(self, rng: np.random.Generator, t0: float, t1: float) -> np.ndarray:
+        """Exact arrival times in ``[t0, t1)`` by Lewis-Shedler thinning."""
+        if t1 < t0:
+            raise ValidationError("need t0 <= t1")
+        out: list[float] = []
+        lam_max = self.peak_rate
+        t = t0
+        while True:
+            t += rng.exponential(1.0 / lam_max)
+            if t >= t1:
+                break
+            if rng.random() * lam_max <= self.rate(t):
+                out.append(t)
+        return np.asarray(out, dtype=float)
+
+    def expected_count(self, t0: float, t1: float, n_grid: int = 2048) -> float:
+        """Integral of the rate over ``[t0, t1]`` (trapezoid on a grid)."""
+        if t1 < t0:
+            raise ValidationError("need t0 <= t1")
+        ts = np.linspace(t0, t1, n_grid)
+        rates = self.base_rate * (
+            1.0 + self.amplitude * np.sin(
+                2.0 * np.pi * ts / self.period + self.phase))
+        trapezoid = getattr(np, "trapezoid", None) or np.trapz
+        return float(trapezoid(rates, ts))

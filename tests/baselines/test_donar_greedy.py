@@ -1,0 +1,144 @@
+"""Tests for the DONAR reimplementation and the price-greedy ablation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.donar import DonarSolver, solve_donar
+from repro.baselines.greedy import solve_price_greedy
+from repro.core.params import ProblemData
+from repro.core.problem import ReplicaSelectionProblem
+from repro.errors import InfeasibleProblemError, ValidationError
+
+
+def latency(C, N, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.0001, 0.0015, size=(C, N))
+
+
+class TestDonarValidation:
+    def test_bad_shapes(self):
+        with pytest.raises(ValidationError):
+            DonarSolver(np.zeros(3), [1.0], [1.0])
+        with pytest.raises(ValidationError):
+            DonarSolver(np.zeros((2, 2)), [1.0], [1.0, 1.0])
+        with pytest.raises(ValidationError):
+            DonarSolver(np.zeros((2, 2)), [1.0, 1.0], [1.0])
+        with pytest.raises(ValidationError):
+            DonarSolver(np.zeros((2, 2)), [1.0, 1.0], [1.0, 1.0],
+                        mask=np.ones((1, 2), dtype=bool))
+        with pytest.raises(ValidationError):
+            DonarSolver(np.zeros((2, 2)), [1.0, 1.0], [1.0, 1.0],
+                        split_weights=[0.0, 0.0])
+        with pytest.raises(ValidationError):
+            DonarSolver(np.zeros((2, 2)), [1.0, 1.0], [1.0, 1.0],
+                        n_mapping_nodes=0)
+        with pytest.raises(ValidationError):
+            DonarSolver(np.zeros((2, 2)), [1.0, 1.0], [1.0, 1.0], lam=-1)
+
+    def test_orphan_client(self):
+        mask = np.array([[False, False]])
+        solver = DonarSolver(np.zeros((1, 2)), [5.0], [10.0, 10.0], mask=mask)
+        with pytest.raises(InfeasibleProblemError):
+            solver.solve()
+
+
+class TestDonarBehavior:
+    def test_demands_met_exactly(self):
+        C, N = 6, 3
+        sol = solve_donar(latency(C, N), np.full(C, 20.0), np.full(N, 100.0))
+        assert np.allclose(sol.allocation.sum(axis=1), 20.0, atol=1e-8)
+        assert np.all(sol.allocation >= -1e-10)
+
+    def test_capacity_respected(self):
+        C, N = 8, 2
+        sol = solve_donar(latency(C, N), np.full(C, 20.0),
+                          np.array([90.0, 100.0]))
+        loads = sol.allocation.sum(axis=0)
+        assert loads[0] <= 90.0 + 1e-6
+        assert loads[1] <= 100.0 + 1e-6
+
+    def test_prefers_low_latency(self):
+        # One client, replica 0 much closer: most load should go there.
+        cost = np.array([[0.0001, 0.0100]])
+        sol = solve_donar(cost, [10.0], [100.0, 100.0], lam=0.0)
+        assert sol.allocation[0, 0] > sol.allocation[0, 1]
+
+    def test_split_weights_steer_load(self):
+        cost = np.zeros((4, 2))  # no latency preference
+        sol = solve_donar(cost, np.full(4, 10.0), np.full(2, 100.0),
+                          split_weights=[0.8, 0.2], lam=10.0)
+        loads = sol.allocation.sum(axis=0)
+        assert loads[0] > loads[1]
+        assert loads[0] == pytest.approx(0.8 * 40.0, rel=0.15)
+
+    def test_objective_decreases(self):
+        sol = solve_donar(latency(10, 3, seed=2), np.full(10, 15.0),
+                          np.full(3, 100.0))
+        hist = sol.objective_history
+        assert hist[-1] <= hist[0] + 1e-9
+
+    def test_energy_oblivious(self):
+        """DONAR's allocation is independent of electricity prices — the
+        property that distinguishes it from EDR."""
+        cost = latency(5, 3, seed=4)
+        a = solve_donar(cost, np.full(5, 10.0), np.full(3, 100.0))
+        b = solve_donar(cost, np.full(5, 10.0), np.full(3, 100.0))
+        assert np.allclose(a.allocation, b.allocation)  # no price input at all
+
+    def test_mapping_node_counts_affect_messages(self):
+        cost = latency(6, 3)
+        a = solve_donar(cost, np.full(6, 10.0), np.full(3, 100.0),
+                        n_mapping_nodes=2, sweeps=5)
+        b = solve_donar(cost, np.full(6, 10.0), np.full(3, 100.0),
+                        n_mapping_nodes=4, sweeps=5)
+        assert b.messages > a.messages
+
+    def test_single_mapping_node(self):
+        sol = solve_donar(latency(3, 2), np.full(3, 5.0), np.full(2, 50.0),
+                          n_mapping_nodes=1)
+        assert np.allclose(sol.allocation.sum(axis=1), 5.0, atol=1e-8)
+
+    def test_more_mapping_nodes_than_clients(self):
+        sol = solve_donar(latency(2, 2), np.full(2, 5.0), np.full(2, 50.0),
+                          n_mapping_nodes=5)
+        assert np.allclose(sol.allocation.sum(axis=1), 5.0, atol=1e-8)
+
+
+class TestPriceGreedy:
+    def _problem(self):
+        data = ProblemData.paper_defaults(
+            [40.0, 40.0, 40.0], prices=[1, 8, 1, 6, 1, 5, 2, 3])
+        return ReplicaSelectionProblem(data)
+
+    def test_feasible(self):
+        prob = self._problem()
+        sol = solve_price_greedy(prob)
+        assert prob.violation(sol.allocation) < 1e-6
+
+    def test_concentrates_on_cheap(self):
+        prob = self._problem()
+        sol = solve_price_greedy(prob)
+        loads = sol.loads
+        # Cheapest replicas (indices 0, 2, 4 at price 1) take the load.
+        assert loads[0] + loads[2] + loads[4] > 0.9 * prob.data.R.sum()
+
+    def test_beats_round_robin_but_loses_to_lddm(self):
+        from repro.baselines.round_robin import solve_round_robin
+        from repro.core.lddm import solve_lddm
+        prob = self._problem()
+        rr = solve_round_robin(prob).objective
+        greedy = solve_price_greedy(prob).objective
+        lddm = solve_lddm(prob).objective
+        assert lddm <= greedy + 1e-6
+
+    def test_respects_mask(self):
+        mask = np.array([[True, False], [True, True]])
+        data = ProblemData.paper_defaults([10.0, 10.0], prices=[9.0, 1.0],
+                                          mask=mask)
+        sol = solve_price_greedy(ReplicaSelectionProblem(data))
+        assert sol.allocation[0, 1] == 0.0
+
+    def test_infeasible_raises(self):
+        data = ProblemData.paper_defaults([5000.0], prices=[1.0])
+        with pytest.raises(InfeasibleProblemError):
+            solve_price_greedy(ReplicaSelectionProblem(data))

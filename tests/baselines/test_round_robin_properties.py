@@ -1,0 +1,42 @@
+"""Fairness properties of the Round-Robin scheduler."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.round_robin import RoundRobinScheduler
+from repro.workload.requests import Request
+
+
+class TestFairness:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 8), st.integers(1, 60))
+    def test_property_counts_balanced_with_uniform_sizes(self, n_replicas,
+                                                         n_requests):
+        """With ample capacity and full eligibility, per-replica request
+        counts differ by at most one — the definition of cyclic fairness."""
+        sched = RoundRobinScheduler(
+            [f"r{i}" for i in range(n_replicas)],
+            np.full(n_replicas, 1e9))
+        counts = {f"r{i}": 0 for i in range(n_replicas)}
+        for k in range(n_requests):
+            pick = sched.assign(Request(client="c", arrival=float(k),
+                                        size_mb=1.0, app="dfs"))
+            counts[pick] += 1
+        values = list(counts.values())
+        assert max(values) - min(values) <= 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 5000))
+    def test_property_assignment_respects_eligibility(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 6))
+        names = [f"r{i}" for i in range(n)]
+        elig = rng.random(n) < 0.6
+        if not elig.any():
+            elig[int(rng.integers(n))] = True
+        sched = RoundRobinScheduler(names, np.full(n, 1e9),
+                                    eligibility={"c": elig})
+        for k in range(20):
+            pick = sched.assign(Request(client="c", arrival=float(k),
+                                        size_mb=1.0, app="dfs"))
+            assert elig[names.index(pick)]

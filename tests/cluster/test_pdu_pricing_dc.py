@@ -1,0 +1,161 @@
+"""Tests for PDU sampling, pricing, and datacenter equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster.datacenter import (
+    ReplicaSite,
+    apply_pue,
+    datacenter_energy,
+    single_node_energy,
+)
+from repro.cluster.node import NodeActivity, ReplicaNode
+from repro.cluster.pdu import PowerSampler
+from repro.cluster.pricing import (
+    JOULES_PER_KWH,
+    PAPER_PRICES,
+    ElectricityPricing,
+    random_prices,
+)
+from repro.errors import ValidationError
+from repro.sim.engine import Simulator
+from repro.util.rng import make_rng
+
+
+class TestPowerSampler:
+    def test_sampling_rate(self):
+        sim = Simulator()
+        node = ReplicaNode("r0")
+        pdu = PowerSampler(sim, node, rate_hz=50.0)
+        sim.run(until=1.0)
+        pdu.stop()
+        # 50 Hz over [0, 1]: 50 or 51 samples depending on float rounding
+        # of the accumulated 0.02 s period at the horizon.
+        assert len(pdu.profile) in (50, 51)
+
+    def test_energy_of_constant_power(self):
+        sim = Simulator()
+        node = ReplicaNode("r0")  # idle: 215.5 W (idle + 5% cpu)
+        pdu = PowerSampler(sim, node, rate_hz=10.0)
+        sim.run(until=10.0)
+        pdu.stop()
+        expected = node.power() * 10.0
+        assert pdu.energy_joules() == pytest.approx(expected, rel=1e-6)
+
+    def test_average_power(self):
+        sim = Simulator()
+        node = ReplicaNode("r0")
+        pdu = PowerSampler(sim, node, rate_hz=10.0)
+        sim.call_at(5.0, lambda: node.set_activity(NodeActivity.SELECTING))
+        sim.run(until=10.0)
+        pdu.stop()
+        idle_p = 215.0 + 10 * 0.05
+        select_p = 215.0 + 10 * 0.80
+        assert pdu.average_power() == pytest.approx((idle_p + select_p) / 2,
+                                                    rel=1e-3)
+
+    def test_bad_rate(self):
+        with pytest.raises(ValidationError):
+            PowerSampler(Simulator(), ReplicaNode("r0"), rate_hz=0)
+
+
+class TestPricing:
+    def test_paper_prices(self):
+        assert PAPER_PRICES == (1, 8, 1, 6, 1, 5, 2, 3)
+
+    def test_random_prices_range(self):
+        p = random_prices(make_rng(0), 1000)
+        assert p.min() >= 1 and p.max() <= 20
+        assert np.all(p == np.floor(p))  # integers, per the paper
+
+    def test_random_prices_deterministic(self):
+        assert np.array_equal(random_prices(make_rng(3), 8),
+                              random_prices(make_rng(3), 8))
+
+    def test_random_prices_validation(self):
+        with pytest.raises(ValidationError):
+            random_prices(make_rng(0), 0)
+        with pytest.raises(ValidationError):
+            random_prices(make_rng(0), 3, lo=5, hi=2)
+
+    def test_cost_conversion(self):
+        pricing = ElectricityPricing([10.0])
+        # 1 kWh at 10 cents/kWh = 10 cents.
+        assert pricing.cost_cents(0, JOULES_PER_KWH) == pytest.approx(10.0)
+
+    def test_cost_vector(self):
+        pricing = ElectricityPricing([1.0, 2.0])
+        out = pricing.cost_vector([JOULES_PER_KWH, JOULES_PER_KWH])
+        assert out.tolist() == [1.0, 2.0]
+
+    def test_cost_vector_validation(self):
+        pricing = ElectricityPricing([1.0, 2.0])
+        with pytest.raises(ValidationError):
+            pricing.cost_vector([1.0])
+        with pytest.raises(ValidationError):
+            pricing.cost_vector([-1.0, 1.0])
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ValidationError):
+            ElectricityPricing([1.0]).cost_cents(0, -5)
+
+    def test_nonpositive_price_rejected(self):
+        with pytest.raises(ValidationError):
+            ElectricityPricing([0.0])
+
+
+class TestDatacenterEquivalence:
+    def test_single_node_formula(self):
+        assert single_node_energy(2.0, alpha=1.0, beta=0.01, gamma=3) == \
+            pytest.approx(2.0 + 0.01 * 8.0)
+
+    def test_negative_workload(self):
+        with pytest.raises(ValidationError):
+            single_node_energy(-1, 1, 1)
+
+    @given(st.lists(st.floats(0, 10), min_size=1, max_size=10),
+           st.floats(0.001, 1.0))
+    def test_property_node_energy_dominates_datacenter(self, splits, beta):
+        """Eq. 7 vs Eq. 8: E_s >= E_d for the same total workload."""
+        total = sum(splits)
+        es = single_node_energy(total, alpha=1.0, beta=beta, gamma=3)
+        ed = datacenter_energy(splits, alpha=1.0, beta=beta, gamma=3)
+        assert es >= ed - 1e-9 * max(1.0, abs(es))
+
+    def test_equivalence_as_beta_vanishes(self):
+        """E_s ~= E_d when beta << alpha (the paper's argument)."""
+        splits = [1.0, 2.0, 3.0]
+        es = single_node_energy(6.0, alpha=1.0, beta=1e-6, gamma=3)
+        ed = datacenter_energy(splits, alpha=1.0, beta=1e-6, gamma=3)
+        assert es == pytest.approx(ed, rel=1e-4)
+
+    def test_pue(self):
+        assert apply_pue(100.0, 1.33) == pytest.approx(133.0)
+        with pytest.raises(ValidationError):
+            apply_pue(100.0, 0.9)
+        with pytest.raises(ValidationError):
+            apply_pue(-1.0)
+
+
+class TestReplicaSite:
+    def test_site_cost(self):
+        sim = Simulator()
+        node = ReplicaNode("r0")
+        pdu = PowerSampler(sim, node, rate_hz=10.0)
+        site = ReplicaSite(node=node, meter=pdu, price_cents_per_kwh=10.0,
+                           index=0)
+        sim.run(until=3600.0)  # one hour idle
+        pdu.stop()
+        joules = site.energy_joules()
+        assert joules == pytest.approx(node.power() * 3600.0, rel=1e-6)
+        assert site.energy_cost_cents() == pytest.approx(
+            joules / JOULES_PER_KWH * 10.0)
+        assert site.name == "r0"
+
+    def test_price_validation(self):
+        sim = Simulator()
+        node = ReplicaNode("r0")
+        pdu = PowerSampler(sim, node)
+        with pytest.raises(ValidationError):
+            ReplicaSite(node=node, meter=pdu, price_cents_per_kwh=0, index=0)

@@ -1,0 +1,103 @@
+"""Tests for the power model and replica node."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster.node import NodeActivity, ReplicaNode
+from repro.cluster.power import SYSTEMG_POWER_MODEL, PowerModel
+from repro.errors import ValidationError
+
+
+class TestPowerModel:
+    def test_idle(self):
+        pm = PowerModel(idle_w=215, cpu_w=10, net_w=15, gamma=3)
+        assert pm.power(0, 0) == 215
+
+    def test_peak(self):
+        pm = PowerModel(idle_w=215, cpu_w=10, net_w=15, gamma=3)
+        assert pm.power(1, 1) == 240
+        assert pm.peak_w == 240
+
+    def test_network_term_polynomial(self):
+        pm = PowerModel(idle_w=0, cpu_w=0, net_w=16, gamma=3)
+        assert pm.power(0, 0.5) == pytest.approx(16 * 0.125)
+
+    def test_clipping(self):
+        pm = PowerModel()
+        assert pm.power(2.0, -1.0) == pm.power(1.0, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            PowerModel(idle_w=-1)
+        with pytest.raises(ValidationError):
+            PowerModel(gamma=0.5)
+
+    def test_systemg_calibration_matches_figures(self):
+        # Figs. 3-4: idle ~215 W, profiles stay within [215, 240].
+        pm = SYSTEMG_POWER_MODEL
+        assert pm.power(0, 0) == pytest.approx(215.0)
+        assert pm.peak_w <= 240.0 + 1e-9
+
+    @given(st.floats(0, 1), st.floats(0, 1), st.floats(0, 1), st.floats(0, 1))
+    def test_property_monotone_in_utilization(self, c1, c2, n1, n2):
+        pm = SYSTEMG_POWER_MODEL
+        lo = pm.power(min(c1, c2), min(n1, n2))
+        hi = pm.power(max(c1, c2), max(n1, n2))
+        assert lo <= hi + 1e-12
+
+
+class TestReplicaNode:
+    def test_default_idle(self):
+        node = ReplicaNode("r0")
+        assert node.activity is NodeActivity.IDLE
+        assert node.power() > 0
+
+    def test_activity_changes_power(self):
+        node = ReplicaNode("r0")
+        idle_power = node.power()
+        node.set_activity(NodeActivity.SELECTING)
+        assert node.power() > idle_power
+
+    def test_off_node_draws_nothing(self):
+        node = ReplicaNode("r0")
+        node.set_activity(NodeActivity.OFF)
+        assert node.power() == 0.0
+        assert node.net_utilization == 0.0
+
+    def test_net_probe_feeds_power(self):
+        util = {"v": 0.0}
+        node = ReplicaNode("r0", net_probe=lambda: util["v"])
+        p0 = node.power()
+        util["v"] = 1.0
+        assert node.power() == pytest.approx(p0 + node.power_model.net_w)
+
+    def test_net_probe_clipped(self):
+        node = ReplicaNode("r0", net_probe=lambda: 3.0)
+        assert node.net_utilization == 1.0
+
+    def test_cpu_overlay(self):
+        node = ReplicaNode("r0")
+        base = node.cpu_utilization
+        node.set_cpu_overlay(0.10)
+        assert node.cpu_utilization == pytest.approx(base + 0.10)
+
+    def test_cpu_overlay_clipped_at_one(self):
+        node = ReplicaNode("r0")
+        node.set_activity(NodeActivity.SELECTING)
+        node.set_cpu_overlay(5.0)
+        assert node.cpu_utilization == 1.0
+
+    def test_overlay_validation(self):
+        with pytest.raises(ValidationError):
+            ReplicaNode("r0").set_cpu_overlay(-0.1)
+
+    def test_activity_validation(self):
+        with pytest.raises(ValidationError):
+            ReplicaNode("r0").set_activity("idle")
+
+    def test_activity_log(self):
+        node = ReplicaNode("r0")
+        node.set_activity(NodeActivity.SELECTING, now=1.0)
+        node.set_activity(NodeActivity.TRANSFERRING, now=2.0)
+        assert node.activity_log == [(1.0, NodeActivity.SELECTING),
+                                     (2.0, NodeActivity.TRANSFERRING)]

@@ -1,0 +1,81 @@
+"""Tests for time-varying electricity tariffs (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.pricing import JOULES_PER_KWH, PriceSchedule
+from repro.errors import ValidationError
+from repro.util.timeseries import TimeSeries
+
+
+class TestConstruction:
+    def test_constant(self):
+        s = PriceSchedule.constant([1.0, 2.0])
+        assert s.n_replicas == 2
+        assert s.prices_at(0.0).tolist() == [1.0, 2.0]
+        assert s.prices_at(1e9).tolist() == [1.0, 2.0]
+
+    def test_two_phase(self):
+        s = PriceSchedule.two_phase([1.0], [5.0], switch_at=10.0)
+        assert s.prices_at(9.999)[0] == 1.0
+        assert s.prices_at(10.0)[0] == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            PriceSchedule([1.0], [[1.0]])  # must start at 0
+        with pytest.raises(ValidationError):
+            PriceSchedule([0.0, 0.0], [[1.0], [2.0]])  # not increasing
+        with pytest.raises(ValidationError):
+            PriceSchedule([0.0], [[0.0]])  # nonpositive price
+        with pytest.raises(ValidationError):
+            PriceSchedule([0.0, 1.0], [[1.0]])  # row count mismatch
+        with pytest.raises(ValidationError):
+            PriceSchedule.two_phase([1.0], [2.0], switch_at=0.0)
+
+    def test_negative_time_query(self):
+        with pytest.raises(ValidationError):
+            PriceSchedule.constant([1.0]).prices_at(-1.0)
+
+
+class TestCostIntegration:
+    def test_constant_power_constant_price(self):
+        # 100 W for 1 kWh-hour at 10 c/kWh: cost = 0.1 kWh * 10 = 1 cent.
+        s = PriceSchedule.constant([10.0])
+        power = TimeSeries([0.0, 36000.0], [100.0, 100.0])
+        cost = s.cost_cents(0, power, 36000.0)
+        assert cost == pytest.approx(100.0 * 36000.0 / JOULES_PER_KWH * 10.0,
+                                     rel=1e-6)
+
+    def test_matches_static_conversion(self):
+        s = PriceSchedule.constant([7.0])
+        t = np.arange(0, 100, 0.02)
+        power = TimeSeries(t, np.full(t.size, 220.0))
+        cost = s.cost_cents(0, power, 100.0)
+        expected = 220.0 * 100.0 / JOULES_PER_KWH * 7.0
+        assert cost == pytest.approx(expected, rel=1e-4)
+
+    def test_two_phase_split(self):
+        # 100 W throughout; price 1 for first 50 s, 9 afterwards.
+        s = PriceSchedule.two_phase([1.0], [9.0], switch_at=50.0)
+        t = np.arange(0, 100.001, 0.5)
+        power = TimeSeries(t, np.full(t.size, 100.0))
+        cost = s.cost_cents(0, power, 100.0)
+        expected = (100.0 * 50.0 * 1.0 + 100.0 * 50.0 * 9.0) / JOULES_PER_KWH
+        assert cost == pytest.approx(expected, rel=1e-3)
+
+    def test_t_end_before_first_switch(self):
+        s = PriceSchedule.two_phase([2.0], [100.0], switch_at=50.0)
+        power = TimeSeries([0.0, 10.0], [50.0, 50.0])
+        cost = s.cost_cents(0, power, 10.0)
+        assert cost == pytest.approx(50.0 * 10.0 / JOULES_PER_KWH * 2.0,
+                                     rel=1e-6)
+
+    def test_zero_window(self):
+        s = PriceSchedule.constant([3.0])
+        power = TimeSeries([0.0], [100.0])
+        assert s.cost_cents(0, power, 0.0) == 0.0
+
+    def test_negative_t_end(self):
+        s = PriceSchedule.constant([3.0])
+        with pytest.raises(ValidationError):
+            s.cost_cents(0, TimeSeries(), -1.0)

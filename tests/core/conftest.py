@@ -1,0 +1,52 @@
+"""Shared fixtures for core-solver tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import ProblemData
+from repro.core.problem import ReplicaSelectionProblem
+from repro.util.rng import make_rng
+
+
+@pytest.fixture
+def paper_instance() -> ReplicaSelectionProblem:
+    """8 replicas with the Fig. 6/7 prices, 6 clients, paper calibration."""
+    rng = make_rng(0)
+    demands = rng.uniform(20, 60, size=6)
+    data = ProblemData.paper_defaults(
+        demands=demands, prices=[1, 8, 1, 6, 1, 5, 2, 3])
+    return ReplicaSelectionProblem(data)
+
+
+@pytest.fixture
+def tiny_instance() -> ReplicaSelectionProblem:
+    """3 replicas / 2 clients, fully eligible (the Fig. 5 scale)."""
+    data = ProblemData.paper_defaults(
+        demands=[30.0, 50.0], prices=[2.0, 10.0, 4.0])
+    return ReplicaSelectionProblem(data)
+
+
+def random_instance(seed: int, n_clients: int = 5, n_replicas: int = 4,
+                    masked: bool = False, tight: bool = False
+                    ) -> ReplicaSelectionProblem:
+    """Randomized feasible instance for property tests."""
+    rng = make_rng(seed)
+    prices = rng.integers(1, 21, size=n_replicas).astype(float)
+    capacities = rng.uniform(50, 150, size=n_replicas)
+    if masked:
+        mask = rng.random((n_clients, n_replicas)) < 0.7
+        # Guarantee every client at least one replica.
+        for c in range(n_clients):
+            if not mask[c].any():
+                mask[c, rng.integers(n_replicas)] = True
+    else:
+        mask = np.ones((n_clients, n_replicas), dtype=bool)
+    # Demand scaled to a fraction of reachable capacity for feasibility.
+    frac = 0.9 if tight else 0.5
+    per_client_cap = (mask * capacities).sum(axis=1)
+    demands = rng.uniform(0.1, frac, size=n_clients) * np.minimum(
+        per_client_cap, capacities.sum() / n_clients)
+    data = ProblemData(
+        demands=demands, capacities=capacities, prices=prices,
+        alpha=1.0, beta=0.01, gamma=3.0, mask=mask)
+    return ReplicaSelectionProblem(data)

@@ -1,0 +1,133 @@
+"""Tests for consensus weights and step-size schedules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.consensus import (
+    is_doubly_stochastic,
+    metropolis_weights,
+    ring_weights,
+    uniform_weights,
+)
+from repro.core.stepsize import ConstantStep, DiminishingStep, SqrtStep
+from repro.errors import ValidationError
+
+
+class TestUniformWeights:
+    @given(st.integers(1, 30))
+    def test_property_doubly_stochastic(self, n):
+        assert is_doubly_stochastic(uniform_weights(n))
+
+    def test_values(self):
+        W = uniform_weights(4)
+        assert np.allclose(W, 0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            uniform_weights(0)
+
+
+class TestRingWeights:
+    @given(st.integers(1, 20), st.floats(0.1, 0.9))
+    def test_property_doubly_stochastic(self, n, sw):
+        assert is_doubly_stochastic(ring_weights(n, sw))
+
+    def test_three_node_structure(self):
+        W = ring_weights(3, self_weight=0.5)
+        assert W[0, 0] == 0.5
+        assert W[0, 1] == pytest.approx(0.25)
+        assert W[0, 2] == pytest.approx(0.25)
+
+    def test_two_nodes(self):
+        W = ring_weights(2, 0.6)
+        assert is_doubly_stochastic(W)
+        assert W[0, 1] == pytest.approx(0.4)
+
+    def test_single_node(self):
+        assert ring_weights(1).tolist() == [[1.0]]
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ring_weights(3, self_weight=1.0)
+        with pytest.raises(ValidationError):
+            ring_weights(0)
+
+
+class TestMetropolisWeights:
+    def test_complete_graph(self):
+        A = 1 - np.eye(4)
+        W = metropolis_weights(A)
+        assert is_doubly_stochastic(W)
+
+    def test_path_graph(self):
+        A = np.array([[0, 1, 0], [1, 0, 1], [0, 1, 0]])
+        W = metropolis_weights(A)
+        assert is_doubly_stochastic(W)
+        # Edge (0,1): max degree is 2 => weight 1/3.
+        assert W[0, 1] == pytest.approx(1 / 3)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            metropolis_weights(np.ones((2, 3)))
+        with pytest.raises(ValidationError):
+            metropolis_weights(np.eye(3))
+        with pytest.raises(ValidationError):
+            metropolis_weights(np.array([[0, 1], [0, 0]]))
+
+    @given(st.integers(0, 500))
+    def test_property_random_graphs_doubly_stochastic(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 8))
+        A = rng.random((n, n)) < 0.5
+        A = np.triu(A, 1)
+        A = (A | A.T)
+        assert is_doubly_stochastic(metropolis_weights(A))
+
+
+class TestIsDoublyStochastic:
+    def test_rejects_non_square(self):
+        assert not is_doubly_stochastic(np.ones((2, 3)))
+
+    def test_rejects_negative(self):
+        W = np.array([[1.5, -0.5], [-0.5, 1.5]])
+        assert not is_doubly_stochastic(W)
+
+    def test_rejects_bad_sums(self):
+        assert not is_doubly_stochastic(np.eye(2) * 0.9)
+
+
+class TestStepSchedules:
+    def test_constant(self):
+        s = ConstantStep(0.5)
+        assert s(0) == s(100) == 0.5
+
+    def test_diminishing(self):
+        s = DiminishingStep(1.0)
+        assert s(0) == 1.0
+        assert s(9) == pytest.approx(0.1)
+
+    def test_sqrt(self):
+        s = SqrtStep(2.0)
+        assert s(0) == 2.0
+        assert s(3) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("cls", [ConstantStep, DiminishingStep, SqrtStep])
+    def test_validation(self, cls):
+        with pytest.raises(ValidationError):
+            cls(0.0)
+
+    @pytest.mark.parametrize("cls", [DiminishingStep, SqrtStep])
+    def test_negative_iteration(self, cls):
+        with pytest.raises(ValidationError):
+            cls(1.0)(-1)
+
+    @pytest.mark.parametrize("cls", [ConstantStep, DiminishingStep, SqrtStep])
+    def test_repr(self, cls):
+        assert cls.__name__ in repr(cls(1.0))
+
+    @given(st.integers(0, 1000), st.integers(0, 1000))
+    def test_property_diminishing_monotone(self, a, b):
+        s = DiminishingStep(1.0)
+        lo, hi = min(a, b), max(a, b)
+        assert s(hi) <= s(lo)

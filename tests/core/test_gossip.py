@@ -1,0 +1,68 @@
+"""Tests for the gossip-CDPSM extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.gossip import GossipCdpsmSolver, solve_gossip_cdpsm
+from repro.core.params import ProblemData
+from repro.core.problem import ReplicaSelectionProblem
+from repro.core.reference import solve_reference
+from repro.errors import InfeasibleProblemError, ValidationError
+from repro.util.rng import make_rng
+
+
+@pytest.fixture
+def problem():
+    data = ProblemData.paper_defaults(
+        demands=[40.0, 55.0], prices=[2.0, 9.0, 4.0])
+    return ReplicaSelectionProblem(data)
+
+
+class TestValidation:
+    def test_needs_two_replicas(self):
+        data = ProblemData.paper_defaults([10.0], prices=[1.0])
+        with pytest.raises(ValidationError):
+            GossipCdpsmSolver(ReplicaSelectionProblem(data), make_rng(0))
+
+    def test_max_iter(self, problem):
+        with pytest.raises(ValidationError):
+            GossipCdpsmSolver(problem, make_rng(0), max_iter=0)
+
+    def test_infeasible(self):
+        data = ProblemData.paper_defaults([500.0], prices=[1.0, 1.0])
+        with pytest.raises(InfeasibleProblemError):
+            solve_gossip_cdpsm(ReplicaSelectionProblem(data), make_rng(0))
+
+
+class TestConvergence:
+    def test_reaches_neighborhood_of_optimum(self, problem):
+        ref = solve_reference(problem).objective
+        sol = solve_gossip_cdpsm(problem, make_rng(1), max_iter=4000)
+        assert sol.objective / ref - 1 < 0.05
+        assert problem.violation(sol.allocation) < 1e-4
+
+    def test_feasible_even_with_few_rounds(self, problem):
+        sol = solve_gossip_cdpsm(problem, make_rng(1), max_iter=10)
+        assert problem.violation(sol.allocation) < 1e-4
+
+    def test_deterministic_given_rng(self, problem):
+        a = solve_gossip_cdpsm(problem, make_rng(3), max_iter=200)
+        b = solve_gossip_cdpsm(problem, make_rng(3), max_iter=200)
+        assert np.allclose(a.allocation, b.allocation)
+        assert a.objective == b.objective
+
+    def test_two_messages_per_round(self, problem):
+        sol = solve_gossip_cdpsm(problem, make_rng(0), max_iter=50,
+                                 tol=0.0)
+        assert sol.messages == 2 * sol.iterations
+
+    def test_method_tag(self, problem):
+        sol = solve_gossip_cdpsm(problem, make_rng(0), max_iter=10)
+        assert sol.method == "gossip_cdpsm"
+
+    def test_disagreement_shrinks(self, problem):
+        sol = solve_gossip_cdpsm(problem, make_rng(5), max_iter=2000)
+        hist = sol.residual_history
+        # Average disagreement over the last tenth is below the first tenth.
+        tenth = max(1, len(hist) // 10)
+        assert np.mean(hist[-tenth:]) < np.mean(hist[:tenth])

@@ -1,0 +1,162 @@
+"""Tests for ProblemData and the energy model (Eq. 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.model import (
+    energy_gradient,
+    load_marginal_cost,
+    replica_energy,
+    replica_loads,
+    total_energy,
+)
+from repro.core.params import (
+    PAPER_ALPHA,
+    PAPER_BETA,
+    PAPER_GAMMA,
+    ProblemData,
+    ReplicaParams,
+)
+from repro.errors import ValidationError
+
+
+class TestReplicaParams:
+    def test_valid(self):
+        r = ReplicaParams(price=5.0, bandwidth=100.0)
+        assert r.alpha == PAPER_ALPHA and r.gamma == PAPER_GAMMA
+
+    @pytest.mark.parametrize("kw", [
+        {"price": 0.0, "bandwidth": 1.0},
+        {"price": 1.0, "bandwidth": 0.0},
+        {"price": 1.0, "bandwidth": 1.0, "alpha": -1},
+        {"price": 1.0, "bandwidth": 1.0, "beta": -1},
+        {"price": 1.0, "bandwidth": 1.0, "gamma": 0.5},
+    ])
+    def test_invalid(self, kw):
+        with pytest.raises(ValidationError):
+            ReplicaParams(**kw)
+
+
+class TestProblemData:
+    def test_paper_defaults(self):
+        d = ProblemData.paper_defaults([10, 20], prices=[1, 2, 3])
+        assert d.shape == (2, 3)
+        assert np.all(d.alpha == 1.0)
+        assert np.all(d.beta == 0.01)
+        assert np.all(d.gamma == 3.0)
+        assert np.all(d.B == 100.0)
+        assert d.mask.all()
+
+    def test_from_replicas_roundtrip(self):
+        reps = [ReplicaParams(price=2.0, bandwidth=50.0),
+                ReplicaParams(price=7.0, bandwidth=80.0, gamma=2.0)]
+        d = ProblemData.from_replicas(reps, demands=[10.0])
+        assert d.replica(0) == reps[0]
+        assert d.replica(1) == reps[1]
+
+    def test_from_replicas_empty(self):
+        with pytest.raises(ValidationError):
+            ProblemData.from_replicas([], demands=[1.0])
+
+    def test_scalar_broadcast(self):
+        d = ProblemData([1], [10, 10], prices=[1, 1], alpha=2.0, beta=0.5,
+                        gamma=3.0)
+        assert d.alpha.tolist() == [2.0, 2.0]
+
+    def test_mask_shape_checked(self):
+        with pytest.raises(ValidationError):
+            ProblemData.paper_defaults([1, 2], prices=[1],
+                                       mask=np.ones((3, 1), dtype=bool))
+
+    def test_negative_demand(self):
+        with pytest.raises(ValidationError):
+            ProblemData.paper_defaults([-1.0], prices=[1])
+
+    def test_gamma_below_one(self):
+        with pytest.raises(ValidationError):
+            ProblemData([1], [10], prices=[1], alpha=1, beta=1, gamma=0.9)
+
+    def test_demands_must_be_vector(self):
+        with pytest.raises(ValidationError):
+            ProblemData([[1, 2]], [10], prices=[1], alpha=1, beta=1, gamma=1)
+
+
+class TestEnergyModel:
+    def test_replica_loads(self):
+        P = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert replica_loads(P).tolist() == [4.0, 6.0]
+
+    def test_eq1_by_hand(self):
+        # E_n = u*(alpha*L + beta*L^gamma) with u=2, alpha=1, beta=0.01, g=3
+        d = ProblemData.paper_defaults([10.0], prices=[2.0])
+        e = replica_energy(d, np.array([10.0]))
+        assert e[0] == pytest.approx(2.0 * (10.0 + 0.01 * 1000.0))
+
+    def test_total_energy_sums(self):
+        d = ProblemData.paper_defaults([10.0, 10.0], prices=[1.0, 3.0])
+        P = np.array([[5.0, 5.0], [5.0, 5.0]])
+        per = replica_energy(d, replica_loads(P))
+        assert total_energy(d, P) == pytest.approx(per.sum())
+
+    def test_loads_validation(self):
+        d = ProblemData.paper_defaults([1.0], prices=[1.0])
+        with pytest.raises(ValidationError):
+            replica_energy(d, np.array([1.0, 2.0]))
+        with pytest.raises(ValidationError):
+            replica_energy(d, np.array([-1.0]))
+
+    def test_marginal_cost_gamma_one(self):
+        d = ProblemData([1.0], [10.0], prices=[2.0], alpha=1.0, beta=0.5,
+                        gamma=1.0)
+        m = load_marginal_cost(d, np.array([0.0]))
+        assert m[0] == pytest.approx(2.0 * (1.0 + 0.5))
+
+    def test_marginal_cost_at_zero_gamma_three(self):
+        d = ProblemData.paper_defaults([1.0], prices=[1.0])
+        assert load_marginal_cost(d, np.array([0.0]))[0] == pytest.approx(1.0)
+
+    def test_gradient_uniform_over_clients(self):
+        d = ProblemData.paper_defaults([10.0, 20.0], prices=[1.0, 5.0])
+        P = np.array([[4.0, 6.0], [10.0, 10.0]])
+        g = energy_gradient(d, P)
+        assert g[0, 0] == g[1, 0]
+        assert g[0, 1] == g[1, 1]
+
+    def test_gradient_masked(self):
+        mask = np.array([[True, False], [True, True]])
+        d = ProblemData.paper_defaults([10.0, 20.0], prices=[1.0, 5.0],
+                                       mask=mask)
+        g = energy_gradient(d, np.ones((2, 2)))
+        assert g[0, 1] == 0.0 and g[1, 1] != 0.0
+
+    def test_gradient_shape_checked(self):
+        d = ProblemData.paper_defaults([1.0], prices=[1.0])
+        with pytest.raises(ValidationError):
+            energy_gradient(d, np.zeros((2, 2)))
+
+    @given(st.floats(0.0, 100.0), st.floats(0.0, 100.0), st.floats(0, 1))
+    def test_property_convexity_along_segments(self, l1, l2, t):
+        """E_n is convex: E(t*l1 + (1-t)*l2) <= t*E(l1) + (1-t)*E(l2)."""
+        d = ProblemData.paper_defaults([1.0], prices=[7.0])
+        e = lambda l: float(replica_energy(d, np.array([l]))[0])
+        mid = t * l1 + (1 - t) * l2
+        assert e(mid) <= t * e(l1) + (1 - t) * e(l2) + 1e-6
+
+    @given(st.floats(0.1, 80.0))
+    def test_property_gradient_matches_finite_difference(self, load):
+        d = ProblemData.paper_defaults([load], prices=[3.0])
+        P = np.array([[load]])
+        g = energy_gradient(d, P)[0, 0]
+        h = 1e-6 * max(1.0, load)
+        fd = (total_energy(d, P + h) - total_energy(d, P - h)) / (2 * h)
+        assert g == pytest.approx(fd, rel=1e-4)
+
+    @given(st.floats(0, 50), st.floats(0, 50))
+    def test_property_marginal_cost_monotone(self, a, b):
+        """Marginal cost is nondecreasing in load (convexity)."""
+        d = ProblemData.paper_defaults([1.0], prices=[2.0])
+        lo, hi = min(a, b), max(a, b)
+        m_lo = load_marginal_cost(d, np.array([lo]))[0]
+        m_hi = load_marginal_cost(d, np.array([hi]))[0]
+        assert m_lo <= m_hi + 1e-9

@@ -1,0 +1,147 @@
+"""Tests for the problem container: feasibility, repair, helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import ProblemData
+from repro.core.problem import ReplicaSelectionProblem
+from repro.errors import InfeasibleProblemError, ValidationError
+
+from tests.core.conftest import random_instance
+
+
+class TestFeasibility:
+    def test_feasible_instance(self, paper_instance):
+        report = paper_instance.feasibility_report()
+        assert report["feasible"]
+        assert report["max_flow"] == pytest.approx(report["total_demand"],
+                                                   rel=1e-6)
+
+    def test_demand_exceeds_capacity(self):
+        data = ProblemData.paper_defaults(
+            demands=[500.0], prices=[1.0, 2.0], bandwidth=100.0)
+        prob = ReplicaSelectionProblem(data)
+        assert not prob.is_feasible()
+        with pytest.raises(InfeasibleProblemError, match="exceeds"):
+            prob.require_feasible()
+
+    def test_orphan_client(self):
+        mask = np.array([[True, True], [False, False]])
+        data = ProblemData.paper_defaults(
+            demands=[10.0, 10.0], prices=[1.0, 2.0], mask=mask)
+        prob = ReplicaSelectionProblem(data)
+        report = prob.feasibility_report()
+        assert not report["feasible"]
+        assert report["orphan_clients"] == [1]
+        with pytest.raises(InfeasibleProblemError, match="no latency-eligible"):
+            prob.require_feasible()
+
+    def test_masked_bottleneck(self):
+        # Both clients can only reach replica 0 (B=100) but need 150 total.
+        mask = np.array([[True, False], [True, False]])
+        data = ProblemData.paper_defaults(
+            demands=[75.0, 75.0], prices=[1.0, 1.0], mask=mask)
+        assert not ReplicaSelectionProblem(data).is_feasible()
+
+    def test_zero_demand_always_feasible(self):
+        data = ProblemData.paper_defaults(demands=[0.0], prices=[1.0])
+        assert ReplicaSelectionProblem(data).is_feasible()
+
+    def test_exact_capacity_boundary(self):
+        data = ProblemData.paper_defaults(
+            demands=[100.0, 100.0], prices=[1.0, 2.0], bandwidth=100.0)
+        assert ReplicaSelectionProblem(data).is_feasible()
+
+
+class TestUniformAllocation:
+    def test_row_sums_and_mask(self):
+        mask = np.array([[True, True, False], [True, True, True]])
+        data = ProblemData.paper_defaults(
+            demands=[12.0, 30.0], prices=[1.0, 2.0, 3.0], mask=mask)
+        P = ReplicaSelectionProblem(data).uniform_allocation()
+        assert np.allclose(P.sum(axis=1), [12.0, 30.0])
+        assert P[0, 2] == 0.0
+        assert P[0, 0] == pytest.approx(6.0)
+        assert P[1, 0] == pytest.approx(10.0)
+
+    def test_orphan_raises(self):
+        mask = np.array([[False]])
+        data = ProblemData.paper_defaults(demands=[1.0], prices=[1.0],
+                                          mask=mask)
+        with pytest.raises(InfeasibleProblemError):
+            ReplicaSelectionProblem(data).uniform_allocation()
+
+
+class TestViolation:
+    def test_zero_for_feasible(self, tiny_instance):
+        P = tiny_instance.uniform_allocation()
+        assert tiny_instance.violation(P) == pytest.approx(0.0, abs=1e-9)
+
+    def test_detects_demand_gap(self, tiny_instance):
+        P = tiny_instance.uniform_allocation()
+        P[0] *= 0.5
+        assert tiny_instance.violation(P) > 1.0
+
+    def test_detects_capacity_overrun(self):
+        data = ProblemData.paper_defaults([150.0], prices=[1.0, 1.0])
+        prob = ReplicaSelectionProblem(data)
+        P = np.array([[120.0, 30.0]])
+        assert prob.violation(P) == pytest.approx(20.0)
+
+    def test_detects_mask_mass(self):
+        mask = np.array([[True, False]])
+        data = ProblemData.paper_defaults([10.0], prices=[1.0, 1.0],
+                                          mask=mask)
+        prob = ReplicaSelectionProblem(data)
+        P = np.array([[5.0, 5.0]])
+        assert prob.violation(P) >= 5.0
+
+    def test_detects_negative_entries(self, tiny_instance):
+        P = tiny_instance.uniform_allocation()
+        P[0, 0] -= 100.0
+        assert tiny_instance.violation(P) >= 50.0
+
+    def test_shape_check(self, tiny_instance):
+        with pytest.raises(ValidationError):
+            tiny_instance.violation(np.zeros((1, 1)))
+
+
+class TestRepair:
+    def test_repair_restores_demands(self, paper_instance):
+        P = paper_instance.uniform_allocation() * 0.7  # demand broken
+        fixed = paper_instance.repair(P)
+        assert paper_instance.violation(fixed) < 1e-6
+
+    def test_repair_fixes_capacity(self):
+        data = ProblemData.paper_defaults(
+            demands=[90.0, 90.0], prices=[1.0, 10.0], bandwidth=100.0)
+        prob = ReplicaSelectionProblem(data)
+        # All load dumped on the cheap replica: 180 > 100.
+        P = np.array([[90.0, 0.0], [90.0, 0.0]])
+        fixed = prob.repair(P)
+        assert prob.violation(fixed) < 1e-6
+        assert np.allclose(fixed.sum(axis=1), [90.0, 90.0])
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_repair_random_instances(self, seed):
+        prob = random_instance(seed, masked=True, tight=True)
+        rng = np.random.default_rng(seed)
+        P = rng.uniform(0, 40, size=prob.data.shape) * prob.data.mask
+        fixed = prob.repair(P)
+        assert prob.violation(fixed) < 1e-4 * max(1.0, prob.data.R.max())
+
+
+class TestLowerBound:
+    def test_lower_bound_no_worse_than_reference(self, paper_instance):
+        from repro.core.model import replica_energy
+        from repro.core.reference import solve_reference
+        lb_loads = paper_instance.lower_bound_loads()
+        lb = float(replica_energy(paper_instance.data, lb_loads).sum())
+        ref = solve_reference(paper_instance)
+        # The greedy relaxation ignores convexity's spreading benefit, so it
+        # is not a true bound in general; but for all-eligible instances the
+        # reference optimum must serve the same total demand, so the greedy
+        # load vector's *linear* component bounds below.
+        linear_lb = float(np.sum(paper_instance.data.u * paper_instance.data.alpha
+                                 * lb_loads))
+        assert ref.objective >= linear_lb - 1e-6

@@ -1,0 +1,174 @@
+"""Tests (incl. property tests) for the projection operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.projection import (
+    project_capped_simplex,
+    project_demands,
+    project_local_set,
+    project_simplex,
+)
+from repro.errors import ValidationError
+
+finite_vec = hnp.arrays(np.float64, st.integers(1, 12),
+                        elements=st.floats(-50, 50))
+
+
+def brute_force_simplex(v, total, grid=400):
+    """Nearest point on the simplex by dense sampling (2-D only)."""
+    best, best_d = None, np.inf
+    for a in np.linspace(0, total, grid):
+        x = np.array([a, total - a])
+        d = np.sum((x - v) ** 2)
+        if d < best_d:
+            best, best_d = x, d
+    return best
+
+
+class TestProjectSimplex:
+    def test_already_on_simplex(self):
+        v = np.array([0.3, 0.7])
+        assert np.allclose(project_simplex(v, 1.0), v)
+
+    def test_sums_exactly(self):
+        out = project_simplex(np.array([5.0, -2.0, 1.0]), 3.0)
+        assert out.sum() == pytest.approx(3.0)
+        assert np.all(out >= 0)
+
+    def test_matches_brute_force_2d(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            v = rng.uniform(-5, 5, size=2)
+            exact = project_simplex(v, 2.0)
+            approx = brute_force_simplex(v, 2.0)
+            assert np.allclose(exact, approx, atol=0.02)
+
+    def test_zero_total(self):
+        assert project_simplex(np.array([1.0, 2.0]), 0.0).tolist() == [0, 0]
+
+    def test_empty_support(self):
+        assert project_simplex(np.array([]), 0.0).size == 0
+        with pytest.raises(ValidationError):
+            project_simplex(np.array([]), 1.0)
+
+    def test_negative_total(self):
+        with pytest.raises(ValidationError):
+            project_simplex(np.array([1.0]), -1.0)
+
+    def test_matrix_rejected(self):
+        with pytest.raises(ValidationError):
+            project_simplex(np.zeros((2, 2)), 1.0)
+
+    @given(finite_vec, st.floats(0, 100))
+    def test_property_feasible_output(self, v, total):
+        out = project_simplex(v, total)
+        assert np.all(out >= -1e-12)
+        assert out.sum() == pytest.approx(total, abs=1e-8 * max(1, total))
+
+    @given(finite_vec, st.floats(0.1, 100))
+    def test_property_idempotent(self, v, total):
+        once = project_simplex(v, total)
+        twice = project_simplex(once, total)
+        assert np.allclose(once, twice, atol=1e-9)
+
+    @given(finite_vec, st.floats(0.1, 50))
+    def test_property_projection_is_nearest(self, v, total):
+        """No random feasible point is closer than the projection."""
+        out = project_simplex(v, total)
+        rng = np.random.default_rng(0)
+        d_out = np.sum((out - v) ** 2)
+        for _ in range(10):
+            w = rng.dirichlet(np.ones(v.size)) * total
+            assert d_out <= np.sum((w - v) ** 2) + 1e-7
+
+
+class TestProjectCappedSimplex:
+    def test_under_cap_just_clips(self):
+        out = project_capped_simplex(np.array([1.0, -2.0]), 10.0)
+        assert out.tolist() == [1.0, 0.0]
+
+    def test_over_cap_projects(self):
+        out = project_capped_simplex(np.array([8.0, 8.0]), 10.0)
+        assert out.sum() == pytest.approx(10.0)
+
+    def test_negative_cap(self):
+        with pytest.raises(ValidationError):
+            project_capped_simplex(np.array([1.0]), -1.0)
+
+    @given(finite_vec, st.floats(0, 100))
+    def test_property_feasible(self, v, cap):
+        out = project_capped_simplex(v, cap)
+        assert np.all(out >= -1e-12)
+        assert out.sum() <= cap + 1e-8 * max(1, cap)
+
+
+class TestProjectDemands:
+    def test_rows_sum_to_demands(self):
+        P = np.array([[1.0, 5.0], [2.0, 2.0]])
+        R = np.array([3.0, 10.0])
+        mask = np.ones((2, 2), dtype=bool)
+        out = project_demands(P, R, mask)
+        assert np.allclose(out.sum(axis=1), R)
+
+    def test_mask_respected(self):
+        mask = np.array([[True, False]])
+        out = project_demands(np.array([[1.0, 9.0]]), np.array([4.0]), mask)
+        assert out[0, 1] == 0.0
+        assert out[0, 0] == pytest.approx(4.0)
+
+    def test_orphan_with_demand_raises(self):
+        mask = np.array([[False, False]])
+        with pytest.raises(ValidationError):
+            project_demands(np.zeros((1, 2)), np.array([1.0]), mask)
+
+    def test_orphan_without_demand_ok(self):
+        mask = np.array([[False, False]])
+        out = project_demands(np.ones((1, 2)), np.array([0.0]), mask)
+        assert np.all(out == 0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            project_demands(np.zeros((2, 2)), np.array([1.0]),
+                            np.ones((2, 2), dtype=bool))
+
+
+class TestProjectLocalSet:
+    def test_satisfies_all_local_constraints(self):
+        rng = np.random.default_rng(1)
+        P = rng.uniform(-5, 30, size=(4, 3))
+        R = np.array([10.0, 20.0, 5.0, 40.0])
+        mask = np.ones((4, 3), dtype=bool)
+        out = project_local_set(P, R, mask, column=1, cap=25.0)
+        assert np.allclose(out.sum(axis=1), R, atol=1e-6)
+        assert out[:, 1].sum() <= 25.0 + 1e-6
+        assert np.all(out >= -1e-9)
+
+    def test_identity_when_feasible(self):
+        P = np.array([[2.0, 3.0], [1.0, 4.0]])
+        R = np.array([5.0, 5.0])
+        mask = np.ones((2, 2), dtype=bool)
+        out = project_local_set(P, R, mask, column=0, cap=100.0)
+        assert np.allclose(out, P, atol=1e-8)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_property_projection_feasible_and_idempotent(self, seed):
+        rng = np.random.default_rng(seed)
+        C, N = rng.integers(1, 6), rng.integers(2, 5)
+        P = rng.uniform(-10, 40, size=(C, N))
+        R = rng.uniform(0, 30, size=C)
+        mask = np.ones((C, N), dtype=bool)
+        col = int(rng.integers(N))
+        cap = float(rng.uniform(R.sum() / N + 1.0, R.sum() + 10))
+        out = project_local_set(P, R, mask, col, cap)
+        assert np.allclose(out.sum(axis=1), R, atol=1e-6)
+        # Capacity holds up to the Dykstra stopping discrepancy; the rate
+        # is geometric with a constant that degrades as the sets' angle
+        # closes (cap ~ demand), so allow a small relative residual.
+        assert out[:, col].sum() <= cap + 5e-3 * max(cap, 1.0)
+        assert np.all(out >= -1e-8)
+        again = project_local_set(out, R, mask, col, cap)
+        assert np.allclose(out, again, atol=5e-3 * max(cap, 1.0))

@@ -1,0 +1,102 @@
+"""Consistency and correctness of the vectorized projection fast path."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import optimize
+
+from repro.core.projection import (
+    _project_rows_vectorized,
+    project_demands,
+    project_local_set,
+    project_simplex,
+)
+from repro.errors import ValidationError
+
+
+class TestVectorizedMatchesScalar:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 100000))
+    def test_property_rows_match_per_row_projection(self, seed):
+        rng = np.random.default_rng(seed)
+        C, N = int(rng.integers(1, 12)), int(rng.integers(1, 10))
+        P = rng.uniform(-20, 40, size=(C, N))
+        R = rng.uniform(0, 50, size=C)
+        if rng.random() < 0.3:
+            R[rng.integers(C)] = 0.0  # exercise the zero-demand path
+        fast = _project_rows_vectorized(P, R)
+        for c in range(C):
+            slow = project_simplex(P[c], float(R[c]))
+            assert np.allclose(fast[c], slow, atol=1e-9), f"row {c}"
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 100000))
+    def test_property_masked_mixed_rows(self, seed):
+        rng = np.random.default_rng(seed)
+        C, N = int(rng.integers(2, 10)), int(rng.integers(2, 8))
+        P = rng.uniform(-10, 30, size=(C, N))
+        R = rng.uniform(0, 20, size=C)
+        mask = rng.random((C, N)) < 0.7
+        for c in range(C):
+            if not mask[c].any():
+                mask[c, int(rng.integers(N))] = True
+        out = project_demands(P, R, mask)
+        assert np.allclose(out.sum(axis=1), R, atol=1e-8)
+        assert np.all(out[~mask] == 0.0)
+        assert np.all(out >= -1e-12)
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValidationError):
+            project_demands(np.ones((1, 2)), np.array([-1.0]),
+                            np.ones((1, 2), dtype=bool))
+
+
+def scipy_local_projection(P, R, mask, col, cap):
+    """The exact local-set projection as a QP, solved by SLSQP."""
+    C, N = P.shape
+    idx = np.nonzero(mask.ravel())[0]
+
+    def unpack(x):
+        out = np.zeros(C * N)
+        out[idx] = x
+        return out.reshape(C, N)
+
+    def fun(x):
+        return 0.5 * float(np.sum((unpack(x) - P) ** 2))
+
+    rows = idx // N
+    cols = idx % N
+    A_eq = np.zeros((C, idx.size))
+    A_eq[rows, np.arange(idx.size)] = 1.0
+    a_cap = np.zeros(idx.size)
+    a_cap[cols == col] = 1.0
+    cons = [
+        {"type": "eq", "fun": lambda x: A_eq @ x - R},
+        {"type": "ineq", "fun": lambda x: cap - a_cap @ x},
+    ]
+    x0 = np.clip(P.ravel()[idx], 0, None)
+    scale = R.sum() / max(x0.sum(), 1e-9)
+    res = optimize.minimize(fun, x0 * min(scale, 1.0),
+                            bounds=[(0, None)] * idx.size,
+                            constraints=cons, method="SLSQP",
+                            options={"maxiter": 400, "ftol": 1e-14})
+    return unpack(res.x), res.success
+
+
+class TestDykstraAgainstScipyQP:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_qp_solution(self, seed):
+        rng = np.random.default_rng(seed)
+        C, N = 4, 3
+        P = rng.uniform(-5, 25, size=(C, N))
+        R = rng.uniform(2, 20, size=C)
+        mask = np.ones((C, N), dtype=bool)
+        col = int(rng.integers(N))
+        cap = float(rng.uniform(R.sum() / N + 2, R.sum()))
+        ours = project_local_set(P, R, mask, col, cap)
+        theirs, ok = scipy_local_projection(P, R, mask, col, cap)
+        if not ok:
+            pytest.skip("scipy reference did not converge")
+        # Projections must agree (unique nearest point of a convex set).
+        assert np.allclose(ours, theirs, atol=5e-3), \
+            f"max diff {np.abs(ours - theirs).max()}"

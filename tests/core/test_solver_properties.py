@@ -1,0 +1,92 @@
+"""Structural property tests of the solvers: symmetry, equivariance,
+scaling — invariances that hold for the true optimum and must survive the
+solvers' approximations."""
+
+import numpy as np
+import pytest
+
+from repro.core.lddm import solve_lddm
+from repro.core.params import ProblemData
+from repro.core.problem import ReplicaSelectionProblem
+from repro.core.reference import solve_reference
+from repro.util.rng import make_rng
+
+
+def make_problem(prices, demands, mask=None):
+    return ReplicaSelectionProblem(
+        ProblemData.paper_defaults(demands=demands, prices=prices,
+                                   mask=mask))
+
+
+class TestReplicaPermutationEquivariance:
+    """Relabeling replicas permutes the optimal loads accordingly."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_reference_equivariant(self, seed):
+        rng = make_rng(seed)
+        prices = rng.integers(1, 21, size=5).astype(float)
+        demands = rng.uniform(10, 50, size=3)
+        perm = rng.permutation(5)
+        base = solve_reference(make_problem(prices, demands))
+        permuted = solve_reference(make_problem(prices[perm], demands))
+        assert np.allclose(permuted.loads, base.loads[perm], atol=1e-4)
+        assert permuted.objective == pytest.approx(base.objective, rel=1e-6)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_lddm_equivariant(self, seed):
+        rng = make_rng(seed + 100)
+        prices = rng.integers(1, 21, size=4).astype(float)
+        demands = rng.uniform(10, 50, size=3)
+        perm = rng.permutation(4)
+        base = solve_lddm(make_problem(prices, demands))
+        permuted = solve_lddm(make_problem(prices[perm], demands))
+        assert np.allclose(permuted.loads, base.loads[perm], atol=1e-2)
+
+
+class TestClientSymmetry:
+    def test_identical_clients_get_identical_rows(self):
+        sol = solve_reference(make_problem([1.0, 7.0, 3.0],
+                                           [30.0, 30.0, 30.0]))
+        for c in range(1, 3):
+            assert np.allclose(sol.allocation[c], sol.allocation[0],
+                               atol=1e-3)
+
+    def test_equal_price_replicas_get_equal_loads(self):
+        sol = solve_reference(make_problem([4.0, 4.0, 4.0], [60.0]))
+        loads = sol.loads
+        assert np.allclose(loads, loads[0], atol=1e-4)
+
+
+class TestScaling:
+    def test_price_scaling_scales_objective(self):
+        """Multiplying every price by a constant multiplies the objective
+        but leaves the optimal allocation unchanged."""
+        a = solve_reference(make_problem([2.0, 9.0, 4.0], [40.0, 25.0]))
+        b = solve_reference(make_problem([6.0, 27.0, 12.0], [40.0, 25.0]))
+        # The objective depends only on column loads, so loads are unique
+        # but the per-client split is not — compare loads.
+        assert np.allclose(a.loads, b.loads, atol=1e-4)
+        assert b.objective == pytest.approx(3 * a.objective, rel=1e-6)
+
+    def test_more_capacity_never_hurts(self):
+        data_tight = ProblemData.paper_defaults(
+            [90.0, 90.0], prices=[1.0, 10.0], bandwidth=100.0)
+        data_loose = ProblemData.paper_defaults(
+            [90.0, 90.0], prices=[1.0, 10.0], bandwidth=200.0)
+        tight = solve_reference(ReplicaSelectionProblem(data_tight))
+        loose = solve_reference(ReplicaSelectionProblem(data_loose))
+        assert loose.objective <= tight.objective + 1e-6
+
+    def test_extra_demand_costs_more(self):
+        small = solve_reference(make_problem([1.0, 5.0], [20.0]))
+        large = solve_reference(make_problem([1.0, 5.0], [40.0]))
+        assert large.objective > small.objective
+
+
+class TestMaskMonotonicity:
+    def test_restricting_eligibility_never_cheapens(self):
+        full = solve_reference(make_problem([1.0, 8.0, 2.0], [30.0, 30.0]))
+        mask = np.array([[True, True, False], [True, True, True]])
+        restricted = solve_reference(
+            make_problem([1.0, 8.0, 2.0], [30.0, 30.0], mask=mask))
+        assert restricted.objective >= full.objective - 1e-6

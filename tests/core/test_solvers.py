@@ -1,0 +1,223 @@
+"""End-to-end solver tests: CDPSM and LDDM against the centralized reference.
+
+These verify the paper's central algorithmic claims:
+* both distributed methods reach (a neighborhood of) the global optimum;
+* LDDM converges in fewer iterations than CDPSM (Fig. 5);
+* LDDM's communication complexity is O(C*N) per iteration vs CDPSM's
+  O(C*N^3).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cdpsm import CdpsmSolver, solve_cdpsm
+from repro.core.consensus import ring_weights
+from repro.core.lddm import LddmSolver, solve_lddm
+from repro.core.params import ProblemData
+from repro.core.problem import ReplicaSelectionProblem
+from repro.core.reference import solve_reference
+from repro.core.stepsize import ConstantStep, DiminishingStep
+from repro.errors import InfeasibleProblemError, ValidationError
+
+from tests.core.conftest import random_instance
+
+
+class TestReference:
+    def test_single_client_two_equal_replicas_splits(self):
+        # Symmetric problem: convex network term favors an even split.
+        data = ProblemData.paper_defaults([40.0], prices=[3.0, 3.0])
+        sol = solve_reference(ReplicaSelectionProblem(data))
+        assert np.allclose(sol.allocation, [[20.0, 20.0]], atol=0.1)
+
+    def test_analytic_two_replica_optimum(self):
+        # One client, two replicas, same prices, beta>0:
+        # minimize u*(L1 + L2 + b*(L1^3 + L2^3)) with L1+L2=R => L1=L2=R/2.
+        data = ProblemData.paper_defaults([60.0], prices=[5.0, 5.0])
+        sol = solve_reference(ReplicaSelectionProblem(data))
+        expected = 5.0 * (60.0 + 0.01 * 2 * 30.0 ** 3)
+        assert sol.objective == pytest.approx(expected, rel=1e-5)
+
+    def test_cheap_replica_preferred(self):
+        data = ProblemData.paper_defaults([30.0], prices=[1.0, 20.0])
+        sol = solve_reference(ReplicaSelectionProblem(data))
+        assert sol.allocation[0, 0] > sol.allocation[0, 1]
+
+    def test_capacity_respected(self):
+        data = ProblemData.paper_defaults(
+            [150.0], prices=[1.0, 20.0], bandwidth=100.0)
+        prob = ReplicaSelectionProblem(data)
+        sol = solve_reference(prob)
+        assert prob.violation(sol.allocation) < 1e-5
+
+    def test_infeasible_raises(self):
+        data = ProblemData.paper_defaults([500.0], prices=[1.0])
+        with pytest.raises(InfeasibleProblemError):
+            solve_reference(ReplicaSelectionProblem(data))
+
+    def test_mask_respected(self):
+        mask = np.array([[True, False], [True, True]])
+        data = ProblemData.paper_defaults([20.0, 20.0],
+                                          prices=[5.0, 1.0], mask=mask)
+        sol = solve_reference(ReplicaSelectionProblem(data))
+        assert sol.allocation[0, 1] == 0.0
+
+
+class TestLddm:
+    def test_converges_to_reference(self, paper_instance):
+        ref = solve_reference(paper_instance)
+        sol = solve_lddm(paper_instance)
+        assert sol.converged
+        assert sol.objective == pytest.approx(ref.objective, rel=5e-3)
+        assert paper_instance.violation(sol.allocation) < 1e-4
+
+    def test_random_instances_close_to_optimal(self):
+        for seed in range(6):
+            prob = random_instance(seed, masked=(seed % 2 == 0))
+            ref = solve_reference(prob)
+            sol = solve_lddm(prob)
+            gap = sol.objective / max(ref.objective, 1e-9) - 1.0
+            assert gap < 0.02, f"seed {seed}: gap {gap:.4f}"
+            assert prob.violation(sol.allocation) < 1e-3
+
+    def test_exact_subproblem_with_averaging_still_works(self, tiny_instance):
+        ref = solve_reference(tiny_instance)
+        sol = solve_lddm(tiny_instance, exact_subproblem=True, max_iter=3000,
+                         tol=1e-3)
+        # Ergodic averaging recovers a near-optimal primal even with the
+        # paper's bang-bang subproblem.
+        assert sol.objective == pytest.approx(ref.objective, rel=0.05)
+
+    def test_no_averaging_option(self, tiny_instance):
+        sol = solve_lddm(tiny_instance, averaging=False)
+        assert tiny_instance.violation(sol.allocation) < 1e-4
+
+    def test_histories_recorded(self, tiny_instance):
+        sol = solve_lddm(tiny_instance)
+        assert len(sol.objective_history) == sol.iterations
+        assert len(sol.residual_history) == sol.iterations
+
+    def test_tracking_disabled(self, tiny_instance):
+        sol = solve_lddm(tiny_instance, track_objective=False)
+        assert sol.objective_history == []
+
+    def test_comm_complexity_linear_in_CN(self, tiny_instance):
+        sol = solve_lddm(tiny_instance)
+        C, N = tiny_instance.data.shape
+        assert sol.messages == sol.iterations * 2 * C * N
+
+    def test_infeasible_raises(self):
+        data = ProblemData.paper_defaults([1000.0], prices=[1.0])
+        with pytest.raises(InfeasibleProblemError):
+            solve_lddm(ReplicaSelectionProblem(data))
+
+    def test_validation(self, tiny_instance):
+        with pytest.raises(ValidationError):
+            LddmSolver(tiny_instance, epsilon=-1.0)
+        with pytest.raises(ValidationError):
+            LddmSolver(tiny_instance, max_iter=0)
+
+    def test_cold_start_mu(self, tiny_instance):
+        sol = solve_lddm(tiny_instance, warm_start_mu=False, max_iter=3000)
+        ref = solve_reference(tiny_instance)
+        assert sol.objective == pytest.approx(ref.objective, rel=0.02)
+
+
+class TestCdpsm:
+    def test_converges_near_reference(self, paper_instance):
+        ref = solve_reference(paper_instance)
+        sol = solve_cdpsm(paper_instance, max_iter=800)
+        gap = sol.objective / ref.objective - 1.0
+        # Constant-step CDPSM reaches a neighborhood, not the exact optimum.
+        assert gap < 0.05
+        assert paper_instance.violation(sol.allocation) < 1e-4
+
+    def test_solution_feasible_even_unconverged(self, paper_instance):
+        sol = solve_cdpsm(paper_instance, max_iter=5)
+        assert paper_instance.violation(sol.allocation) < 1e-4
+
+    def test_ring_weights_also_converge(self, tiny_instance):
+        ref = solve_reference(tiny_instance)
+        sol = solve_cdpsm(tiny_instance, weights=ring_weights(3),
+                          max_iter=800)
+        assert sol.objective == pytest.approx(ref.objective, rel=0.05)
+
+    def test_sqrt_step_schedule_improves_feasibly(self, tiny_instance):
+        # Decaying schedules converge too slowly to match the optimum in a
+        # bounded test budget (the reason the paper uses constant steps);
+        # assert monotone improvement over the starting point instead.
+        from repro.core.cdpsm import default_cdpsm_step
+        from repro.core.stepsize import SqrtStep
+        d0 = default_cdpsm_step(tiny_instance.data)
+        sol = solve_cdpsm(tiny_instance, step=SqrtStep(d0 * 4),
+                          max_iter=300)
+        start = tiny_instance.objective(tiny_instance.uniform_allocation())
+        assert sol.objective < start
+        assert tiny_instance.violation(sol.allocation) < 1e-4
+
+    def test_diminishing_step_runs_and_stays_feasible(self, tiny_instance):
+        from repro.core.cdpsm import default_cdpsm_step
+        d0 = default_cdpsm_step(tiny_instance.data)
+        sol = solve_cdpsm(tiny_instance, step=DiminishingStep(d0 * 4),
+                          max_iter=200)
+        assert tiny_instance.violation(sol.allocation) < 1e-4
+
+    def test_comm_complexity_cubic_in_N(self, tiny_instance):
+        sol = solve_cdpsm(tiny_instance, max_iter=3)
+        C, N = tiny_instance.data.shape
+        assert sol.messages == sol.iterations * N * (N - 1)
+        assert sol.comm_floats == sol.iterations * N * (N - 1) * C * N
+
+    def test_weights_validated(self, tiny_instance):
+        with pytest.raises(ValidationError):
+            CdpsmSolver(tiny_instance, weights=np.eye(2))  # wrong shape
+        bad = np.full((3, 3), 0.5)
+        with pytest.raises(ValidationError):
+            CdpsmSolver(tiny_instance, weights=bad)
+
+    def test_histories_recorded(self, tiny_instance):
+        sol = solve_cdpsm(tiny_instance, max_iter=10)
+        assert len(sol.residual_history) == sol.iterations
+
+
+class TestFig5Shape:
+    """The paper's Fig. 5: LDDM converges faster than CDPSM."""
+
+    def test_lddm_converges_in_fewer_iterations(self, tiny_instance):
+        target_rel = 0.01
+        ref = solve_reference(tiny_instance).objective
+
+        lddm = solve_lddm(tiny_instance, max_iter=500, tol=1e-7)
+        cdpsm = solve_cdpsm(tiny_instance, max_iter=500, tol=1e-9)
+
+        def iters_to_target(history):
+            for i, v in enumerate(history):
+                if v <= ref * (1 + target_rel):
+                    return i + 1
+            return len(history) + 1
+
+        assert iters_to_target(lddm.objective_history) < \
+            iters_to_target(cdpsm.objective_history)
+
+    def test_lddm_cheaper_communication(self, paper_instance):
+        lddm = solve_lddm(paper_instance)
+        cdpsm = solve_cdpsm(paper_instance, max_iter=lddm.iterations)
+        assert lddm.comm_floats < cdpsm.comm_floats
+
+
+class TestSolutionContainer:
+    def test_violation_helpers(self, tiny_instance):
+        sol = solve_lddm(tiny_instance)
+        data = tiny_instance.data
+        assert sol.demand_residual(data) < 1e-6
+        assert sol.capacity_violation(data) <= 1e-6
+        assert sol.mask_violation(data) == 0.0
+        assert sol.max_violation(data) < 1e-6
+
+    def test_loads_property(self, tiny_instance):
+        sol = solve_lddm(tiny_instance)
+        assert np.allclose(sol.loads, sol.allocation.sum(axis=0))
+
+    def test_summary_string(self, tiny_instance):
+        sol = solve_lddm(tiny_instance)
+        assert "lddm" in sol.summary()
+        assert "objective" in sol.summary()

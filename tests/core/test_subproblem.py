@@ -1,0 +1,213 @@
+"""Tests for the LDDM replica subproblem: exact KKT solver vs scipy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import optimize
+
+from repro.core.subproblem import ReplicaSubproblem, solve_replica_subproblem
+from repro.errors import ValidationError
+
+
+def scipy_solve(sub: ReplicaSubproblem) -> np.ndarray:
+    """Reference solve of the same subproblem with SLSQP (multi-start).
+
+    The returned point is forced feasible (clipped and rescaled onto the
+    capacity), so objective comparisons against it are meaningful even
+    when a start stalls.
+    """
+    m = sub.mu.size
+    ref = sub.ref if sub.ref is not None else np.zeros(m)
+
+    def fun(p):
+        s = p.sum()
+        val = sub.price * (sub.alpha * s + sub.beta * s ** sub.gamma)
+        val += float(sub.mu @ p)
+        if sub.epsilon > 0:
+            val += 0.5 * sub.epsilon * float(np.sum((p - ref) ** 2))
+        return val
+
+    def feasible(p):
+        p = np.maximum(p, 0.0)
+        total = p.sum()
+        if total > sub.bandwidth:
+            p = p * (sub.bandwidth / total)
+        return p
+
+    cons = [{"type": "ineq", "fun": lambda p: sub.bandwidth - p.sum()}]
+    starts = [np.full(m, sub.bandwidth / (2 * m)), np.zeros(m),
+              np.maximum(ref, 0.0)]
+    best, best_val = np.zeros(m), fun(np.zeros(m))
+    for x0 in starts:
+        res = optimize.minimize(fun, x0, bounds=[(0, None)] * m,
+                                constraints=cons, method="SLSQP",
+                                options={"maxiter": 500, "ftol": 1e-12})
+        cand = feasible(res.x)
+        val = fun(cand)
+        if val < best_val:
+            best, best_val = cand, val
+    return best
+
+
+def objective(sub: ReplicaSubproblem, p: np.ndarray) -> float:
+    s = p.sum()
+    ref = sub.ref if sub.ref is not None else np.zeros_like(p)
+    val = sub.price * (sub.alpha * s + sub.beta * s ** sub.gamma)
+    val += float(sub.mu @ p)
+    if sub.epsilon > 0:
+        val += 0.5 * sub.epsilon * float(np.sum((p - ref) ** 2))
+    return val
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ValidationError):
+            ReplicaSubproblem(price=0, alpha=1, beta=1, gamma=3,
+                              bandwidth=10, mu=np.zeros(2))
+        with pytest.raises(ValidationError):
+            ReplicaSubproblem(price=1, alpha=1, beta=1, gamma=0.5,
+                              bandwidth=10, mu=np.zeros(2))
+        with pytest.raises(ValidationError):
+            ReplicaSubproblem(price=1, alpha=1, beta=1, gamma=3,
+                              bandwidth=10, mu=np.zeros(2), epsilon=-1)
+
+    def test_ref_shape(self):
+        with pytest.raises(ValidationError):
+            ReplicaSubproblem(price=1, alpha=1, beta=0.01, gamma=3,
+                              bandwidth=10, mu=np.zeros(3), ref=np.zeros(2),
+                              epsilon=1.0)
+
+    def test_mu_must_be_vector(self):
+        with pytest.raises(ValidationError):
+            ReplicaSubproblem(price=1, alpha=1, beta=0.01, gamma=3,
+                              bandwidth=10, mu=np.zeros((2, 2)))
+
+
+class TestExactSubproblem:
+    """eps = 0: the paper's problem (5) in closed form."""
+
+    def test_positive_mu_gives_zero(self):
+        sub = ReplicaSubproblem(price=1, alpha=1, beta=0.01, gamma=3,
+                                bandwidth=100, mu=np.array([5.0, 1.0]))
+        assert solve_replica_subproblem(sub).tolist() == [0.0, 0.0]
+
+    def test_interior_optimum(self):
+        # h'(s) = u*alpha + u*beta*gamma*s^2 + mu_min = 0
+        # 1 + 0.03 s^2 - 4 = 0 => s = 10.
+        sub = ReplicaSubproblem(price=1, alpha=1, beta=0.01, gamma=3,
+                                bandwidth=100, mu=np.array([-4.0, 0.0]))
+        p = solve_replica_subproblem(sub)
+        assert p[0] == pytest.approx(10.0)
+        assert p[1] == 0.0
+
+    def test_capacity_clamps(self):
+        sub = ReplicaSubproblem(price=1, alpha=1, beta=0.01, gamma=3,
+                                bandwidth=5.0, mu=np.array([-4.0]))
+        assert solve_replica_subproblem(sub)[0] == pytest.approx(5.0)
+
+    def test_ties_split_evenly(self):
+        sub = ReplicaSubproblem(price=1, alpha=1, beta=0.01, gamma=3,
+                                bandwidth=100, mu=np.array([-4.0, -4.0]))
+        p = solve_replica_subproblem(sub)
+        assert p[0] == pytest.approx(p[1])
+        assert p.sum() == pytest.approx(10.0)
+
+    def test_linear_energy_bang_bang(self):
+        # gamma=1 => marginal constant; negative total slope => full B.
+        sub = ReplicaSubproblem(price=1, alpha=1, beta=0.0, gamma=1,
+                                bandwidth=7.0, mu=np.array([-2.0]))
+        assert solve_replica_subproblem(sub)[0] == pytest.approx(7.0)
+
+    def test_empty_mu(self):
+        sub = ReplicaSubproblem(price=1, alpha=1, beta=0.01, gamma=3,
+                                bandwidth=10, mu=np.zeros(0))
+        assert solve_replica_subproblem(sub).size == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_property_exact_matches_scipy_objective(self, seed):
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(1, 6))
+        sub = ReplicaSubproblem(
+            price=float(rng.uniform(0.5, 20)), alpha=1.0, beta=0.01,
+            gamma=3.0, bandwidth=float(rng.uniform(5, 100)),
+            mu=rng.uniform(-50, 10, size=m))
+        ours = solve_replica_subproblem(sub)
+        theirs = scipy_solve(sub)
+        # Minimizers may differ (linear ties); objectives must match.
+        assert objective(sub, ours) <= objective(sub, theirs) + 1e-5
+
+
+class TestProximalSubproblem:
+    """eps > 0: exact via nested bisection, checked against scipy."""
+
+    def _random_sub(self, seed, bind_capacity=False):
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(1, 7))
+        bandwidth = float(rng.uniform(3, 20)) if bind_capacity \
+            else float(rng.uniform(50, 200))
+        return ReplicaSubproblem(
+            price=float(rng.uniform(0.5, 20)), alpha=1.0,
+            beta=float(rng.uniform(0.001, 0.05)), gamma=3.0,
+            bandwidth=bandwidth,
+            mu=rng.uniform(-80, 20, size=m),
+            ref=rng.uniform(0, 30, size=m),
+            epsilon=float(rng.uniform(0.05, 5.0)))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_property_matches_scipy(self, seed):
+        sub = self._random_sub(seed)
+        ours = solve_replica_subproblem(sub)
+        theirs = scipy_solve(sub)
+        assert objective(sub, ours) <= objective(sub, theirs) + 1e-5
+        assert np.allclose(ours, theirs, atol=1e-3)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_property_capacity_binding_matches_scipy(self, seed):
+        sub = self._random_sub(seed, bind_capacity=True)
+        ours = solve_replica_subproblem(sub)
+        theirs = scipy_solve(sub)
+        assert ours.sum() <= sub.bandwidth + 1e-8
+        assert objective(sub, ours) <= objective(sub, theirs) + 1e-5
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000), st.sampled_from([1.0, 1.5, 2.0, 4.0]))
+    def test_property_other_gammas_match_scipy(self, seed, gamma):
+        """The KKT solver is exact for any polynomial degree gamma >= 1,
+        not just the paper's cubic case."""
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(1, 6))
+        sub = ReplicaSubproblem(
+            price=float(rng.uniform(0.5, 20)), alpha=1.0,
+            beta=float(rng.uniform(0.001, 0.1)), gamma=gamma,
+            bandwidth=float(rng.uniform(10, 150)),
+            mu=rng.uniform(-60, 10, size=m),
+            ref=rng.uniform(0, 20, size=m),
+            epsilon=float(rng.uniform(0.05, 3.0)))
+        ours = solve_replica_subproblem(sub)
+        theirs = scipy_solve(sub)
+        assert objective(sub, ours) <= objective(sub, theirs) + 1e-5
+
+    def test_zero_when_mu_large(self):
+        sub = ReplicaSubproblem(price=1, alpha=1, beta=0.01, gamma=3,
+                                bandwidth=10, mu=np.array([100.0]),
+                                ref=np.array([0.0]), epsilon=1.0)
+        assert solve_replica_subproblem(sub)[0] == 0.0
+
+    def test_proximal_pull_toward_ref(self):
+        # With huge epsilon the solution hugs the reference point.
+        ref = np.array([3.0, 4.0])
+        sub = ReplicaSubproblem(price=1, alpha=1, beta=0.01, gamma=3,
+                                bandwidth=100, mu=np.array([-10.0, -10.0]),
+                                ref=ref, epsilon=1e6)
+        p = solve_replica_subproblem(sub)
+        assert np.allclose(p, ref, atol=0.01)
+
+    def test_capacity_snap_exact(self):
+        sub = ReplicaSubproblem(price=1, alpha=1, beta=0.01, gamma=3,
+                                bandwidth=4.0, mu=np.array([-50.0, -50.0]),
+                                ref=np.array([10.0, 10.0]), epsilon=0.5)
+        p = solve_replica_subproblem(sub)
+        assert p.sum() == pytest.approx(4.0)

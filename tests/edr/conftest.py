@@ -1,0 +1,32 @@
+"""Shared workload fixtures for runtime tests."""
+
+import pytest
+
+from repro.util.rng import make_rng
+from repro.workload import (
+    ClientPopulation,
+    FILE_SERVICE,
+    VIDEO_STREAMING,
+    WorkloadGenerator,
+    YoutubeTrafficModel,
+)
+
+
+def burst_trace(app=FILE_SERVICE, count=16, n_clients=8, rate=20.0, seed=0):
+    """A burst of ``count`` requests arriving within ~count/rate seconds."""
+    gen = WorkloadGenerator(
+        traffic=YoutubeTrafficModel(base_rate=rate, amplitude=0.0,
+                                    period=1000.0),
+        clients=ClientPopulation.uniform(n_clients),
+        app=app)
+    return gen.generate(make_rng(seed), count=count)
+
+
+@pytest.fixture
+def dfs_burst():
+    return burst_trace(FILE_SERVICE, count=16)
+
+
+@pytest.fixture
+def video_burst():
+    return burst_trace(VIDEO_STREAMING, count=8, rate=8.0)

@@ -1,0 +1,77 @@
+"""Agent-based CDPSM reproduces the matrix solver exactly."""
+
+import numpy as np
+import pytest
+
+from repro.core.cdpsm import CdpsmSolver
+from repro.core.params import ProblemData
+from repro.core.problem import ReplicaSelectionProblem
+from repro.edr.agents import AgentBasedCdpsm
+from repro.errors import ValidationError
+from repro.net.topology import Topology
+from repro.net.transport import Network
+from repro.sim.engine import Simulator
+from repro.util.rng import make_rng
+
+
+def run_agents(data, rounds):
+    replicas = [f"r{i}" for i in range(data.n_replicas)]
+    sim = Simulator()
+    net = Network(sim, Topology.lan(replicas, latency=0.0004))
+    system = AgentBasedCdpsm(sim, net, data, replicas, rounds=rounds)
+    sim.run()
+    return system, net
+
+
+def run_matrix(data, rounds):
+    solver = CdpsmSolver(ReplicaSelectionProblem(data), max_iter=rounds,
+                         tol=0.0, track_objective=False)
+    mean = None
+    for _k, mean, _change in solver.iterations():
+        pass
+    return mean
+
+
+class TestCdpsmEquivalence:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_agents_match_matrix(self, seed):
+        rng = make_rng(seed)
+        data = ProblemData.paper_defaults(
+            demands=rng.uniform(15, 40, size=2),
+            prices=rng.integers(1, 21, size=3).astype(float))
+        rounds = 25
+        system, _ = run_agents(data, rounds)
+        agent_mean = system.consensus_mean()
+        matrix_mean = run_matrix(data, rounds)
+        assert np.allclose(agent_mean, matrix_mean, atol=1e-8), \
+            f"max diff {np.abs(agent_mean - matrix_mean).max():.2e}"
+
+    def test_message_pattern_is_all_pairs(self):
+        data = ProblemData.paper_defaults([20.0], prices=[2.0, 8.0, 3.0])
+        rounds = 7
+        _, net = run_agents(data, rounds)
+        n = 3
+        assert net.messages_sent == rounds * n * (n - 1)
+
+    def test_estimate_volume_is_cn_per_message(self):
+        data = ProblemData.paper_defaults(
+            [20.0, 10.0], prices=[2.0, 8.0])
+        _, net = run_agents(data, rounds=4)
+        C, N = data.shape
+        expected_mb = 4 * N * (N - 1) * C * N * 8e-6
+        assert net.mb_sent == pytest.approx(expected_mb)
+
+    def test_validation(self):
+        data = ProblemData.paper_defaults([10.0], prices=[1.0])
+        sim = Simulator()
+        net = Network(sim, Topology.lan(["r0"]))
+        with pytest.raises(ValidationError):
+            AgentBasedCdpsm(sim, net, data, ["r0"])
+
+    def test_mean_before_finish_raises(self):
+        data = ProblemData.paper_defaults([10.0], prices=[1.0, 2.0])
+        sim = Simulator()
+        net = Network(sim, Topology.lan(["r0", "r1"]))
+        system = AgentBasedCdpsm(sim, net, data, ["r0", "r1"], rounds=3)
+        with pytest.raises(ValidationError):
+            system.consensus_mean()

@@ -1,0 +1,110 @@
+"""The agent-based LDDM execution reproduces the matrix solver exactly.
+
+This is the fidelity proof for the experiment harness's shortcut of
+computing iterations centrally while simulating the messages: when every
+replica and client is an independent process exchanging only protocol
+messages, the resulting allocation is numerically identical to the
+matrix-form solver run for the same number of iterations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.lddm import LddmSolver
+from repro.core.params import ProblemData
+from repro.core.problem import ReplicaSelectionProblem
+from repro.edr.agents import AgentBasedLddm
+from repro.errors import ValidationError
+from repro.net.topology import Topology
+from repro.net.transport import Network
+from repro.sim.engine import Simulator
+from repro.util.rng import make_rng
+
+
+def run_agents(data, rounds):
+    replicas = [f"r{i}" for i in range(data.n_replicas)]
+    clients = [f"c{i}" for i in range(data.n_clients)]
+    sim = Simulator()
+    net = Network(sim, Topology.lan(replicas + clients, latency=0.0004))
+    system = AgentBasedLddm(sim, net, data, replicas, clients,
+                            rounds=rounds)
+    sim.run()
+    return system, net
+
+
+def run_matrix(data, rounds):
+    solver = LddmSolver(ReplicaSelectionProblem(data), max_iter=rounds,
+                        tol=0.0, track_objective=False)
+    candidate = None
+    for _k, candidate, _res in solver.iterations():
+        pass
+    return candidate
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_agent_execution_matches_matrix_solver(self, seed):
+        rng = make_rng(seed)
+        data = ProblemData.paper_defaults(
+            demands=rng.uniform(15, 45, size=3),
+            prices=rng.integers(1, 21, size=4).astype(float))
+        rounds = 40
+        system, _ = run_agents(data, rounds)
+        agent_alloc = system.allocation()
+        matrix_alloc = run_matrix(data, rounds)
+        assert np.allclose(agent_alloc, matrix_alloc, atol=1e-9), \
+            f"max diff {np.abs(agent_alloc - matrix_alloc).max():.2e}"
+
+    def test_masked_instance_matches(self):
+        rng = make_rng(7)
+        mask = np.array([[True, False, True],
+                         [True, True, True]])
+        data = ProblemData.paper_defaults(
+            demands=[25.0, 35.0], prices=[3.0, 11.0, 5.0], mask=mask)
+        system, _ = run_agents(data, rounds=30)
+        matrix_alloc = run_matrix(data, rounds=30)
+        assert np.allclose(system.allocation(), matrix_alloc, atol=1e-9)
+        assert np.all(system.allocation()[~mask] == 0.0)
+
+    def test_message_pattern_is_o_cn(self):
+        data = ProblemData.paper_defaults(
+            demands=[20.0, 30.0], prices=[2.0, 8.0, 3.0])
+        rounds = 10
+        _, net = run_agents(data, rounds)
+        C, N = data.shape
+        # REGISTER (C*N) + INIT (N*C) + per round: MU (C*N) + SOL (N*C).
+        expected = 2 * C * N + rounds * 2 * C * N
+        assert net.messages_sent == expected
+
+    def test_simulated_time_advances_with_rounds(self):
+        data = ProblemData.paper_defaults(
+            demands=[20.0], prices=[2.0, 8.0])
+        replicas = ["r0", "r1"]
+        clients = ["c0"]
+        sim = Simulator()
+        net = Network(sim, Topology.lan(replicas + clients,
+                                        latency=0.001))
+        AgentBasedLddm(sim, net, data, replicas, clients, rounds=20)
+        sim.run()
+        # At least one latency per half-round trip, 2 legs per round.
+        assert sim.now >= 20 * 2 * 0.001
+
+    def test_allocation_before_finish_raises(self):
+        data = ProblemData.paper_defaults([10.0], prices=[1.0, 2.0])
+        replicas = ["r0", "r1"]
+        clients = ["c0"]
+        sim = Simulator()
+        net = Network(sim, Topology.lan(replicas + clients))
+        system = AgentBasedLddm(sim, net, data, replicas, clients,
+                                rounds=5)
+        with pytest.raises(ValidationError):
+            system.allocation()
+
+    def test_validation(self):
+        data = ProblemData.paper_defaults([10.0], prices=[1.0, 2.0])
+        sim = Simulator()
+        net = Network(sim, Topology.lan(["r0", "r1", "c0"]))
+        with pytest.raises(ValidationError):
+            AgentBasedLddm(sim, net, data, ["r0"], ["c0"])
+        with pytest.raises(ValidationError):
+            AgentBasedLddm(sim, net, data, ["r0", "r1"], ["c0"], rounds=0)

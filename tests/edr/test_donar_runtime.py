@@ -1,0 +1,54 @@
+"""Tests for the DONAR mapping-node runtime."""
+
+import pytest
+
+from repro.edr.donar_runtime import DonarRuntime, DonarRuntimeConfig
+from repro.errors import ValidationError
+from repro.workload.requests import RequestTrace
+
+from tests.edr.conftest import burst_trace
+
+
+class TestDonarRuntime:
+    @pytest.fixture(scope="class")
+    def result(self):
+        trace = burst_trace(count=16, n_clients=8, rate=40.0)
+        runtime = DonarRuntime(trace, DonarRuntimeConfig())
+        return trace, runtime.run(app="dfs")
+
+    def test_everything_delivered(self, result):
+        trace, res = result
+        assert res.extras["delivered_mb"] == pytest.approx(
+            trace.total_mb(), rel=1e-9)
+        assert len(res.response_times) == len(trace)
+
+    def test_responses_positive_and_bounded(self, result):
+        _, res = result
+        assert all(0 < t < 1.0 for t in res.response_times)
+
+    def test_messages_counted(self, result):
+        _, res = result
+        assert res.extras["messages"] > 0
+        assert res.extras["batches"] >= 1
+
+    def test_method_tag(self, result):
+        _, res = result
+        assert res.method == "donar"
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValidationError):
+            DonarRuntime(RequestTrace([]))
+
+    def test_min_rounds_floor_slows_decisions(self):
+        trace = burst_trace(count=8, n_clients=8, rate=40.0)
+        fast = DonarRuntime(trace, DonarRuntimeConfig(min_rounds=1)
+                            ).run(app="dfs")
+        slow = DonarRuntime(trace, DonarRuntimeConfig(min_rounds=30)
+                            ).run(app="dfs")
+        assert slow.mean_response > fast.mean_response
+
+    def test_deterministic(self):
+        trace = burst_trace(count=8, n_clients=8, rate=40.0)
+        a = DonarRuntime(trace, DonarRuntimeConfig()).run(app="dfs")
+        b = DonarRuntime(trace, DonarRuntimeConfig()).run(app="dfs")
+        assert a.response_times == b.response_times

@@ -1,0 +1,117 @@
+"""Tests for the ring membership structure and heartbeat failure detector."""
+
+import pytest
+
+from repro.edr.membership import HeartbeatProtocol, MembershipRing
+from repro.errors import MembershipError
+from repro.net.faults import FaultInjector
+from repro.net.topology import Topology
+from repro.net.transport import Network
+from repro.sim.engine import Simulator
+
+
+class TestMembershipRing:
+    def test_ring_order(self):
+        ring = MembershipRing(["a", "b", "c"])
+        assert ring.successor("a") == "b"
+        assert ring.successor("c") == "a"
+        assert ring.predecessor("a") == "c"
+
+    def test_dead_member_skipped(self):
+        ring = MembershipRing(["a", "b", "c"])
+        ring.mark_dead("b")
+        assert ring.live == ["a", "c"]
+        assert ring.successor("a") == "c"
+        assert ring.predecessor("a") == "c"
+
+    def test_single_member_self_loop(self):
+        ring = MembershipRing(["only"])
+        assert ring.successor("only") == "only"
+
+    def test_mark_dead_idempotent(self):
+        ring = MembershipRing(["a", "b"])
+        ring.mark_dead("a")
+        ring.mark_dead("a")
+        assert ring.events == [("dead", "a")]
+
+    def test_rejoin(self):
+        ring = MembershipRing(["a", "b"])
+        ring.mark_dead("a")
+        ring.mark_alive("a")
+        assert ring.live == ["a", "b"]
+
+    def test_rejoin_unknown_rejected(self):
+        with pytest.raises(MembershipError):
+            MembershipRing(["a"]).mark_alive("stranger")
+
+    def test_dead_member_queries_fail(self):
+        ring = MembershipRing(["a", "b"])
+        ring.mark_dead("a")
+        with pytest.raises(MembershipError):
+            ring.successor("a")
+
+    def test_validation(self):
+        with pytest.raises(MembershipError):
+            MembershipRing([])
+        with pytest.raises(MembershipError):
+            MembershipRing(["a", "a"])
+
+    def test_is_alive(self):
+        ring = MembershipRing(["a"])
+        assert ring.is_alive("a")
+        assert not ring.is_alive("z")
+
+
+class TestHeartbeatProtocol:
+    def _setup(self, n=3):
+        sim = Simulator()
+        names = [f"r{i}" for i in range(n)]
+        topo = Topology.lan(names, latency=0.001)
+        net = Network(sim, topo)
+        ring = MembershipRing(names)
+        return sim, net, ring
+
+    def test_no_false_positives(self):
+        sim, net, ring = self._setup()
+        hb = HeartbeatProtocol(sim, net, ring, interval=0.05, timeout=0.25)
+        sim.run(until=5.0)
+        hb.stop()
+        assert ring.live == ["r0", "r1", "r2"]
+
+    def test_crash_detected_and_announced(self):
+        sim, net, ring = self._setup()
+        deaths = []
+        hb = HeartbeatProtocol(sim, net, ring, interval=0.05, timeout=0.25,
+                               on_death=deaths.append)
+        inj = FaultInjector(sim, net)
+        inj.crash_at(1.0, "r1")
+        sim.run(until=3.0)
+        hb.stop()
+        assert ring.live == ["r0", "r2"]
+        assert deaths == ["r1"]
+        # Detection happened within a few timeouts of the crash.
+        assert ("dead", "r1") in ring.events
+
+    def test_ring_repairs_after_death(self):
+        sim, net, ring = self._setup(4)
+        hb = HeartbeatProtocol(sim, net, ring, interval=0.05, timeout=0.25)
+        inj = FaultInjector(sim, net)
+        inj.crash_at(1.0, "r2")
+        sim.run(until=3.0)
+        hb.stop()
+        assert ring.successor("r1") == "r3"
+
+    def test_two_crashes(self):
+        sim, net, ring = self._setup(5)
+        hb = HeartbeatProtocol(sim, net, ring, interval=0.05, timeout=0.25)
+        inj = FaultInjector(sim, net)
+        inj.crash_at(1.0, "r1")
+        inj.crash_at(1.5, "r3")
+        sim.run(until=4.0)
+        hb.stop()
+        assert ring.live == ["r0", "r2", "r4"]
+
+    def test_timeout_must_exceed_interval(self):
+        sim, net, ring = self._setup()
+        with pytest.raises(MembershipError):
+            HeartbeatProtocol(sim, net, ring, interval=0.3, timeout=0.2)

@@ -1,0 +1,84 @@
+"""Consistency of the planning model with the physical emulation.
+
+EDR's premise (DESIGN.md §5.1) is that minimizing the abstract Eq. (1)
+objective reduces the *measured* energy cost of the emulated cluster.
+These tests serve a controlled workload at varying loads and verify the
+measured energy has the planning model's qualitative shape.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.node import NodeActivity, ReplicaNode
+from repro.cluster.pdu import PowerSampler
+from repro.net.flows import FlowManager
+from repro.net.topology import Topology
+from repro.sim.engine import Simulator
+
+
+def serve_load(n_parallel_flows: int, mb_per_flow: float):
+    """One replica serves ``n`` parallel client downloads; returns
+    (measured joules above idle, duration)."""
+    clients = [f"c{i}" for i in range(max(n_parallel_flows, 1))]
+    topo = Topology.lan(["server"] + clients, latency=0.0, capacity=100.0)
+    sim = Simulator()
+    fm = FlowManager(sim, topo)
+    node = ReplicaNode("server",
+                       net_probe=lambda: fm.utilization("server"))
+    node.set_activity(NodeActivity.TRANSFERRING)
+    pdu = PowerSampler(sim, node, rate_hz=50.0)
+    flows = [fm.transfer("server", clients[i], mb_per_flow)
+             for i in range(n_parallel_flows)]
+    for flow in flows:
+        if not flow.done.processed:
+            sim.run(until=flow.done)
+    pdu.stop()
+    duration = max((f.finished_at for f in flows), default=0.0)
+    joules = pdu.profile.integrate_between(0.0, duration)
+    idle_joules = node.power_model.power(0.35, 0.0) * duration
+    return joules - idle_joules, duration
+
+
+class TestPhysicalShape:
+    def test_energy_grows_with_volume(self):
+        e1, _ = serve_load(1, 50.0)
+        e2, _ = serve_load(1, 100.0)
+        assert e2 > e1
+
+    def test_nic_term_superlinear_in_rate(self):
+        """Same volume at higher NIC utilization costs more dynamic
+        energy — the physical counterpart of the convex network term."""
+        # 200 MB served as 2 parallel flows (full NIC rate, half time)
+        # vs sequentially at half utilization... here: compare 2 flows of
+        # 100 MB (utilization 1.0, 2 s) against 1 flow of 200 MB
+        # (utilization 1.0, 2 s) — equal; instead reduce rate by capacity.
+        clients = ["c0"]
+        topo_fast = Topology.lan(["server"] + clients, latency=0.0,
+                                 capacity=100.0)
+        topo_slow = Topology(["server", "c0"],
+                             [[0.0, 0.0], [0.0, 0.0]],
+                             [100.0, 50.0])  # client NIC caps rate at 50
+        results = {}
+        for name, topo in (("fast", topo_fast), ("slow", topo_slow)):
+            sim = Simulator()
+            fm = FlowManager(sim, topo)
+            node = ReplicaNode("server",
+                               net_probe=lambda fm=fm: fm.utilization("server"))
+            node.set_activity(NodeActivity.TRANSFERRING)
+            pdu = PowerSampler(sim, node, rate_hz=50.0)
+            flow = fm.transfer("server", "c0", 100.0)
+            sim.run(until=flow.done)
+            pdu.stop()
+            # (the sampler is stopped; no need to drain its future ticks)
+            duration = flow.finished_at
+            dynamic = pdu.profile.integrate_between(0.0, duration) \
+                - node.power_model.power(0.35, 0.0) * duration
+            results[name] = dynamic
+        # Full-rate transfer: util = 1, cubic term maximal -> more
+        # dynamic NIC energy than the half-rate transfer of the same
+        # bytes (0.5**3 * 2x duration = 1/4 the NIC energy).
+        assert results["fast"] > 2.0 * results["slow"]
+
+    def test_measured_power_within_envelope(self):
+        _, duration = serve_load(2, 60.0)
+        assert duration > 0

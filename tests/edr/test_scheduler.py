@@ -1,0 +1,109 @@
+"""Tests for the distributed solve session."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.node import NodeActivity, ReplicaNode
+from repro.core.params import ProblemData
+from repro.core.problem import ReplicaSelectionProblem
+from repro.edr.scheduler import DistributedSolveSession, SolveTimingModel
+from repro.errors import ValidationError
+from repro.net.topology import Topology
+from repro.net.transport import Network
+from repro.sim.engine import Simulator
+
+
+def setup_session(algorithm="lddm", n_replicas=3, n_clients=2, **kwargs):
+    sim = Simulator()
+    replicas = [f"r{i}" for i in range(n_replicas)]
+    clients = [f"c{i}" for i in range(n_clients)]
+    topo = Topology.lan(replicas + clients, latency=0.0005)
+    net = Network(sim, topo)
+    data = ProblemData.paper_defaults(
+        demands=[30.0] * n_clients, prices=list(range(1, n_replicas + 1)))
+    problem = ReplicaSelectionProblem(data)
+    nodes = {r: ReplicaNode(r) for r in replicas}
+    session = DistributedSolveSession(
+        sim, net, problem, replicas, clients, algorithm, nodes=nodes,
+        **kwargs)
+    return sim, net, nodes, problem, session
+
+
+class TestTimingModel:
+    def test_linear_in_clients(self):
+        tm = SolveTimingModel(base=1e-4, per_client=1e-5)
+        t1 = tm.iteration_time(10, "lddm")
+        t2 = tm.iteration_time(20, "lddm")
+        assert t2 - t1 == pytest.approx(10 * 1e-5)
+
+    def test_cdpsm_costs_more(self):
+        tm = SolveTimingModel()
+        assert tm.iteration_time(5, "cdpsm") > tm.iteration_time(5, "lddm")
+
+
+class TestSession:
+    def test_produces_feasible_allocation(self):
+        sim, net, nodes, problem, session = setup_session("lddm")
+        sim.process(session.run())
+        sim.run()
+        assert session.allocation is not None
+        assert problem.violation(session.allocation) < 1e-3
+        assert session.duration > 0
+        assert session.iterations > 0
+
+    def test_time_advances_with_iterations(self):
+        sim, net, nodes, problem, session = setup_session("lddm")
+        sim.process(session.run())
+        sim.run()
+        # Each iteration costs at least the computation time.
+        assert sim.now >= session.iterations * \
+            session.timing.iteration_time(2, "lddm")
+
+    def test_cdpsm_message_pattern(self):
+        sim, net, nodes, problem, session = setup_session(
+            "cdpsm", max_iter=5, tol=1e-12)
+        sim.process(session.run())
+        sim.run()
+        n = 3
+        # All-pairs exchange per iteration.
+        assert net.messages_sent == session.iterations * n * (n - 1)
+
+    def test_lddm_message_pattern(self):
+        sim, net, nodes, problem, session = setup_session(
+            "lddm", max_iter=5, tol=1e-12)
+        sim.process(session.run())
+        sim.run()
+        # replica->client + client->replica per pair per iteration.
+        assert net.messages_sent == session.iterations * 2 * 3 * 2
+
+    def test_nodes_return_to_idle(self):
+        sim, net, nodes, problem, session = setup_session("lddm")
+        sim.process(session.run())
+        sim.run()
+        for node in nodes.values():
+            assert node.activity is NodeActivity.IDLE
+
+    def test_nodes_busy_during_solve(self):
+        sim, net, nodes, problem, session = setup_session("cdpsm",
+                                                          max_iter=50)
+        proc = sim.process(session.run())
+        sim.run(until=1e-4)
+        states = {n.activity for n in nodes.values()}
+        assert states == {NodeActivity.SELECTING}
+        # CDPSM stacks coordination overlay on top.
+        assert all(n.cpu_utilization > 0.8 for n in nodes.values())
+        sim.run()
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValidationError):
+            setup_session("simplex")
+
+    def test_name_count_validation(self):
+        sim = Simulator()
+        topo = Topology.lan(["r0", "c0"])
+        net = Network(sim, topo)
+        data = ProblemData.paper_defaults([10.0], prices=[1.0, 2.0])
+        problem = ReplicaSelectionProblem(data)
+        with pytest.raises(ValidationError):
+            DistributedSolveSession(sim, net, problem, ["r0"], ["c0"],
+                                    "lddm")

@@ -1,0 +1,45 @@
+"""Tests for the experiments CLI."""
+
+import pytest
+
+from repro.experiments.runner import main, run_one
+
+
+class TestRunner:
+    def test_fig5_via_cli(self, capsys):
+        rc = main(["fig5", "--quick"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out and "Fig. 5" in out
+
+    def test_multiple_experiments(self, capsys):
+        rc = main(["fig5", "ablations", "--quick"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Fig. 5" in out and "Ablation" in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_headline_runs_override(self, capsys):
+        rc = main(["headline", "--runs", "2"])
+        assert rc == 0
+        assert "Headline sweep over 2" in capsys.readouterr().out
+
+    def test_quick_fig9(self, capsys):
+        rc = main(["fig9", "--quick"])
+        assert rc == 0
+        assert "Fig. 9" in capsys.readouterr().out
+
+    def test_quick_fig4_renders_sparklines(self, capsys):
+        rc = main(["fig4", "--quick"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out
+        assert "power profiles" in out  # the sparkline panel
+
+    def test_validation_quick(self, capsys):
+        rc = main(["validation", "--quick"])
+        assert rc == 0
+        assert "Spearman" in capsys.readouterr().out

@@ -1,0 +1,54 @@
+"""Tests for scenario definitions and trace materialization."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.experiments.scenarios import (
+    PAPER_DFS,
+    PAPER_VIDEO,
+    Scenario,
+    make_trace,
+)
+from repro.workload.apps import FILE_SERVICE, VIDEO_STREAMING
+
+
+class TestScenario:
+    def test_paper_scenarios(self):
+        assert PAPER_VIDEO.app is VIDEO_STREAMING
+        assert PAPER_DFS.app is FILE_SERVICE
+        # DFS runs 10x the requests at 1/10 the size (same total volume).
+        assert PAPER_DFS.n_requests == 10 * PAPER_VIDEO.n_requests
+        assert PAPER_VIDEO.prices == (1, 8, 1, 6, 1, 5, 2, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            Scenario("x", VIDEO_STREAMING, 0, 1, 1.0)
+        with pytest.raises(ValidationError):
+            Scenario("x", VIDEO_STREAMING, 1, 1, 0.0)
+
+    def test_scaled(self):
+        s = PAPER_VIDEO.scaled(0.5)
+        assert s.n_requests == 12
+        assert s.arrival_rate == pytest.approx(6.0)
+        assert s.prices == PAPER_VIDEO.prices
+
+    def test_scaled_validation(self):
+        with pytest.raises(ValidationError):
+            PAPER_VIDEO.scaled(0)
+
+
+class TestMakeTrace:
+    def test_count_and_app(self):
+        trace = make_trace(PAPER_VIDEO.scaled(0.25))
+        assert len(trace) == 6
+        assert all(r.app == "video" for r in trace)
+
+    def test_deterministic(self):
+        a = make_trace(PAPER_DFS.scaled(0.1))
+        b = make_trace(PAPER_DFS.scaled(0.1))
+        assert [r.arrival for r in a] == [r.arrival for r in b]
+
+    def test_seed_override_changes_trace(self):
+        a = make_trace(PAPER_DFS.scaled(0.1))
+        b = make_trace(PAPER_DFS.scaled(0.1), seed=99)
+        assert [r.arrival for r in a] != [r.arrival for r in b]

@@ -1,0 +1,158 @@
+"""Tests for energy accounting, response-time stats, and result containers."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.node import ReplicaNode
+from repro.cluster.pdu import PowerSampler
+from repro.cluster.datacenter import ReplicaSite
+from repro.cluster.pricing import JOULES_PER_KWH
+from repro.errors import ValidationError
+from repro.metrics.energy import EnergyAccount
+from repro.metrics.latency import ResponseTimeStats
+from repro.metrics.report import ExperimentResult, compare_table
+from repro.sim.engine import Simulator
+
+
+def make_sites(prices=(1.0, 8.0), seconds=100.0):
+    sim = Simulator()
+    sites = []
+    for i, p in enumerate(prices):
+        node = ReplicaNode(f"r{i}")
+        meter = PowerSampler(sim, node, rate_hz=10.0)
+        sites.append(ReplicaSite(node=node, meter=meter,
+                                 price_cents_per_kwh=p, index=i))
+    sim.run(until=seconds)
+    for s in sites:
+        s.meter.stop()
+    return sites
+
+
+class TestEnergyAccount:
+    def test_totals(self):
+        sites = make_sites()
+        acct = EnergyAccount(sites)
+        j = acct.joules_by_replica()
+        assert j.shape == (2,)
+        assert acct.total_joules() == pytest.approx(j.sum())
+        c = acct.cents_by_replica()
+        # Same power, different prices: cost ratio == price ratio.
+        assert c[1] / c[0] == pytest.approx(8.0)
+        assert acct.total_cents() == pytest.approx(c.sum())
+
+    def test_names_and_prices(self):
+        acct = EnergyAccount(make_sites())
+        assert acct.names == ["r0", "r1"]
+        assert acct.prices().tolist() == [1.0, 8.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            EnergyAccount([])
+
+    def test_cents_from_joules(self):
+        out = EnergyAccount.cents_from_joules(
+            [JOULES_PER_KWH, 2 * JOULES_PER_KWH], [1.0, 3.0])
+        assert out.tolist() == [1.0, 6.0]
+
+    def test_cents_from_joules_mismatch(self):
+        with pytest.raises(ValidationError):
+            EnergyAccount.cents_from_joules([1.0], [1.0, 2.0])
+
+
+class TestResponseTimeStats:
+    def test_basic_flow(self):
+        st = ResponseTimeStats()
+        st.issued("a", 1.0)
+        st.issued("b", 2.0)
+        assert st.pending == 2
+        st.answered("a", 1.5)
+        st.answered("b", 2.25)
+        assert st.pending == 0
+        assert st.count == 2
+        assert st.total() == pytest.approx(0.75)
+        assert st.mean() == pytest.approx(0.375)
+
+    def test_double_issue_rejected(self):
+        st = ResponseTimeStats()
+        st.issued("a", 0.0)
+        with pytest.raises(ValidationError):
+            st.issued("a", 1.0)
+
+    def test_answer_unknown_rejected(self):
+        with pytest.raises(ValidationError):
+            ResponseTimeStats().answered("ghost", 1.0)
+
+    def test_answer_before_issue_time(self):
+        st = ResponseTimeStats()
+        st.issued("a", 5.0)
+        with pytest.raises(ValidationError):
+            st.answered("a", 4.0)
+
+    def test_mean_empty(self):
+        with pytest.raises(ValidationError):
+            ResponseTimeStats().mean()
+
+    def test_summary(self):
+        st = ResponseTimeStats()
+        for i in range(10):
+            st.issued(i, 0.0)
+            st.answered(i, 0.1 * (i + 1))
+        assert st.summary().n == 10
+
+
+def make_result(method, cents, joules):
+    return ExperimentResult(
+        method=method, app="video",
+        joules_by_replica=np.asarray(joules, dtype=float),
+        cents_by_replica=np.asarray(cents, dtype=float),
+        makespan=10.0, response_times=[0.05, 0.15])
+
+
+class TestExperimentResult:
+    def test_totals(self):
+        r = make_result("lddm", [1.0, 2.0], [10.0, 20.0])
+        assert r.total_cents == 3.0
+        assert r.total_joules == 30.0
+        assert r.mean_response == pytest.approx(0.1)
+
+    def test_savings(self):
+        lddm = make_result("lddm", [8.0], [100.0])
+        rr = make_result("rr", [10.0], [90.0])
+        assert lddm.savings_vs(rr, "cents") == pytest.approx(0.2)
+        assert lddm.savings_vs(rr, "joules") == pytest.approx(1 - 100 / 90)
+
+    def test_savings_validation(self):
+        a = make_result("a", [1.0], [1.0])
+        z = make_result("z", [0.0], [0.0])
+        with pytest.raises(ValidationError):
+            a.savings_vs(z, "cents")
+        with pytest.raises(ValidationError):
+            a.savings_vs(a, "bogus")
+
+    def test_no_responses(self):
+        r = make_result("x", [1.0], [1.0])
+        r.response_times = []
+        with pytest.raises(ValidationError):
+            _ = r.mean_response
+
+
+class TestCompareTable:
+    def test_layout(self):
+        results = {
+            "lddm": make_result("lddm", [1.0, 2.0], [5.0, 6.0]),
+            "rr": make_result("rr", [3.0, 4.0], [7.0, 8.0]),
+        }
+        out = compare_table(results, ["replica1", "replica2"],
+                            quantity="cents", title="Fig. 6")
+        assert "Fig. 6" in out
+        assert "replica1" in out and "TOTAL" in out
+        assert "lddm" in out and "rr" in out
+
+    def test_joules_quantity(self):
+        results = {"rr": make_result("rr", [1.0], [42.0])}
+        out = compare_table(results, ["replica1"], quantity="joules")
+        assert "42" in out
+
+    def test_bad_quantity(self):
+        with pytest.raises(ValidationError):
+            compare_table({}, [], quantity="watts")

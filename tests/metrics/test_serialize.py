@@ -1,0 +1,63 @@
+"""Tests for JSON result serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.metrics.report import ExperimentResult
+from repro.metrics.serialize import (
+    dump_results,
+    load_results,
+    result_from_dict,
+    result_to_dict,
+)
+
+
+def make_result():
+    return ExperimentResult(
+        method="lddm", app="video",
+        joules_by_replica=np.array([1.0, 2.0]),
+        cents_by_replica=np.array([0.5, 4.0]),
+        makespan=12.5,
+        response_times=[0.01, 0.02],
+        extras={"messages": 42, "busy_end": {"replica1": 3.0},
+                "wall_clock_joules": np.array([5.0, 6.0])})
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        original = make_result()
+        back = result_from_dict(result_to_dict(original))
+        assert back.method == original.method
+        assert back.app == original.app
+        assert np.allclose(back.joules_by_replica,
+                           original.joules_by_replica)
+        assert np.allclose(back.cents_by_replica, original.cents_by_replica)
+        assert back.makespan == original.makespan
+        assert back.response_times == original.response_times
+        assert back.extras["messages"] == 42
+
+    def test_numpy_values_become_plain_json(self):
+        import json
+        text = dump_results({"a": make_result()})
+        data = json.loads(text)  # must not raise
+        assert data["a"]["extras"]["wall_clock_joules"] == [5.0, 6.0]
+
+    def test_mapping_round_trip(self):
+        results = {"lddm": make_result(), "rr": make_result()}
+        back = load_results(dump_results(results))
+        assert set(back) == {"lddm", "rr"}
+        assert back["lddm"].total_cents == pytest.approx(4.5)
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(ValidationError):
+            result_from_dict({"method": "x"})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValidationError):
+            load_results("[1, 2, 3]")
+
+    def test_derived_metrics_survive(self):
+        back = result_from_dict(result_to_dict(make_result()))
+        assert back.total_joules == pytest.approx(3.0)
+        assert back.mean_response == pytest.approx(0.015)

@@ -1,0 +1,86 @@
+"""Tests for crash-fault injection."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.faults import FaultInjector
+from repro.net.flows import FlowManager
+from repro.net.topology import Topology
+from repro.net.transport import Network
+from repro.sim.engine import Simulator
+from repro.sim.process import Interrupt
+
+
+def setup():
+    sim = Simulator()
+    topo = Topology.lan(["a", "b", "c"], latency=0.001, capacity=10.0)
+    net = Network(sim, topo)
+    fm = FlowManager(sim, topo)
+    return sim, net, fm, FaultInjector(sim, net, fm)
+
+
+class TestCrash:
+    def test_crash_drops_messages_and_flows(self):
+        sim, net, fm, inj = setup()
+        flow = fm.transfer("a", "b", 100.0)
+        inj.crash_at(1.0, "b")
+
+        def sender(sim):
+            yield sim.timeout(2.0)
+            net.endpoint("a").send("b", "m", "X")
+
+        sim.process(sender(sim))
+        sim.run()
+        assert flow.cancelled
+        assert net.messages_delivered == 0
+
+    def test_crash_interrupts_registered_process(self):
+        sim, net, fm, inj = setup()
+        states = []
+
+        def server(sim):
+            try:
+                yield sim.timeout(100)
+                states.append("finished")
+            except Interrupt as exc:
+                states.append(f"killed:{exc.cause}")
+
+        proc = sim.process(server(sim))
+        inj.register_process("b", proc)
+        inj.crash_at(3.0, "b")
+        sim.run()
+        assert states == ["killed:crash:b"]
+
+    def test_double_crash_rejected(self):
+        sim, net, fm, inj = setup()
+        inj.crash("b")
+        with pytest.raises(SimulationError):
+            inj.crash("b")
+
+    def test_restore_requires_crashed(self):
+        sim, net, fm, inj = setup()
+        with pytest.raises(SimulationError):
+            inj.restore("b")
+
+    def test_crash_restore_cycle(self):
+        sim, net, fm, inj = setup()
+        inj.crash("b")
+        inj.restore("b")
+        net.endpoint("a").send("b", "m", "X")
+        sim.run()
+        assert net.messages_delivered == 1
+
+    def test_crash_log(self):
+        sim, net, fm, inj = setup()
+        inj.crash_at(1.0, "c")
+        inj.restore_at(2.0, "c")
+        sim.run()
+        assert inj.crash_log == [(1.0, "c", "crash"), (2.0, "c", "restore")]
+
+    def test_crash_without_flowmanager(self):
+        sim = Simulator()
+        topo = Topology.lan(["a", "b"])
+        net = Network(sim, topo)
+        inj = FaultInjector(sim, net, flows=None)
+        inj.crash("a")
+        assert net.is_crashed("a")

@@ -1,0 +1,243 @@
+"""Tests for max-min fair bulk flows."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ValidationError
+from repro.net.flows import Flow, FlowManager, max_min_fair_rates
+from repro.net.topology import Topology
+from repro.sim.engine import Simulator
+
+
+def setup(nodes=("a", "b", "c"), capacity=100.0, latency=0.0):
+    sim = Simulator()
+    topo = Topology.lan(list(nodes), latency=latency, capacity=capacity)
+    return sim, FlowManager(sim, topo)
+
+
+class TestMaxMinFairRates:
+    def _mk(self, sim, src, dst):
+        return Flow(sim, src, dst, 1.0)
+
+    def test_single_flow_gets_full_capacity(self):
+        sim, fm = setup()
+        f = self._mk(sim, "a", "b")
+        rates = max_min_fair_rates([f], {"a": 100, "b": 100, "c": 100})
+        assert rates[f] == pytest.approx(100)
+
+    def test_two_flows_share_common_node(self):
+        sim, _ = setup()
+        f1, f2 = self._mk(sim, "a", "b"), self._mk(sim, "a", "c")
+        rates = max_min_fair_rates([f1, f2], {"a": 100, "b": 100, "c": 100})
+        assert rates[f1] == pytest.approx(50)
+        assert rates[f2] == pytest.approx(50)
+
+    def test_bottleneck_then_leftover(self):
+        sim, _ = setup()
+        # b has low capacity; flow a->c should get the rest of a's capacity.
+        f1, f2 = self._mk(sim, "a", "b"), self._mk(sim, "a", "c")
+        rates = max_min_fair_rates([f1, f2], {"a": 100, "b": 20, "c": 100})
+        assert rates[f1] == pytest.approx(20)
+        assert rates[f2] == pytest.approx(80)
+
+    def test_empty(self):
+        assert max_min_fair_rates([], {"a": 1}) == {}
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(1, 12), st.integers(2, 6),
+           st.floats(1.0, 1000.0))
+    def test_property_no_node_over_capacity(self, n_flows, n_nodes, cap):
+        sim = Simulator()
+        nodes = [f"n{i}" for i in range(n_nodes)]
+        flows = []
+        for i in range(n_flows):
+            src = nodes[i % n_nodes]
+            dst = nodes[(i + 1) % n_nodes]
+            flows.append(Flow(sim, src, dst, 1.0))
+        capacity = {n: cap for n in nodes}
+        rates = max_min_fair_rates(flows, capacity)
+        assert all(r >= -1e-9 for r in rates.values())
+        for node in nodes:
+            total = sum(r for f, r in rates.items()
+                        if node in (f.src, f.dst))
+            assert total <= cap * (1 + 1e-9) + 1e-6
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(2, 10))
+    def test_property_equal_flows_equal_rates(self, n_flows):
+        # n identical flows a->b must split capacity evenly.
+        sim = Simulator()
+        flows = [Flow(sim, "a", "b", 1.0) for _ in range(n_flows)]
+        rates = max_min_fair_rates(flows, {"a": 100, "b": 100})
+        values = list(rates.values())
+        assert all(v == pytest.approx(values[0]) for v in values)
+        assert sum(values) == pytest.approx(100)
+
+
+class TestFlowManagerCompletion:
+    def test_single_transfer_timing(self):
+        sim, fm = setup(capacity=10.0)
+        flow = fm.transfer("a", "b", 50.0)  # 50 MB over 10 MB/s = 5 s
+        sim.run()
+        assert flow.completed
+        assert flow.finished_at == pytest.approx(5.0)
+
+    def test_zero_size_completes_at_latency(self):
+        sim, fm = setup(latency=0.25)
+        flow = fm.transfer("a", "b", 0.0)
+        sim.run()
+        assert flow.completed
+        assert flow.finished_at == pytest.approx(0.25)
+
+    def test_concurrent_flows_slow_each_other(self):
+        sim, fm = setup(capacity=10.0)
+        f1 = fm.transfer("a", "b", 10.0)
+        f2 = fm.transfer("a", "c", 10.0)
+        sim.run()
+        # Each flow runs at 5 MB/s while both active: both end at t=2.
+        assert f1.finished_at == pytest.approx(2.0)
+        assert f2.finished_at == pytest.approx(2.0)
+
+    def test_staggered_start_rate_change(self):
+        sim, fm = setup(capacity=10.0)
+        f1 = fm.transfer("a", "b", 10.0)
+        holder = {}
+
+        def late(sim):
+            yield sim.timeout(0.5)
+            holder["f2"] = fm.transfer("a", "c", 5.0)
+
+        sim.process(late(sim))
+        sim.run()
+        # f1 alone for 0.5 s (moves 5 MB), then shares at 5 MB/s for
+        # remaining 5 MB => finishes at 0.5 + 1.0 = 1.5 s.
+        assert f1.finished_at == pytest.approx(1.5)
+        # f2: 5 MB at 5 MB/s while sharing, finishing at the same instant
+        # or after; once f1 done it would speed up, but it is exactly done.
+        assert holder["f2"].finished_at == pytest.approx(1.5)
+
+    def test_rate_speeds_up_after_completion(self):
+        sim, fm = setup(capacity=10.0)
+        f1 = fm.transfer("a", "b", 5.0)
+        f2 = fm.transfer("a", "c", 10.0)
+        sim.run()
+        # Shared 5 MB/s until f1 done at t=1 (f2 moved 5), then f2 at
+        # 10 MB/s for remaining 5 => t=1.5.
+        assert f1.finished_at == pytest.approx(1.0)
+        assert f2.finished_at == pytest.approx(1.5)
+
+    def test_conservation_all_bytes_delivered(self):
+        sim, fm = setup(capacity=33.0)
+        flows = [fm.transfer("a", "b", 7.0), fm.transfer("b", "c", 11.0),
+                 fm.transfer("a", "c", 13.0)]
+        sim.run()
+        assert all(f.completed for f in flows)
+        assert fm.completed_flows == 3
+        assert fm.total_mb == pytest.approx(31.0)
+
+    def test_validation(self):
+        sim, fm = setup()
+        with pytest.raises(ValidationError):
+            fm.transfer("a", "a", 1.0)
+        with pytest.raises(ValidationError):
+            fm.transfer("a", "b", -1.0)
+        with pytest.raises(ValidationError):
+            fm.transfer("a", "nope", 1.0)
+
+
+class TestThroughputProbe:
+    def test_throughput_while_active(self):
+        sim, fm = setup(capacity=10.0)
+        fm.transfer("a", "b", 100.0)
+        sim.run(until=1.0)
+        assert fm.node_throughput("a") == pytest.approx(10.0)
+        assert fm.node_throughput("b") == pytest.approx(10.0)
+        assert fm.node_throughput("c") == 0.0
+        assert fm.utilization("a") == pytest.approx(1.0)
+
+    def test_throughput_zero_when_idle(self):
+        sim, fm = setup()
+        assert fm.node_throughput("a") == 0.0
+
+
+class TestCancellation:
+    def test_cancel_node_aborts(self):
+        sim, fm = setup(capacity=10.0)
+        f1 = fm.transfer("a", "b", 100.0)
+        f2 = fm.transfer("c", "b", 100.0)
+
+        def killer(sim):
+            yield sim.timeout(1.0)
+            fm.cancel_node("b")
+
+        sim.process(killer(sim))
+        sim.run()
+        assert f1.cancelled and f2.cancelled
+        assert not f1.completed
+        assert f1.finished_at == pytest.approx(1.0)
+
+    def test_cancel_leaves_other_flows(self):
+        sim, fm = setup(capacity=10.0)
+        f1 = fm.transfer("a", "b", 100.0)
+        f2 = fm.transfer("a", "c", 10.0)
+
+        def killer(sim):
+            yield sim.timeout(0.1)
+            fm.cancel_node("b")
+
+        sim.process(killer(sim))
+        sim.run()
+        assert f1.cancelled
+        assert f2.completed
+        # f2 at 5 MB/s for 0.1 s (0.5 MB) then 10 MB/s for 9.5 MB.
+        assert f2.finished_at == pytest.approx(0.1 + 9.5 / 10.0)
+
+
+class TestCrashOracle:
+    def test_transfer_from_crashed_node_is_born_cancelled(self):
+        sim = Simulator()
+        topo = Topology.lan(["a", "b"], latency=0.25, capacity=10.0)
+        dead = {"a"}
+        fm = FlowManager(sim, topo, crashed=lambda n: n in dead)
+        flow = fm.transfer("a", "b", 50.0)
+        sim.run()
+        assert flow.cancelled
+        assert not flow.completed
+        # The caller learns after one propagation delay, like a timeout.
+        assert flow.finished_at == pytest.approx(0.25)
+        # No bytes moved, no throughput registered.
+        assert fm.completed_flows == 0
+
+    def test_oracle_checked_at_start_not_construction(self):
+        sim = Simulator()
+        topo = Topology.lan(["a", "b"], capacity=10.0)
+        dead = set()
+        fm = FlowManager(sim, topo, crashed=lambda n: n in dead)
+        ok = fm.transfer("a", "b", 10.0)
+        dead.add("a")  # crashes after this flow started
+        late = fm.transfer("a", "b", 10.0)
+        sim.run()
+        assert ok.completed  # in-flight flow unaffected (cancel_node handles those)
+        assert late.cancelled
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["a", "b", "c", "d"]),
+                          st.sampled_from(["a", "b", "c", "d"]),
+                          st.floats(0.1, 50.0)),
+                min_size=1, max_size=10))
+def test_property_all_flows_eventually_complete(specs):
+    sim = Simulator()
+    topo = Topology.lan(["a", "b", "c", "d"], latency=0.001, capacity=25.0)
+    fm = FlowManager(sim, topo)
+    flows = []
+    for src, dst, size in specs:
+        if src == dst:
+            continue
+        flows.append(fm.transfer(src, dst, size))
+    sim.run()
+    assert all(f.completed for f in flows)
+    # Makespan sanity: total bytes / min share rate is a loose upper bound.
+    if flows:
+        total = sum(f.size for f in flows)
+        assert max(f.finished_at for f in flows) <= total / (25.0 / (2 * len(flows))) + 1.0

@@ -1,0 +1,102 @@
+"""Tests for the Topology container and builders."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.net.topology import Topology
+from repro.util.rng import make_rng
+
+
+class TestConstruction:
+    def test_basic(self):
+        t = Topology(["a", "b"], [[0, 1], [2, 0]], [10, 20])
+        assert len(t) == 2
+        assert t.latency("a", "b") == 1
+        assert t.latency("b", "a") == 2
+        assert t.capacity("b") == 20
+
+    def test_duplicate_names(self):
+        with pytest.raises(ValidationError):
+            Topology(["a", "a"], [[0, 1], [1, 0]], [1, 1])
+
+    def test_nonzero_diagonal(self):
+        with pytest.raises(ValidationError):
+            Topology(["a", "b"], [[1, 1], [1, 0]], [1, 1])
+
+    def test_negative_latency(self):
+        with pytest.raises(ValidationError):
+            Topology(["a", "b"], [[0, -1], [1, 0]], [1, 1])
+
+    def test_bad_shapes(self):
+        with pytest.raises(ValidationError):
+            Topology(["a", "b"], [[0, 1, 2], [1, 0, 2]], [1, 1])
+        with pytest.raises(ValidationError):
+            Topology(["a", "b"], [[0, 1], [1, 0]], [1, 1, 1])
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValidationError):
+            Topology(["a", "b"], [[0, 1], [1, 0]], [1, 0])
+
+    def test_unknown_node(self):
+        t = Topology.lan(["a", "b"])
+        with pytest.raises(ValidationError):
+            t.index("zzz")
+
+    def test_contains(self):
+        t = Topology.lan(["a", "b"])
+        assert "a" in t and "zzz" not in t
+
+    def test_matrix_read_only(self):
+        t = Topology.lan(["a", "b"])
+        with pytest.raises(ValueError):
+            t.latency_matrix[0, 1] = 5.0
+
+
+class TestEligibility:
+    def test_mask_shape_and_content(self):
+        lat = [[0, 0.001, 0.01],
+               [0.001, 0, 0.01],
+               [0.01, 0.01, 0]]
+        t = Topology(["c0", "r0", "r1"], lat, [100, 100, 100])
+        mask = t.eligibility(["c0"], ["r0", "r1"], max_latency=0.0018)
+        assert mask.shape == (1, 2)
+        assert mask.tolist() == [[True, False]]
+
+    def test_negative_bound(self):
+        t = Topology.lan(["a", "b"])
+        with pytest.raises(ValidationError):
+            t.eligibility(["a"], ["b"], -1)
+
+    def test_lan_all_eligible_at_paper_T(self):
+        # Paper: T = 1.8 ms, LAN one-way latency 0.5 ms => all eligible.
+        names = [f"n{i}" for i in range(9)]
+        t = Topology.lan(names)
+        mask = t.eligibility(names[:1], names[1:], max_latency=0.0018)
+        assert mask.all()
+
+
+class TestBuilders:
+    def test_lan_uniform(self):
+        t = Topology.lan(["a", "b", "c"], latency=0.002, capacity=50)
+        assert t.latency("a", "c") == 0.002
+        assert t.capacity("a") == 50
+        assert t.latency("a", "a") == 0
+
+    def test_geo_triangle_inequality_like(self):
+        pos = {"a": (0, 0), "b": (3, 4), "c": (0, 8)}
+        t = Topology.geo(["a", "b", "c"], pos, seconds_per_unit=0.001,
+                         base_latency=0.0)
+        assert t.latency("a", "b") == pytest.approx(0.005)
+        # Symmetric for geometric builder
+        assert t.latency("b", "a") == t.latency("a", "b")
+
+    def test_random_geo_deterministic(self):
+        names = ["a", "b", "c", "d"]
+        t1 = Topology.random_geo(names, make_rng(5))
+        t2 = Topology.random_geo(names, make_rng(5))
+        assert np.array_equal(t1.latency_matrix, t2.latency_matrix)
+
+    def test_random_geo_nonnegative(self):
+        t = Topology.random_geo(["a", "b", "c"], make_rng(0))
+        assert np.all(t.latency_matrix >= 0)

@@ -1,0 +1,246 @@
+"""Tests for the simulator loop and process semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.process import Interrupt, Process
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_custom_start(self):
+        assert Simulator(start_time=10.0).now == 10.0
+
+    def test_run_until_time_sets_clock(self):
+        sim = Simulator()
+        sim.timeout(100)
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+
+    def test_run_until_past_raises(self):
+        sim = Simulator(start_time=10)
+        with pytest.raises(SimulationError):
+            sim.run(until=5.0)
+
+    def test_peek_inf_when_empty(self):
+        import math
+        assert Simulator().peek() == math.inf
+
+    def test_call_at(self):
+        sim = Simulator()
+        hits = []
+        sim.call_at(3.0, lambda: hits.append(sim.now))
+        sim.run()
+        assert hits == [3.0]
+
+    def test_call_at_past_raises(self):
+        sim = Simulator(start_time=5)
+        with pytest.raises(SimulationError):
+            sim.call_at(1.0, lambda: None)
+
+
+class TestProcess:
+    def test_return_value(self):
+        sim = Simulator()
+
+        def proc(sim):
+            yield sim.timeout(1)
+            return "result"
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == "result"
+
+    def test_requires_generator(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            Process(sim, lambda: None)
+
+    def test_sequential_timeouts(self):
+        sim = Simulator()
+        ticks = []
+
+        def proc(sim):
+            for _ in range(3):
+                yield sim.timeout(2)
+                ticks.append(sim.now)
+
+        sim.process(proc(sim))
+        sim.run()
+        assert ticks == [2.0, 4.0, 6.0]
+
+    def test_join_other_process(self):
+        sim = Simulator()
+
+        def child(sim):
+            yield sim.timeout(4)
+            return 99
+
+        def parent(sim):
+            value = yield sim.process(child(sim))
+            return value + 1
+
+        p = sim.process(parent(sim))
+        sim.run()
+        assert p.value == 100
+
+    def test_join_already_finished_process(self):
+        sim = Simulator()
+
+        def child(sim):
+            yield sim.timeout(1)
+            return "early"
+
+        c = sim.process(child(sim))
+
+        def parent(sim):
+            yield sim.timeout(10)
+            value = yield c  # c finished long ago
+            return value
+
+        p = sim.process(parent(sim))
+        sim.run()
+        assert p.value == "early"
+
+    def test_yield_non_event_fails_process(self):
+        sim = Simulator()
+
+        def bad(sim):
+            yield 42
+
+        p = sim.process(bad(sim))
+        p.defused = True
+        sim.run()
+        assert not p.ok
+        assert isinstance(p.value, SimulationError)
+
+    def test_exception_inside_process_fails_it(self):
+        sim = Simulator()
+
+        def boom(sim):
+            yield sim.timeout(1)
+            raise ValueError("inner")
+
+        p = sim.process(boom(sim))
+        p.defused = True
+        sim.run()
+        assert not p.ok and isinstance(p.value, ValueError)
+
+    def test_uncaught_process_exception_surfaces(self):
+        sim = Simulator()
+
+        def boom(sim):
+            yield sim.timeout(1)
+            raise ValueError("inner")
+
+        sim.process(boom(sim))
+        with pytest.raises(ValueError, match="inner"):
+            sim.run()
+
+
+class TestInterrupt:
+    def test_interrupt_carries_cause(self):
+        sim = Simulator()
+
+        def sleeper(sim):
+            try:
+                yield sim.timeout(100)
+            except Interrupt as exc:
+                return ("interrupted", exc.cause, sim.now)
+
+        p = sim.process(sleeper(sim))
+        sim.call_at(5.0, lambda: p.interrupt("power failure"))
+        sim.run()
+        assert p.value == ("interrupted", "power failure", 5.0)
+
+    def test_unhandled_interrupt_kills_process(self):
+        sim = Simulator()
+
+        def sleeper(sim):
+            yield sim.timeout(100)
+
+        p = sim.process(sleeper(sim))
+        p.defused = True
+        sim.call_at(5.0, lambda: p.interrupt())
+        sim.run()
+        assert not p.ok and isinstance(p.value, Interrupt)
+
+    def test_interrupt_finished_raises(self):
+        sim = Simulator()
+
+        def quick(sim):
+            yield sim.timeout(1)
+
+        p = sim.process(quick(sim))
+        sim.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_interrupted_process_can_continue(self):
+        sim = Simulator()
+
+        def robust(sim):
+            total = 0.0
+            try:
+                yield sim.timeout(100)
+            except Interrupt:
+                pass
+            yield sim.timeout(1)
+            return sim.now
+
+        p = sim.process(robust(sim))
+        sim.call_at(2.0, lambda: p.interrupt())
+        sim.run()
+        assert p.value == 3.0
+
+    def test_is_alive(self):
+        sim = Simulator()
+
+        def quick(sim):
+            yield sim.timeout(1)
+
+        p = sim.process(quick(sim))
+        assert p.is_alive
+        sim.run()
+        assert not p.is_alive
+
+
+class TestDeterminism:
+    @given(st.lists(st.floats(0.001, 100.0), min_size=1, max_size=30),
+           st.integers(0, 2**30))
+    def test_property_events_fire_in_time_order(self, delays, _seed):
+        sim = Simulator()
+        fired = []
+        for d in delays:
+            ev = sim.timeout(d)
+            ev.add_callback(lambda e, d=d: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    def test_same_time_events_fifo(self):
+        sim = Simulator()
+        order = []
+        for i in range(20):
+            ev = sim.timeout(1.0)
+            ev.add_callback(lambda e, i=i: order.append(i))
+        sim.run()
+        assert order == list(range(20))
+
+    def test_run_until_event(self):
+        sim = Simulator()
+        target = sim.timeout(5)
+        sim.timeout(100)
+        sim.run(until=target)
+        assert sim.now == 5.0
+
+    def test_run_until_unfired_event_raises(self):
+        sim = Simulator()
+        ev = sim.event()  # never triggered
+        sim.timeout(1)
+        with pytest.raises(SimulationError):
+            sim.run(until=ev)

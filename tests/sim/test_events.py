@@ -1,0 +1,137 @@
+"""Tests for events and the event queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.events import AllOf, AnyOf, Event, EventQueue, Timeout
+
+
+class TestEvent:
+    def test_initial_state(self):
+        sim = Simulator()
+        ev = sim.event()
+        assert not ev.triggered and not ev.processed
+
+    def test_succeed_carries_value(self):
+        sim = Simulator()
+        ev = sim.event().succeed(42)
+        assert ev.triggered and ev.ok and ev.value == 42
+
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        ev = sim.event().succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.fail(RuntimeError("x"))
+
+    def test_fail_requires_exception(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.event().fail("not an exception")
+
+    def test_value_before_trigger_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            _ = sim.event().value
+
+    def test_callback_after_processed_runs_inline(self):
+        sim = Simulator()
+        ev = sim.event().succeed("x")
+        sim.run()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        assert seen == ["x"]
+
+    def test_unwaited_failure_surfaces(self):
+        sim = Simulator()
+        sim.event().fail(RuntimeError("boom"))
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run()
+
+    def test_defused_failure_is_silent(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.fail(RuntimeError("boom"))
+        ev.defused = True
+        sim.run()  # no raise
+
+
+class TestTimeout:
+    def test_fires_at_delay(self):
+        sim = Simulator()
+        ev = sim.timeout(2.5, value="done")
+        sim.run()
+        assert sim.now == 2.5 and ev.value == "done"
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.timeout(-1)
+
+
+class TestConditions:
+    def test_anyof_fires_on_first(self):
+        sim = Simulator()
+        t1, t2 = sim.timeout(1, "a"), sim.timeout(5, "b")
+        cond = AnyOf(sim, [t1, t2])
+        sim.run(until=cond)
+        assert sim.now == 1.0
+        assert cond.value == {t1: "a"}
+
+    def test_allof_waits_for_all(self):
+        sim = Simulator()
+        t1, t2 = sim.timeout(1, "a"), sim.timeout(5, "b")
+        cond = AllOf(sim, [t1, t2])
+        sim.run(until=cond)
+        assert sim.now == 5.0
+        assert set(cond.value.values()) == {"a", "b"}
+
+    def test_empty_condition_immediate(self):
+        sim = Simulator()
+        cond = AllOf(sim, [])
+        assert cond.triggered and cond.value == {}
+
+    def test_failure_propagates(self):
+        sim = Simulator()
+        bad = sim.event()
+        cond = AllOf(sim, [bad, sim.timeout(1)])
+        bad.fail(RuntimeError("child failed"))
+        bad.defused = True
+        cond.defused = True
+        sim.run()
+        assert not cond.ok
+
+
+class TestEventQueue:
+    def test_time_order(self):
+        sim = Simulator()
+        q = EventQueue()
+        e1, e2 = Event(sim), Event(sim)
+        q.push(5.0, e1)
+        q.push(1.0, e2)
+        assert q.pop() == (1.0, e2)
+        assert q.pop() == (5.0, e1)
+
+    def test_fifo_at_equal_time(self):
+        sim = Simulator()
+        q = EventQueue()
+        events = [Event(sim) for _ in range(10)]
+        for ev in events:
+            q.push(3.0, ev)
+        popped = [q.pop()[1] for _ in range(10)]
+        assert popped == events
+
+    def test_pop_empty(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_peek(self):
+        sim = Simulator()
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.peek_time()
+        q.push(2.0, Event(sim))
+        assert q.peek_time() == 2.0
+        assert len(q) == 1

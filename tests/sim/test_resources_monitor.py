@@ -1,0 +1,165 @@
+"""Tests for Store, Resource and PeriodicSampler."""
+
+import pytest
+
+from repro.errors import SimulationError, ValidationError
+from repro.sim.engine import Simulator
+from repro.sim.monitor import PeriodicSampler
+from repro.sim.resources import Resource, Store
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put("a")
+        got = []
+
+        def getter(sim):
+            item = yield store.get()
+            got.append(item)
+
+        sim.process(getter(sim))
+        sim.run()
+        assert got == ["a"]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def getter(sim):
+            item = yield store.get()
+            got.append((sim.now, item))
+
+        def putter(sim):
+            yield sim.timeout(7)
+            store.put("late")
+
+        sim.process(getter(sim))
+        sim.process(putter(sim))
+        sim.run()
+        assert got == [(7.0, "late")]
+
+    def test_fifo_items(self):
+        sim = Simulator()
+        store = Store(sim)
+        for i in range(5):
+            store.put(i)
+        got = []
+
+        def getter(sim):
+            for _ in range(5):
+                got.append((yield store.get()))
+
+        sim.process(getter(sim))
+        sim.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_fifo_getters(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def getter(sim, name):
+            item = yield store.get()
+            got.append((name, item))
+
+        sim.process(getter(sim, "first"))
+        sim.process(getter(sim, "second"))
+
+        def putter(sim):
+            yield sim.timeout(1)
+            store.put("x")
+            store.put("y")
+
+        sim.process(putter(sim))
+        sim.run()
+        assert got == [("first", "x"), ("second", "y")]
+
+    def test_try_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        assert store.try_get() is None
+        store.put(3)
+        assert store.try_get() == 3
+        assert len(store) == 0
+
+
+class TestResource:
+    def test_capacity_validation(self):
+        with pytest.raises(SimulationError):
+            Resource(Simulator(), 0)
+
+    def test_grants_up_to_capacity(self):
+        sim = Simulator()
+        res = Resource(sim, 2)
+        times = []
+
+        def user(sim, hold):
+            yield res.request()
+            yield sim.timeout(hold)
+            times.append(sim.now)
+            res.release()
+
+        for _ in range(3):
+            sim.process(user(sim, 10))
+        sim.run()
+        # Two run concurrently finishing at t=10; the third waits then 10 more.
+        assert times == [10.0, 10.0, 20.0]
+
+    def test_release_without_request(self):
+        sim = Simulator()
+        res = Resource(sim, 1)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_counters(self):
+        sim = Simulator()
+        res = Resource(sim, 3)
+        res.request()
+        assert res.in_use == 1 and res.available == 2
+
+
+class TestPeriodicSampler:
+    def test_sample_count_and_times(self):
+        sim = Simulator()
+        state = {"v": 0.0}
+        sampler = PeriodicSampler(sim, lambda: state["v"], period=0.5)
+        sim.timeout(2.0)
+        sim.run(until=2.0)
+        sampler.stop()
+        # samples at t=0, .5, 1, 1.5, 2 => 5 samples
+        assert len(sampler.series) == 5
+        assert sampler.series.times.tolist() == [0.0, 0.5, 1.0, 1.5, 2.0]
+
+    def test_probe_sees_state_changes(self):
+        sim = Simulator()
+        state = {"v": 1.0}
+        sampler = PeriodicSampler(sim, lambda: state["v"], period=1.0)
+        sim.call_at(1.5, lambda: state.__setitem__("v", 9.0))
+        sim.run(until=3.0)
+        sampler.stop()
+        assert sampler.series.value_at(1.0) == 1.0
+        assert sampler.series.value_at(2.0) == 9.0
+
+    def test_delayed_start(self):
+        sim = Simulator()
+        sampler = PeriodicSampler(sim, lambda: 0.0, period=1.0, start=5.0)
+        sim.run(until=7.0)
+        sampler.stop()
+        assert sampler.series.times[0] == 5.0
+
+    def test_bad_period(self):
+        with pytest.raises(ValidationError):
+            PeriodicSampler(Simulator(), lambda: 0, period=0)
+
+    def test_stop_idempotent(self):
+        sim = Simulator()
+        sampler = PeriodicSampler(sim, lambda: 0.0, period=1.0)
+        sim.run(until=1.0)
+        sampler.stop()
+        sampler.stop()
+        sim.run()
+        n = len(sampler.series)
+        assert n == 2  # t=0 and t=1

@@ -1,0 +1,18 @@
+"""Run the doctest examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.sim.engine
+import repro.util.rng
+
+MODULES = [repro.util.rng, repro.sim.engine]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=[m.__name__ for m in MODULES])
+def test_doctests(module):
+    result = doctest.testmod(module, optionflags=doctest.ELLIPSIS)
+    assert result.attempted > 0, f"{module.__name__} has no doctests"
+    assert result.failed == 0

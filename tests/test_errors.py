@@ -1,0 +1,44 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro.errors import (
+    ConvergenceError,
+    InfeasibleProblemError,
+    MembershipError,
+    ProcessKilled,
+    ReproError,
+    SimulationError,
+    ValidationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc_type", [
+        ValidationError, InfeasibleProblemError, ConvergenceError,
+        SimulationError, ProcessKilled, MembershipError,
+    ])
+    def test_all_derive_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_validation_error_is_value_error(self):
+        """Callers using stdlib idioms still catch validation failures."""
+        assert issubclass(ValidationError, ValueError)
+        with pytest.raises(ValueError):
+            raise ValidationError("bad arg")
+
+    def test_convergence_error_diagnostics(self):
+        err = ConvergenceError("no luck", iterations=42, residual=0.5)
+        assert err.iterations == 42
+        assert err.residual == 0.5
+        assert "no luck" in str(err)
+
+    def test_convergence_error_defaults(self):
+        err = ConvergenceError("plain")
+        assert err.iterations is None and err.residual is None
+
+    def test_library_raises_only_repro_errors(self):
+        """A representative API misuse path raises inside the hierarchy."""
+        from repro.core.params import ProblemData
+        with pytest.raises(ReproError):
+            ProblemData.paper_defaults([-5.0], prices=[1.0])

@@ -1,0 +1,39 @@
+"""Smoke tests: every example script runs to completion.
+
+The slower, sweep-style examples are exercised at reduced scale through
+their underlying experiment modules elsewhere; here we run the fast ones
+verbatim as a user would.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "convergence_comparison.py",
+    "fault_tolerance.py",
+    "agent_based_solvers.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    path = EXAMPLES / script
+    assert path.exists(), f"missing example {script}"
+    proc = subprocess.run(
+        [sys.executable, str(path)], capture_output=True, text=True,
+        timeout=300)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_all_examples_have_docstrings_and_main():
+    for path in EXAMPLES.glob("*.py"):
+        text = path.read_text()
+        assert text.lstrip().startswith(('#!', '"""')), path.name
+        assert '__main__' in text, f"{path.name} is not runnable"

@@ -1,0 +1,62 @@
+"""Tests for sparkline rendering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.util.sparkline import profile_panel, sparkline
+from repro.util.timeseries import TimeSeries
+
+
+class TestSparkline:
+    def test_fixed_width(self):
+        assert len(sparkline(np.arange(1000), width=40)) == 40
+        assert len(sparkline([1.0], width=10)) == 10
+
+    def test_empty(self):
+        assert sparkline([], width=5) == "     "
+
+    def test_monotone_ramp_is_nondecreasing(self):
+        s = sparkline(np.linspace(0, 1, 600), width=30)
+        assert list(s) == sorted(s)
+
+    def test_constant_flatline(self):
+        s = sparkline(np.full(100, 7.0), width=20)
+        assert len(set(s)) == 1
+
+    def test_explicit_scale(self):
+        # With a far-away hi, a small signal maps to the lowest bars.
+        s = sparkline([1.0, 1.0], width=4, lo=0.0, hi=1000.0)
+        assert set(s) <= {" ", "▁"}
+
+    def test_width_validation(self):
+        with pytest.raises(ValidationError):
+            sparkline([1.0], width=0)
+
+    def test_fewer_points_than_width(self):
+        s = sparkline([0.0, 10.0], width=10)
+        assert len(s) == 10
+        assert s[0] != s[-1]
+
+
+class TestProfilePanel:
+    def test_shared_scale_and_alignment(self):
+        profiles = {
+            "replica1": TimeSeries([0, 1, 2], [215, 240, 215]),
+            "r2": TimeSeries([0, 1, 2], [215, 215, 215]),
+        }
+        out = profile_panel(profiles, width=20)
+        lines = out.splitlines()
+        assert "scale: 215.0 .. 240.0" in lines[0]
+        assert lines[1].startswith("replica1")
+        # The busy replica's sparkline has a taller peak than the idle one.
+        assert max(lines[1]) > max(lines[2])
+
+    def test_title(self):
+        profiles = {"a": TimeSeries([0, 1], [1, 2])}
+        out = profile_panel(profiles, title="Fig. 4")
+        assert out.splitlines()[0] == "Fig. 4"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            profile_panel({})

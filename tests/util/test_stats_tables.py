@@ -1,0 +1,74 @@
+"""Tests for stats summaries and ASCII table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.util.stats import Summary, percentile, summarize
+from repro.util.tables import render_series, render_table
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1, 2, 3, 4])
+        assert s.n == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.min == 1 and s.max == 4
+
+    def test_empty_raises(self):
+        with pytest.raises(ValidationError):
+            summarize([])
+
+    def test_str_roundtrip(self):
+        s = summarize([1.0])
+        assert "n=1" in str(s)
+
+    def test_percentiles_ordered(self):
+        s = summarize(np.arange(1000))
+        assert s.p50 <= s.p95 <= s.p99 <= s.max
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3], 50) == 2
+
+    def test_bounds(self):
+        with pytest.raises(ValidationError):
+            percentile([1], 101)
+        with pytest.raises(ValidationError):
+            percentile([1], -1)
+
+    def test_empty(self):
+        with pytest.raises(ValidationError):
+            percentile([], 50)
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [30, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, sep, 2 rows
+        assert all(len(l) == len(lines[0]) for l in lines)
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="Fig. 6")
+        assert out.splitlines()[0] == "Fig. 6"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        out = render_table(["v"], [[1.23456789]], ndigits=3)
+        assert "1.23" in out and "1.2345" not in out
+
+
+class TestRenderSeries:
+    def test_columns(self):
+        out = render_series({"edr": [1, 2], "donar": [3, 4]}, x=[10, 20],
+                            x_label="requests")
+        assert "requests" in out and "edr" in out and "donar" in out
+
+    def test_ragged_series_padded_with_nan(self):
+        out = render_series({"a": [1]}, x=[1, 2])
+        assert "nan" in out

@@ -1,0 +1,144 @@
+"""Tests (incl. property tests) for the TimeSeries container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ValidationError
+from repro.util.timeseries import TimeSeries
+
+
+class TestConstruction:
+    def test_empty(self):
+        ts = TimeSeries()
+        assert len(ts) == 0
+
+    def test_initial_samples(self):
+        ts = TimeSeries([0, 1, 2], [5, 6, 7])
+        assert len(ts) == 3
+        assert ts.values.tolist() == [5, 6, 7]
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            TimeSeries([0, 1], [1])
+
+    def test_rejects_decreasing_times(self):
+        with pytest.raises(ValidationError):
+            TimeSeries([1, 0], [1, 2])
+
+
+class TestAppend:
+    def test_append_grows(self):
+        ts = TimeSeries()
+        for i in range(200):  # force several buffer growths
+            ts.append(float(i), float(i * i))
+        assert len(ts) == 200
+        assert ts.values[150] == 150.0 * 150.0
+
+    def test_append_equal_time_ok(self):
+        ts = TimeSeries([1.0], [2.0])
+        ts.append(1.0, 3.0)
+        assert len(ts) == 2
+
+    def test_append_past_rejected(self):
+        ts = TimeSeries([1.0], [2.0])
+        with pytest.raises(ValidationError):
+            ts.append(0.5, 0.0)
+
+    def test_extend(self):
+        ts = TimeSeries()
+        ts.extend([0, 1], [10, 20])
+        assert ts.times.tolist() == [0, 1]
+
+
+class TestIntegrate:
+    def test_step_integral(self):
+        # 10 W for 2 s then 20 W for 3 s = 80 J; final sample contributes 0.
+        ts = TimeSeries([0, 2, 5], [10, 20, 99])
+        assert ts.integrate("step") == pytest.approx(80.0)
+
+    def test_trapezoid(self):
+        ts = TimeSeries([0, 2], [0, 2])
+        assert ts.integrate("trapezoid") == pytest.approx(2.0)
+
+    def test_single_sample_is_zero(self):
+        assert TimeSeries([1], [5]).integrate() == 0.0
+
+    def test_unknown_method(self):
+        with pytest.raises(ValidationError):
+            TimeSeries([0, 1], [1, 1]).integrate("simpson")
+
+    def test_mean_time_weighted(self):
+        ts = TimeSeries([0, 1, 3], [6, 3, 0])
+        # step: 6 for 1s + 3 for 2s over 3s span = 12/3 = 4
+        assert ts.mean() == pytest.approx(4.0)
+
+    def test_mean_zero_span_falls_back(self):
+        ts = TimeSeries([1, 1], [2, 4])
+        assert ts.mean() == pytest.approx(3.0)
+
+    def test_minmax(self):
+        ts = TimeSeries([0, 1], [3, -2])
+        assert ts.max() == 3 and ts.min() == -2
+
+    def test_empty_stats_raise(self):
+        for fn in ("mean", "max", "min"):
+            with pytest.raises(ValidationError):
+                getattr(TimeSeries(), fn)()
+
+
+class TestLookup:
+    def test_value_at_holds(self):
+        ts = TimeSeries([0, 10], [1, 2])
+        assert ts.value_at(5) == 1
+        assert ts.value_at(10) == 2
+        assert ts.value_at(11) == 2
+
+    def test_value_at_before_start(self):
+        with pytest.raises(ValidationError):
+            TimeSeries([5], [1]).value_at(4)
+
+    def test_window(self):
+        ts = TimeSeries([0, 1, 2, 3], [9, 8, 7, 6])
+        w = ts.window(1, 3)
+        assert w.times.tolist() == [1, 2]
+
+    def test_window_invalid(self):
+        with pytest.raises(ValidationError):
+            TimeSeries().window(3, 1)
+
+    def test_resample(self):
+        ts = TimeSeries([0, 1.0], [5, 7])
+        rs = ts.resample(0.5)
+        assert rs.values.tolist() == [5, 5, 7]
+
+    def test_resample_bad_period(self):
+        with pytest.raises(ValidationError):
+            TimeSeries([0], [1]).resample(0)
+
+    def test_resample_empty(self):
+        assert len(TimeSeries().resample(1.0)) == 0
+
+
+@given(st.lists(st.tuples(st.floats(0, 100), st.floats(-1e6, 1e6)),
+                min_size=2, max_size=50))
+def test_property_step_integral_bounded_by_extremes(samples):
+    """step-integral lies within [min*span, max*span]."""
+    samples = sorted(samples, key=lambda p: p[0])
+    t = [p[0] for p in samples]
+    v = [p[1] for p in samples]
+    ts = TimeSeries(t, v)
+    span = t[-1] - t[0]
+    integral = ts.integrate("step")
+    lo, hi = min(v) * span, max(v) * span
+    assert lo - 1e-6 <= integral <= hi + 1e-6
+
+
+@given(st.lists(st.floats(0, 1000), min_size=1, max_size=40),
+       st.floats(-50, 50))
+def test_property_value_at_returns_some_sample(times, shift):
+    times = sorted(times)
+    values = list(range(len(times)))
+    ts = TimeSeries(times, values)
+    q = times[0] + abs(shift)
+    assert ts.value_at(q) in values

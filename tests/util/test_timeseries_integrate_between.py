@@ -1,0 +1,65 @@
+"""Tests for the exact interval integral on TimeSeries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ValidationError
+from repro.util.timeseries import TimeSeries
+
+
+class TestIntegrateBetween:
+    def test_full_span_matches_step_plus_tail(self):
+        ts = TimeSeries([0, 2, 5], [10, 20, 30])
+        # step over samples: 10*2 + 20*3 = 80; integrate_between(0, 5)
+        # ends exactly at the last sample => same value.
+        assert ts.integrate_between(0, 5) == pytest.approx(80.0)
+
+    def test_tail_beyond_last_sample_held(self):
+        ts = TimeSeries([0, 2], [10, 20])
+        # 10*2 + 20*(4-2) = 60.
+        assert ts.integrate_between(0, 4) == pytest.approx(60.0)
+
+    def test_partial_start(self):
+        ts = TimeSeries([0, 2], [10, 20])
+        # [1, 3]: 10*(2-1) + 20*(3-2) = 30.
+        assert ts.integrate_between(1, 3) == pytest.approx(30.0)
+
+    def test_before_first_sample_contributes_zero(self):
+        ts = TimeSeries([5], [100.0])
+        assert ts.integrate_between(0, 5) == 0.0
+        assert ts.integrate_between(0, 6) == pytest.approx(100.0)
+
+    def test_empty_series(self):
+        assert TimeSeries().integrate_between(0, 10) == 0.0
+
+    def test_zero_width(self):
+        ts = TimeSeries([0], [5.0])
+        assert ts.integrate_between(3, 3) == 0.0
+
+    def test_invalid_order(self):
+        with pytest.raises(ValidationError):
+            TimeSeries([0], [1]).integrate_between(2, 1)
+
+    def test_interval_inside_one_hold(self):
+        ts = TimeSeries([0, 10], [7.0, 9.0])
+        assert ts.integrate_between(2, 4) == pytest.approx(14.0)
+
+    @given(st.lists(st.tuples(st.floats(0, 50), st.floats(0, 100)),
+                    min_size=1, max_size=20),
+           st.floats(0, 60), st.floats(0, 60))
+    def test_property_additive_over_subintervals(self, samples, a, b):
+        samples = sorted(samples, key=lambda p: p[0])
+        ts = TimeSeries([p[0] for p in samples], [p[1] for p in samples])
+        t0, t1 = min(a, b), max(a, b)
+        mid = (t0 + t1) / 2
+        whole = ts.integrate_between(t0, t1)
+        parts = ts.integrate_between(t0, mid) + ts.integrate_between(mid, t1)
+        assert whole == pytest.approx(parts, abs=1e-6)
+
+    @given(st.floats(0.05, 5.0), st.floats(1.0, 50.0))
+    def test_property_constant_signal_exact(self, period, t_end):
+        t = np.arange(0, t_end + period, period)
+        ts = TimeSeries(t, np.full(t.size, 42.0))
+        assert ts.integrate_between(0, t_end) == pytest.approx(42.0 * t_end,
+                                                               rel=1e-9)

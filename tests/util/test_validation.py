@@ -1,0 +1,93 @@
+"""Tests for argument-validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError, ValidationError
+from repro.util.validation import (
+    as_float_array,
+    check_finite,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+    check_shape,
+)
+
+
+class TestCheckFinite:
+    def test_passes_finite(self):
+        out = check_finite([1.0, 2.0])
+        assert out.tolist() == [1.0, 2.0]
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            check_finite([1.0, float("nan")])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError):
+            check_finite(np.inf)
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValidationError):
+            check_finite(["a", "b"])
+
+    def test_error_is_value_error_too(self):
+        with pytest.raises(ValueError):
+            check_finite(np.nan)
+
+    def test_error_is_repro_error(self):
+        with pytest.raises(ReproError):
+            check_finite(np.nan)
+
+
+class TestSignChecks:
+    def test_nonnegative_accepts_zero(self):
+        check_nonnegative([0.0, 1.0])
+
+    def test_nonnegative_rejects_negative(self):
+        with pytest.raises(ValidationError, match="nonnegative"):
+            check_nonnegative([-1e-9])
+
+    def test_positive_rejects_zero(self):
+        with pytest.raises(ValidationError, match="positive"):
+            check_positive([0.0])
+
+    def test_positive_accepts(self):
+        check_positive([1e-12, 5])
+
+
+class TestProbability:
+    @pytest.mark.parametrize("p", [0.0, 0.5, 1.0])
+    def test_accepts(self, p):
+        assert check_probability(p) == p
+
+    @pytest.mark.parametrize("p", [-0.01, 1.01])
+    def test_rejects(self, p):
+        with pytest.raises(ValidationError):
+            check_probability(p)
+
+
+class TestCheckShape:
+    def test_exact_match(self):
+        out = check_shape(np.zeros((3, 4)), (3, 4))
+        assert out.shape == (3, 4)
+
+    def test_wildcard(self):
+        check_shape(np.zeros((3, 4)), (-1, 4))
+
+    def test_wrong_ndim(self):
+        with pytest.raises(ValidationError, match="dimensions"):
+            check_shape(np.zeros(3), (3, 1))
+
+    def test_wrong_extent(self):
+        with pytest.raises(ValidationError, match="extent"):
+            check_shape(np.zeros((3, 4)), (3, 5))
+
+
+class TestAsFloatArray:
+    def test_converts_list(self):
+        assert as_float_array([1, 2]).dtype == float
+
+    def test_rejects_strings(self):
+        with pytest.raises(ValidationError):
+            as_float_array(["x"])

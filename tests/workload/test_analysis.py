@@ -1,0 +1,96 @@
+"""Tests for trace analysis: the generated workloads exhibit their
+configured statistics (closing the loop on the YouTube model)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.util.rng import make_rng
+from repro.workload.analysis import (
+    TraceStats,
+    analyze,
+    arrival_rate_series,
+    fit_zipf_exponent,
+)
+from repro.workload.apps import FILE_SERVICE, VIDEO_STREAMING
+from repro.workload.clients import ClientPopulation
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.requests import Request, RequestTrace
+from repro.workload.youtube import YoutubeTrafficModel, ZipfPopularity
+
+
+def generated_trace(app=FILE_SERVICE, base_rate=20.0, amplitude=0.0,
+                    window=100.0, zipf=1.0, seed=0):
+    gen = WorkloadGenerator(
+        traffic=YoutubeTrafficModel(base_rate=base_rate,
+                                    amplitude=amplitude, period=window),
+        clients=ClientPopulation.uniform(8),
+        app=app,
+        popularity=ZipfPopularity(200, zipf))
+    return gen.generate(make_rng(seed), 0.0, window)
+
+
+class TestFitZipf:
+    @pytest.mark.parametrize("true_s", [0.0, 0.8, 1.5])
+    def test_recovers_exponent(self, true_s):
+        z = ZipfPopularity(100, true_s)
+        ids = z.sample(make_rng(0), size=20000)
+        fitted = fit_zipf_exponent(ids)
+        assert fitted == pytest.approx(true_s, abs=0.15)
+
+    def test_empty(self):
+        with pytest.raises(ValidationError):
+            fit_zipf_exponent([])
+
+    def test_single_object(self):
+        assert fit_zipf_exponent([0, 0, 0]) == 0.0
+
+
+class TestArrivalRate:
+    def test_flat_process_flat_series(self):
+        trace = generated_trace(base_rate=50.0, amplitude=0.0)
+        rates = arrival_rate_series(trace, bins=5)
+        assert rates.std() / rates.mean() < 0.35
+
+    def test_diurnal_process_oscillates(self):
+        trace = generated_trace(base_rate=50.0, amplitude=0.8)
+        rates = arrival_rate_series(trace, bins=10)
+        # Peak-to-trough spread far exceeds Poisson noise.
+        assert rates.max() > 2.0 * rates.min()
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            arrival_rate_series(RequestTrace([]))
+        trace = generated_trace()
+        with pytest.raises(ValidationError):
+            arrival_rate_series(trace, bins=0)
+
+    def test_single_instant(self):
+        trace = RequestTrace([Request("c", 1.0, 2.0, "dfs"),
+                              Request("c", 1.0, 2.0, "dfs")])
+        assert arrival_rate_series(trace).tolist() == [2.0]
+
+
+class TestAnalyze:
+    def test_matches_generator_configuration(self):
+        trace = generated_trace(app=VIDEO_STREAMING, base_rate=10.0,
+                                window=100.0, zipf=1.0, seed=3)
+        stats = analyze(trace)
+        assert stats.n_requests == len(trace)
+        assert stats.mean_size_mb == pytest.approx(100.0, rel=0.15)
+        assert stats.mean_rate == pytest.approx(10.0, rel=0.3)
+        assert stats.zipf_exponent == pytest.approx(1.0, abs=0.3)
+        assert stats.n_clients <= 8
+
+    def test_balance_uniform_clients(self):
+        trace = generated_trace(base_rate=100.0, seed=1)
+        stats = analyze(trace)
+        assert stats.client_balance < 1.5  # near-uniform origination
+
+    def test_empty_trace(self):
+        with pytest.raises(ValidationError):
+            analyze(RequestTrace([]))
+
+    def test_render(self):
+        out = analyze(generated_trace()).render()
+        assert "requests=" in out and "zipf~" in out

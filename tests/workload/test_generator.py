@@ -1,0 +1,80 @@
+"""Tests for the end-to-end workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.util.rng import make_rng
+from repro.workload.apps import FILE_SERVICE, VIDEO_STREAMING
+from repro.workload.clients import ClientPopulation
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.youtube import YoutubeTrafficModel
+
+
+def make_gen(app=VIDEO_STREAMING, base_rate=2.0):
+    return WorkloadGenerator(
+        traffic=YoutubeTrafficModel(base_rate=base_rate, amplitude=0.6,
+                                    period=200.0),
+        clients=ClientPopulation.uniform(4),
+        app=app,
+    )
+
+
+class TestGenerate:
+    def test_window_mode(self):
+        trace = make_gen().generate(make_rng(0), 0.0, 100.0)
+        assert all(0 <= r.arrival < 100 for r in trace)
+        assert all(r.app == "video" for r in trace)
+        assert len(trace) > 50  # ~200 expected
+
+    def test_count_mode_exact(self):
+        trace = make_gen().generate(make_rng(0), count=48)
+        assert len(trace) == 48
+
+    def test_count_mode_small_counts(self):
+        for count in (1, 24, 96):
+            trace = make_gen().generate(make_rng(1), count=count)
+            assert len(trace) == count
+
+    def test_mode_exclusivity(self):
+        gen = make_gen()
+        with pytest.raises(ValidationError):
+            gen.generate(make_rng(0))
+        with pytest.raises(ValidationError):
+            gen.generate(make_rng(0), 0.0, 10.0, count=5)
+
+    def test_clients_drawn_from_population(self):
+        trace = make_gen().generate(make_rng(0), 0.0, 200.0)
+        assert set(trace.clients) <= {"client0", "client1", "client2", "client3"}
+
+    def test_sizes_follow_app(self):
+        trace = make_gen(app=FILE_SERVICE, base_rate=10).generate(
+            make_rng(0), 0.0, 200.0)
+        mean = np.mean([r.size_mb for r in trace])
+        assert mean == pytest.approx(10.0, rel=0.2)
+
+    def test_deterministic(self):
+        a = make_gen().generate(make_rng(5), 0.0, 100.0)
+        b = make_gen().generate(make_rng(5), 0.0, 100.0)
+        assert len(a) == len(b)
+        assert all(x.arrival == y.arrival and x.client == y.client
+                   for x, y in zip(a, b))
+
+
+class TestTraceRoundTrip:
+    def test_dump_load_identity(self):
+        trace = make_gen().generate(make_rng(0), 0.0, 50.0)
+        text = WorkloadGenerator.dump(trace)
+        back = WorkloadGenerator.load(text)
+        assert len(back) == len(trace)
+        for x, y in zip(trace, back):
+            assert x == y
+
+    def test_load_rejects_bad_header(self):
+        with pytest.raises(ValidationError):
+            WorkloadGenerator.load("nope\n1,2,3")
+
+    def test_load_rejects_bad_row(self):
+        with pytest.raises(ValidationError):
+            WorkloadGenerator.load(
+                "client,arrival,size_mb,app,object_id\na,b\n")

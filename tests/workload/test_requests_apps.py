@@ -1,0 +1,94 @@
+"""Tests for request records, traces, and application profiles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ValidationError
+from repro.workload.apps import FILE_SERVICE, VIDEO_STREAMING, ApplicationProfile
+from repro.workload.requests import Request, RequestTrace
+from repro.util.rng import make_rng
+
+
+class TestRequest:
+    def test_valid(self):
+        r = Request("c0", 1.0, 100.0, "video", 7)
+        assert r.client == "c0" and r.object_id == 7
+
+    def test_negative_arrival(self):
+        with pytest.raises(ValidationError):
+            Request("c0", -1.0, 1.0, "video")
+
+    def test_nonpositive_size(self):
+        with pytest.raises(ValidationError):
+            Request("c0", 0.0, 0.0, "video")
+
+
+class TestRequestTrace:
+    def _trace(self):
+        return RequestTrace([
+            Request("c1", 5.0, 10.0, "dfs"),
+            Request("c0", 1.0, 100.0, "video"),
+            Request("c0", 3.0, 50.0, "video"),
+        ])
+
+    def test_sorted_by_arrival(self):
+        t = self._trace()
+        assert [r.arrival for r in t] == [1.0, 3.0, 5.0]
+
+    def test_len_getitem(self):
+        t = self._trace()
+        assert len(t) == 3
+        assert t[0].client == "c0"
+
+    def test_clients_sorted_unique(self):
+        assert self._trace().clients == ("c0", "c1")
+
+    def test_span(self):
+        assert self._trace().span == 4.0
+        assert RequestTrace([]).span == 0.0
+
+    def test_total_mb(self):
+        assert self._trace().total_mb() == 160.0
+
+    def test_demand_vector(self):
+        d = self._trace().demand_vector(["c0", "c1", "c2"])
+        assert d.tolist() == [150.0, 10.0, 0.0]
+
+    def test_demand_vector_unknown_client(self):
+        with pytest.raises(ValidationError):
+            self._trace().demand_vector(["c0"])  # c1 missing
+
+    def test_window(self):
+        w = self._trace().window(2.0, 5.0)
+        assert len(w) == 1 and w[0].arrival == 3.0
+
+    def test_by_app(self):
+        assert len(self._trace().by_app("video")) == 2
+        assert len(self._trace().by_app("dfs")) == 1
+
+
+class TestApplicationProfile:
+    def test_paper_sizes(self):
+        assert VIDEO_STREAMING.mean_size_mb == 100.0
+        assert FILE_SERVICE.mean_size_mb == 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ApplicationProfile("x", 0.0)
+        with pytest.raises(ValidationError):
+            ApplicationProfile("x", 1.0, size_sigma=-1)
+
+    def test_no_jitter(self):
+        app = ApplicationProfile("x", 50.0, size_sigma=0.0)
+        assert app.sample_size(make_rng(0)) == 50.0
+
+    def test_jitter_preserves_mean(self):
+        rng = make_rng(1)
+        sizes = [VIDEO_STREAMING.sample_size(rng) for _ in range(20000)]
+        assert np.mean(sizes) == pytest.approx(100.0, rel=0.02)
+
+    @given(st.integers(0, 1000))
+    def test_property_sizes_positive(self, seed):
+        rng = make_rng(seed)
+        assert FILE_SERVICE.sample_size(rng) > 0

@@ -1,0 +1,128 @@
+"""Tests for the YouTube traffic model, Zipf popularity, and clients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ValidationError
+from repro.util.rng import make_rng
+from repro.workload.clients import ClientPopulation
+from repro.workload.youtube import YoutubeTrafficModel, ZipfPopularity
+
+
+class TestZipfPopularity:
+    def test_pmf_sums_to_one(self):
+        z = ZipfPopularity(100, 1.0)
+        assert z.pmf.sum() == pytest.approx(1.0)
+
+    def test_pmf_decreasing(self):
+        z = ZipfPopularity(50, 1.2)
+        assert np.all(np.diff(z.pmf) <= 0)
+
+    def test_exponent_zero_uniform(self):
+        z = ZipfPopularity(10, 0.0)
+        assert np.allclose(z.pmf, 0.1)
+
+    def test_sample_range(self):
+        z = ZipfPopularity(10, 1.0)
+        s = z.sample(make_rng(0), size=1000)
+        assert s.min() >= 0 and s.max() < 10
+
+    def test_sample_matches_pmf(self):
+        z = ZipfPopularity(5, 1.0)
+        s = z.sample(make_rng(0), size=100000)
+        freq = np.bincount(s, minlength=5) / 100000
+        assert np.allclose(freq, z.pmf, atol=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ZipfPopularity(0)
+        with pytest.raises(ValidationError):
+            ZipfPopularity(5, -1)
+
+
+class TestYoutubeTrafficModel:
+    def test_rate_oscillates(self):
+        m = YoutubeTrafficModel(base_rate=10, amplitude=0.5, period=100)
+        assert m.rate(25) == pytest.approx(15.0)  # sin peak
+        assert m.rate(75) == pytest.approx(5.0)   # sin trough
+        assert m.peak_rate == pytest.approx(15.0)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            YoutubeTrafficModel(0)
+        with pytest.raises(ValidationError):
+            YoutubeTrafficModel(1, amplitude=1.0)
+        with pytest.raises(ValidationError):
+            YoutubeTrafficModel(1, period=0)
+
+    def test_arrivals_sorted_within_window(self):
+        m = YoutubeTrafficModel(base_rate=5, amplitude=0.6, period=100)
+        t = m.arrivals(make_rng(0), 10, 60)
+        assert np.all(np.diff(t) >= 0)
+        assert t.min() >= 10 and t.max() < 60
+
+    def test_arrival_count_matches_expectation(self):
+        m = YoutubeTrafficModel(base_rate=20, amplitude=0.6, period=50)
+        t = m.arrivals(make_rng(1), 0, 500)
+        expected = m.expected_count(0, 500)
+        # Poisson: sd = sqrt(mean); allow 4 sigma.
+        assert abs(len(t) - expected) < 4 * np.sqrt(expected)
+
+    def test_diurnal_shape_observable(self):
+        m = YoutubeTrafficModel(base_rate=50, amplitude=0.8, period=100,
+                                phase=0.0)
+        t = m.arrivals(make_rng(2), 0, 100)
+        peak_half = np.sum((t >= 0) & (t < 50))    # sin > 0
+        trough_half = np.sum((t >= 50) & (t < 100))  # sin < 0
+        assert peak_half > 1.5 * trough_half
+
+    def test_empty_window(self):
+        m = YoutubeTrafficModel(base_rate=5)
+        assert len(m.arrivals(make_rng(0), 10, 10)) == 0
+        with pytest.raises(ValidationError):
+            m.arrivals(make_rng(0), 10, 5)
+
+    def test_deterministic(self):
+        m = YoutubeTrafficModel(base_rate=5, period=100)
+        a = m.arrivals(make_rng(7), 0, 100)
+        b = m.arrivals(make_rng(7), 0, 100)
+        assert np.array_equal(a, b)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(0.5, 50), st.floats(0, 0.9), st.floats(10, 1000))
+    def test_property_rate_nonnegative(self, base, amp, period):
+        m = YoutubeTrafficModel(base, amp, period)
+        ts = np.linspace(0, 2 * period, 101)
+        assert all(m.rate(t) >= 0 for t in ts)
+
+
+class TestClientPopulation:
+    def test_uniform_builder(self):
+        pop = ClientPopulation.uniform(4)
+        assert pop.names == ("client0", "client1", "client2", "client3")
+        assert np.allclose(pop.probabilities, 0.25)
+
+    def test_weights(self):
+        pop = ClientPopulation(["a", "b"], [3.0, 1.0])
+        assert pop.probabilities.tolist() == [0.75, 0.25]
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ClientPopulation([])
+        with pytest.raises(ValidationError):
+            ClientPopulation(["a", "a"])
+        with pytest.raises(ValidationError):
+            ClientPopulation(["a", "b"], [1.0])
+        with pytest.raises(ValidationError):
+            ClientPopulation(["a", "b"], [1.0, 0.0])
+
+    def test_sample_single(self):
+        pop = ClientPopulation(["only"])
+        assert pop.sample(make_rng(0)) == "only"
+
+    def test_sample_respects_weights(self):
+        pop = ClientPopulation(["hot", "cold"], [9.0, 1.0])
+        draws = pop.sample(make_rng(0), size=10000)
+        frac_hot = sum(1 for d in draws if d == "hot") / 10000
+        assert frac_hot == pytest.approx(0.9, abs=0.02)
