@@ -2,10 +2,17 @@
 
 PYTHON ?= python3
 
-.PHONY: test bench figures quick-figures headline clean
+.PHONY: test lint bench figures quick-figures headline clean
 
 test:
 	$(PYTHON) -m pytest tests/
+
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed; skipping lint (CI runs it)"; \
+	fi
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -20,3 +20,5 @@ def test_bench_fig9_scaling(benchmark, report_sink):
         round(1000 * v, 1) for v in result.edr_mean_response]
     benchmark.extra_info["donar_ms"] = [
         round(1000 * v, 1) for v in result.donar_mean_response]
+    benchmark.extra_info["edr_solve_s"] = [
+        round(v, 4) for v in result.edr_solve_time]

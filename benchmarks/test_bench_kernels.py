@@ -3,10 +3,19 @@
 Unlike the figure benchmarks (single full-scale runs), these use
 pytest-benchmark's statistical timing over many rounds, so kernel
 performance regressions show up in `--benchmark-compare` workflows.
+
+The ``test_bench_batched_*`` benchmarks time one full solver run in
+batched vs scalar mode on the same instance and record the measured
+speedup in ``extra_info`` — the headline numbers for the kernel layer.
 """
 
-import numpy as np
+import time
 
+import numpy as np
+import pytest
+
+from repro.core.cdpsm import CdpsmSolver
+from repro.core.lddm import LddmSolver
 from repro.core.params import ProblemData
 from repro.core.problem import ReplicaSelectionProblem
 from repro.core.projection import (
@@ -63,6 +72,50 @@ def test_bench_kernel_energy_gradient(benchmark):
     P = ReplicaSelectionProblem(data).uniform_allocation()
     out = benchmark(model.energy_gradient, data, P)
     assert out.shape == (128, 8)
+
+
+def _bench_instance(n_clients, n_replicas, seed=0):
+    rng = np.random.default_rng(seed)
+    data = ProblemData.paper_defaults(
+        demands=rng.uniform(10, 50, size=n_clients),
+        prices=rng.integers(1, 21, size=n_replicas).astype(float))
+    return ReplicaSelectionProblem(data)
+
+
+def _timed_solve(problem, cls, **kw):
+    start = time.perf_counter()
+    result = cls(problem, **kw).solve()
+    return result, time.perf_counter() - start
+
+
+@pytest.mark.parametrize("n_clients,n_replicas", [(16, 32), (64, 32)])
+def test_bench_batched_cdpsm(benchmark, n_clients, n_replicas):
+    problem = _bench_instance(n_clients, n_replicas)
+    kw = dict(max_iter=10)
+    scalar, scalar_s = _timed_solve(problem, CdpsmSolver, batched=False, **kw)
+    batched, batched_s = _timed_solve(problem, CdpsmSolver, batched=True, **kw)
+    assert abs(batched.objective - scalar.objective) < 1e-6
+    benchmark.pedantic(
+        lambda: CdpsmSolver(problem, batched=True, **kw).solve(),
+        rounds=3, iterations=1)
+    benchmark.extra_info["scalar_s"] = round(scalar_s, 4)
+    benchmark.extra_info["batched_s"] = round(batched_s, 4)
+    benchmark.extra_info["speedup"] = round(scalar_s / batched_s, 2)
+
+
+@pytest.mark.parametrize("n_clients,n_replicas", [(16, 32), (64, 32)])
+def test_bench_batched_lddm(benchmark, n_clients, n_replicas):
+    problem = _bench_instance(n_clients, n_replicas)
+    kw = dict(max_iter=40)
+    scalar, scalar_s = _timed_solve(problem, LddmSolver, batched=False, **kw)
+    batched, batched_s = _timed_solve(problem, LddmSolver, batched=True, **kw)
+    assert abs(batched.objective - scalar.objective) < 1e-6
+    benchmark.pedantic(
+        lambda: LddmSolver(problem, batched=True, **kw).solve(),
+        rounds=3, iterations=1)
+    benchmark.extra_info["scalar_s"] = round(scalar_s, 4)
+    benchmark.extra_info["batched_s"] = round(batched_s, 4)
+    benchmark.extra_info["speedup"] = round(scalar_s / batched_s, 2)
 
 
 def test_bench_kernel_max_min_fair(benchmark):

@@ -12,9 +12,7 @@ from repro.core import (
     ProblemData,
     ReplicaSelectionProblem,
     solve_cdpsm,
-    solve_lddm,
-    solve_reference,
-)
+    solve_lddm)
 from repro.experiments import fig5
 
 

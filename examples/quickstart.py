@@ -9,7 +9,6 @@ against Round-Robin and the centralized optimum.
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
 
 from repro.baselines import solve_round_robin
 from repro.core import (

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.params import ProblemData
 from repro.core.problem import ReplicaSelectionProblem
 from repro.core.solution import Solution
 from repro.errors import InfeasibleProblemError

@@ -14,7 +14,7 @@ decision; :func:`apply_pue` is provided for reporting only.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -9,13 +9,10 @@ samples.
 from __future__ import annotations
 
 import enum
-from typing import TYPE_CHECKING, Callable
+from typing import Callable
 
 from repro.cluster.power import PowerModel, SYSTEMG_POWER_MODEL
 from repro.errors import ValidationError
-
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.net.flows import FlowManager
 
 __all__ = ["NodeActivity", "ReplicaNode"]
 

@@ -30,7 +30,7 @@ from repro.core.problem import ReplicaSelectionProblem
 from repro.core.solution import Solution
 from repro.core.stepsize import ConstantStep
 from repro.core.subproblem import ReplicaSubproblem, solve_replica_subproblem
-from repro.core import model
+from repro.core import kernels, model
 from repro.errors import ValidationError
 
 __all__ = ["LddmSolver", "solve_lddm", "default_lddm_parameters"]
@@ -57,7 +57,13 @@ def default_lddm_parameters(data: ProblemData) -> tuple[float, float]:
 
 
 class LddmSolver:
-    """Synchronous matrix-form execution of Algorithm 2."""
+    """Synchronous matrix-form execution of Algorithm 2.
+
+    ``batched=True`` (default) solves all replica columns in one
+    vectorized KKT/bisection pass per iteration
+    (:func:`repro.core.kernels.lddm_solve_columns`); the per-column
+    scalar path is kept as the reference oracle.
+    """
 
     method = "lddm"
 
@@ -66,7 +72,8 @@ class LddmSolver:
                  max_iter: int = 600, tol: float = 1e-4,
                  averaging: bool = True, exact_subproblem: bool = False,
                  track_objective: bool = True,
-                 warm_start_mu: bool = True) -> None:
+                 warm_start_mu: bool = True,
+                 batched: bool = True) -> None:
         self.problem = problem
         data = problem.data
         eps_default, step_default = default_lddm_parameters(data)
@@ -89,6 +96,7 @@ class LddmSolver:
         self.exact_subproblem = bool(exact_subproblem)
         self.track_objective = bool(track_objective)
         self.warm_start_mu = bool(warm_start_mu)
+        self.batched = bool(batched)
 
     # -- pieces -------------------------------------------------------------
     def _initial_mu(self) -> np.ndarray:
@@ -112,8 +120,10 @@ class LddmSolver:
     def _solve_columns(self, mu: np.ndarray, prev: np.ndarray) -> np.ndarray:
         """One round of local subproblem solves (all replicas)."""
         data = self.problem.data
-        P = np.zeros(data.shape)
         epsilon = 0.0 if self.exact_subproblem else self.epsilon
+        if self.batched:
+            return kernels.lddm_solve_columns(data, mu, prev, epsilon)
+        P = np.zeros(data.shape)
         for n in range(data.n_replicas):
             eligible = data.mask[:, n]
             if not eligible.any():
@@ -185,16 +195,32 @@ class LddmSolver:
         converged = False
         iterations = 0
         candidate = problem.uniform_allocation()
+        pending: list[np.ndarray] = []
+
+        def flush_history() -> None:
+            if pending:
+                history.extend(kernels.objective_history(
+                    data, pending, sweeps=10))
+                pending.clear()
+
         for k, candidate, res in self.iterations(initial):
             iterations = k + 1
             messages += 2 * C * N
             comm_floats += 2 * C * N
             residuals.append(res)
             if self.track_objective:
-                history.append(problem.objective(
-                    problem.repair(candidate, sweeps=10)))
+                if self.batched:
+                    # Repair lazily in stacked chunks (same curve values,
+                    # without a full scalar repair every iteration).
+                    pending.append(candidate)
+                    if len(pending) >= 128:
+                        flush_history()
+                else:
+                    history.append(problem.objective(
+                        problem.repair(candidate, sweeps=10)))
             if res < tol_abs and k >= 1:
                 converged = True
+        flush_history()
         final = problem.repair(candidate)
         return Solution(
             allocation=final,

@@ -15,7 +15,6 @@ batch's client count, exactly parallel to how EDR's sessions are timed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
 
 import numpy as np
 

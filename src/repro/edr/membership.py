@@ -81,9 +81,19 @@ class HeartbeatProtocol:
     """Runs heartbeats around the ring and detects silent members.
 
     Each live replica sends a ``HEARTBEAT`` to its ring successor every
-    ``interval`` seconds; each replica tracks the last heartbeat seen from
-    its predecessor, and if nothing arrives within ``timeout`` seconds it
-    declares the predecessor dead and broadcasts ``MEMBER_DEAD``.
+    ``interval`` seconds; each replica tracks the last heartbeat *it*
+    received from its predecessor, and if nothing arrives within
+    ``timeout`` seconds it declares the predecessor dead and broadcasts
+    ``MEMBER_DEAD``.
+
+    Detection state is purely local, as the paper's per-replica timeout
+    requires: last-seen timestamps are keyed ``(observer, sender)``, so
+    one member's observations never refresh another's window, and a
+    watcher that gains a new predecessor (ring repair, startup, rejoin)
+    opens a fresh window for it before judging it.
+
+    Restored members are re-admitted with :meth:`rejoin`, which restarts
+    the member's protocol processes and announces ``MEMBER_ALIVE``.
     """
 
     def __init__(self, sim: "Simulator", network: Network,
@@ -98,12 +108,21 @@ class HeartbeatProtocol:
         self.interval = float(interval)
         self.timeout = float(timeout)
         self.on_death = on_death
-        self._last_seen: dict[str, float] = {m: sim.now for m in ring.live}
+        #: (observer, sender) -> time the observer last heard the sender.
+        self._last_seen: dict[tuple[str, str], float] = {}
+        #: observer -> the predecessor its watch loop is currently timing.
+        self._watching: dict[str, str] = {}
         self.processes = []
+        self._procs: dict[str, list] = {}
         for member in ring.live:
-            self.processes.append(sim.process(self._beat(member)))
-            self.processes.append(sim.process(self._listen(member)))
-            self.processes.append(sim.process(self._watch(member)))
+            self._spawn(member)
+
+    def _spawn(self, member: str) -> None:
+        procs = [self.sim.process(self._beat(member)),
+                 self.sim.process(self._listen(member)),
+                 self.sim.process(self._watch(member))]
+        self._procs[member] = procs
+        self.processes.extend(procs)
 
     # -- per-member processes -------------------------------------------------
     def _participating(self, me: str) -> bool:
@@ -129,9 +148,11 @@ class HeartbeatProtocol:
                 if not self._participating(me):
                     return
                 if msg.kind == MsgKind.HEARTBEAT:
-                    self._last_seen[msg.payload] = self.sim.now
+                    self._last_seen[(me, msg.payload)] = self.sim.now
                 elif msg.kind == MsgKind.MEMBER_DEAD:
                     self._declare_dead(msg.payload, announce=False)
+                elif msg.kind == MsgKind.MEMBER_ALIVE:
+                    self.ring.mark_alive(msg.payload)
         except Interrupt:
             return
 
@@ -142,9 +163,15 @@ class HeartbeatProtocol:
                 if not self._participating(me):
                     return
                 pred = self.ring.predecessor(me)
+                if self._watching.get(me) != pred:
+                    # New predecessor (startup, ring repair, rejoin):
+                    # open a fresh timeout window before judging it.
+                    self._watching[me] = pred
+                    self._last_seen[(me, pred)] = self.sim.now
+                    continue
                 if pred == me:
                     continue
-                last = self._last_seen.get(pred, 0.0)
+                last = self._last_seen[(me, pred)]
                 if self.sim.now - last > self.timeout:
                     self._declare_dead(pred, announce=True, reporter=me)
         except Interrupt:
@@ -155,17 +182,42 @@ class HeartbeatProtocol:
         if not self.ring.is_alive(name):
             return
         self.ring.mark_dead(name)
-        # Ring repair changes everyone's predecessor; grant the survivors a
-        # fresh timeout window so stale timestamps don't cascade into
-        # false positives.
-        for member in self.ring.live:
-            self._last_seen[member] = self.sim.now
+        # Ring repair changes some watchers' predecessors; each watch loop
+        # opens its own fresh window when it notices (no global re-seed —
+        # refreshing *other* observers' timestamps here would let one
+        # death postpone every pending detection indefinitely).
         if self.on_death is not None:
             self.on_death(name)
         if announce and reporter is not None:
             ep = self.network.endpoint(reporter)
             ep.broadcast(self.ring.live, Ports.RING, MsgKind.MEMBER_DEAD,
                          payload=name)
+
+    # -- rejoin ----------------------------------------------------------------
+    def rejoin(self, name: str) -> None:
+        """Re-admit a restored member and restart its protocol processes.
+
+        The member must be reachable again (transport restored).  Stale
+        processes left over from before the crash are interrupted first —
+        a still-blocked old listener would steal ring messages from the
+        restarted one.  The member's own observation state is dropped (its
+        watch loop re-seeds fresh windows lazily), and ``MEMBER_ALIVE`` is
+        announced so the ring's watchers re-time their predecessors.
+        """
+        if self.network.is_crashed(name):
+            raise MembershipError(f"{name} is still crashed")
+        for proc in self._procs.get(name, []):
+            if proc.is_alive:
+                proc.defused = True
+                proc.interrupt(f"rejoin:{name}")
+        for key in [k for k in self._last_seen if k[0] == name]:
+            del self._last_seen[key]
+        self._watching.pop(name, None)
+        self.ring.mark_alive(name)
+        self._spawn(name)
+        ep = self.network.endpoint(name)
+        ep.broadcast(self.ring.live, Ports.RING, MsgKind.MEMBER_ALIVE,
+                     payload=name)
 
     def stop(self) -> None:
         """Terminate all protocol processes."""

@@ -28,3 +28,4 @@ class MsgKind:
     ASSIGN = "ASSIGN"              # replica -> client: final share decision
     HEARTBEAT = "HEARTBEAT"        # ring liveness probe
     MEMBER_DEAD = "MEMBER_DEAD"    # failure announcement
+    MEMBER_ALIVE = "MEMBER_ALIVE"  # rejoin announcement (restored member)

@@ -71,6 +71,9 @@ class DistributedSolveSession:
     algorithm: ``"lddm"`` or ``"cdpsm"``.
     nodes: the emulated nodes, for activity/power bookkeeping.
     timing: per-iteration computation model.
+    batched: use the stacked numpy kernels (:mod:`repro.core.kernels`)
+        for the per-iteration numeric work; the scalar per-replica path
+        remains available for oracle runs (``batched=False``).
     solver_kwargs: forwarded to the underlying solver.
     """
 
@@ -81,6 +84,7 @@ class DistributedSolveSession:
                  algorithm: str,
                  nodes: dict[str, ReplicaNode] | None = None,
                  timing: SolveTimingModel | None = None,
+                 batched: bool = True,
                  **solver_kwargs) -> None:
         if algorithm not in ("lddm", "cdpsm"):
             raise ValidationError(f"unknown algorithm {algorithm!r}")
@@ -96,6 +100,7 @@ class DistributedSolveSession:
         self.algorithm = algorithm
         self.nodes = nodes or {}
         self.timing = timing or SolveTimingModel()
+        solver_kwargs.setdefault("batched", batched)
         if algorithm == "lddm":
             self.solver = LddmSolver(problem, track_objective=False,
                                      **solver_kwargs)

@@ -13,7 +13,6 @@ from repro.cluster.node import NodeActivity, ReplicaNode
 from repro.edr.messages import MsgKind, Ports
 from repro.net.transport import Network
 from repro.sim.process import Interrupt
-from repro.workload.requests import Request
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator

@@ -180,7 +180,8 @@ class EDRSystem:
         self.network = Network(self.sim, self.topology)
         self.flows = FlowManager(self.sim, self.topology,
                                  crashed=self.network.is_crashed)
-        self.faults = FaultInjector(self.sim, self.network, self.flows)
+        self.faults = FaultInjector(self.sim, self.network, self.flows,
+                                    on_restore=self._on_node_restored)
 
         # -- cluster -----------------------------------------------------------
         self.nodes: dict[str, ReplicaNode] = {}
@@ -471,6 +472,23 @@ class EDRSystem:
             if not self.config.heartbeats:
                 self.ring.mark_dead(name)
         self.sim.call_at(at, _do)
+
+    def restore_replica(self, name: str, at: float) -> None:
+        """Schedule a restore of replica ``name`` at time ``at``.
+
+        The transport reconnects and the replica rejoins the ring — via
+        the heartbeat protocol's rejoin path if enabled, else immediately.
+        """
+        self.sim.call_at(at, lambda: self.faults.restore(name))
+
+    def _on_node_restored(self, name: str) -> None:
+        """Fault-injector hook: re-admit restored replicas to the ring."""
+        if name not in self.servers:
+            return  # clients don't participate in the ring
+        if self.heartbeats is not None:
+            self.heartbeats.rejoin(name)
+        else:
+            self.ring.mark_alive(name)
 
     def run(self, app: str = "unknown") -> ExperimentResult:
         """Run to completion; returns the measured result."""

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.cluster.pricing import PriceSchedule
 from repro.edr.system import EDRSystem, RuntimeConfig

@@ -40,10 +40,6 @@ class GeoLatencyResult:
     infeasible_below_ms: float
 
     def render(self) -> str:
-        rows = [[1000 * b if b < 1 else b,
-                 self.eligible_pairs[i],
-                 self.costs[i] if np.isfinite(self.costs[i]) else "infeasible"]
-                for i, b in enumerate(self.bounds_ms)]
         table = render_table(
             ["T (ms)", "eligible pairs", "LDDM objective"],
             [[round(1000 * b, 2), e,

@@ -35,6 +35,8 @@ class Fig9Result:
     donar_mean_response: list[float]
     edr_total_response: list[float] = field(default_factory=list)
     donar_total_response: list[float] = field(default_factory=list)
+    #: Simulated seconds EDR spent inside LDDM solves, per request count.
+    edr_solve_time: list[float] = field(default_factory=list)
 
     def render(self) -> str:
         table = render_series(
@@ -67,6 +69,7 @@ def run(request_counts=DEFAULT_REQUEST_COUNTS) -> Fig9Result:
         raise ValidationError("request_counts must be positive")
     edr_mean, donar_mean = [], []
     edr_tot, donar_tot = [], []
+    edr_solve = []
     for count in counts:
         scenario = _scenario(count)
         trace = make_trace(scenario)
@@ -79,9 +82,11 @@ def run(request_counts=DEFAULT_REQUEST_COUNTS) -> Fig9Result:
         donar_mean.append(donar.mean_response)
         edr_tot.append(sum(edr.response_times))
         donar_tot.append(sum(donar.response_times))
+        edr_solve.append(float(edr.extras.get("solve_time", 0.0)))
     return Fig9Result(
         request_counts=counts,
         edr_mean_response=edr_mean,
         donar_mean_response=donar_mean,
         edr_total_response=edr_tot,
-        donar_total_response=donar_tot)
+        donar_total_response=donar_tot,
+        edr_solve_time=edr_solve)

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from repro.edr.system import EDRSystem, RuntimeConfig
 from repro.experiments.scenarios import Scenario, make_trace
-from repro.metrics.report import ExperimentResult
 
 __all__ = ["run_runtime", "ALGORITHMS"]
 

@@ -14,7 +14,7 @@ execution windows and therefore energy cost.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cluster.pricing import PAPER_PRICES
 from repro.errors import ValidationError

@@ -8,7 +8,7 @@ survive (Sec. III-C of the paper).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.errors import SimulationError
 from repro.net.flows import FlowManager
@@ -22,13 +22,20 @@ __all__ = ["FaultInjector"]
 
 
 class FaultInjector:
-    """Coordinates crash/restore of nodes across transport, flows, processes."""
+    """Coordinates crash/restore of nodes across transport, flows, processes.
+
+    ``on_restore`` (if given) is called with the node name after a
+    :meth:`restore` reconnects its transport — the hook the membership
+    layer uses to rejoin restored replicas to the ring.
+    """
 
     def __init__(self, sim: "Simulator", network: Network,
-                 flows: FlowManager | None = None) -> None:
+                 flows: FlowManager | None = None,
+                 on_restore: Callable[[str], None] | None = None) -> None:
         self.sim = sim
         self.network = network
         self.flows = flows
+        self.on_restore = on_restore
         self._processes: dict[str, list[Process]] = {}
         self.crash_log: list[tuple[float, str, str]] = []
 
@@ -50,11 +57,27 @@ class FaultInjector:
         self.crash_log.append((self.sim.now, node, "crash"))
 
     def restore(self, node: str) -> None:
-        """Reconnect ``node`` (processes are not restarted automatically)."""
+        """Reconnect ``node`` and fire the ``on_restore`` hook.
+
+        Server processes are not restarted automatically; protocol-level
+        re-admission (ring rejoin, process respawn) is the hook's job.
+        """
         if not self.network.is_crashed(node):
             raise SimulationError(f"{node} is not crashed")
         self.network.restore(node)
         self.crash_log.append((self.sim.now, node, "restore"))
+        if self.on_restore is not None:
+            self.on_restore(node)
+
+    def cut_link(self, src: str, dst: str) -> None:
+        """Cut the directed ``src`` -> ``dst`` link (partial partition)."""
+        self.network.cut_link(src, dst)
+        self.crash_log.append((self.sim.now, f"{src}->{dst}", "cut"))
+
+    def heal_link(self, src: str, dst: str) -> None:
+        """Restore a previously cut directed link."""
+        self.network.heal_link(src, dst)
+        self.crash_log.append((self.sim.now, f"{src}->{dst}", "heal"))
 
     def crash_at(self, time: float, node: str) -> None:
         """Schedule a crash of ``node`` at absolute simulated ``time``."""

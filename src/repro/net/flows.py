@@ -14,7 +14,7 @@ from __future__ import annotations
 import math
 from typing import TYPE_CHECKING, Iterable
 
-from repro.errors import SimulationError, ValidationError
+from repro.errors import ValidationError
 from repro.net.topology import Topology
 from repro.sim.events import Event
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable
 
-from repro.errors import SimulationError, ValidationError
+from repro.errors import ValidationError
 from repro.net.message import Message
 from repro.net.topology import Topology
 from repro.sim.events import Event
@@ -70,6 +70,7 @@ class Network:
         self.topology = topology
         self._mailboxes: dict[tuple[str, str], Store] = {}
         self._crashed: set[str] = set()
+        self._cut: set[tuple[str, str]] = set()
         self.messages_sent = 0
         self.messages_delivered = 0
         self.mb_sent = 0.0
@@ -105,6 +106,25 @@ class Network:
         """True while ``node`` is crash-faulted."""
         return node in self._crashed
 
+    def cut_link(self, src: str, dst: str) -> None:
+        """Silently drop ``src`` -> ``dst`` messages (directed partition).
+
+        Only the one direction is cut; the reverse link and both nodes'
+        other links keep working — the partial-partition case a purely
+        local failure detector must still resolve.
+        """
+        self.topology.index(src)
+        self.topology.index(dst)
+        self._cut.add((src, dst))
+
+    def heal_link(self, src: str, dst: str) -> None:
+        """Restore a previously cut directed link."""
+        self._cut.discard((src, dst))
+
+    def is_link_cut(self, src: str, dst: str) -> bool:
+        """True while the directed link ``src`` -> ``dst`` is cut."""
+        return (src, dst) in self._cut
+
     # -- delivery ---------------------------------------------------------------
     def transit_delay(self, msg: Message) -> float:
         """Propagation + serialization delay for ``msg``."""
@@ -122,6 +142,8 @@ class Network:
         self.sent_by_node[msg.src] = self.sent_by_node.get(msg.src, 0) + 1
         if msg.src in self._crashed:
             return  # sender is dead: message never leaves
+        if (msg.src, msg.dst) in self._cut:
+            return  # directed link is partitioned: message is lost
         delay = self.transit_delay(msg)
         ev = self.sim.timeout(delay, msg)
         ev.add_callback(self._arrive)

@@ -54,7 +54,6 @@ def fit_zipf_exponent(object_ids, n_grid: int = 200) -> float:
     if n_objects < 2:
         return 0.0
     ranks = np.arange(1, n_objects + 1, dtype=float)
-    log_ranks = np.log(ranks)
     observed = np.log(ids + 1.0)
     best_s, best_ll = 0.0, -np.inf
     for s in np.linspace(0.0, 3.0, n_grid):

@@ -9,7 +9,6 @@ replay so experiments can pin an exact trace.
 from __future__ import annotations
 
 import io
-from typing import Iterable
 
 import numpy as np
 

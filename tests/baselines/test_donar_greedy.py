@@ -130,6 +130,7 @@ class TestPriceGreedy:
         greedy = solve_price_greedy(prob).objective
         lddm = solve_lddm(prob).objective
         assert lddm <= greedy + 1e-6
+        assert lddm <= rr + 1e-6
 
     def test_respects_mask(self):
         mask = np.array([[True, False], [True, True]])

@@ -13,11 +13,9 @@ from repro.core.model import (
 )
 from repro.core.params import (
     PAPER_ALPHA,
-    PAPER_BETA,
     PAPER_GAMMA,
     ProblemData,
-    ReplicaParams,
-)
+    ReplicaParams)
 from repro.errors import ValidationError
 
 

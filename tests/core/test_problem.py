@@ -133,10 +133,8 @@ class TestRepair:
 
 class TestLowerBound:
     def test_lower_bound_no_worse_than_reference(self, paper_instance):
-        from repro.core.model import replica_energy
         from repro.core.reference import solve_reference
         lb_loads = paper_instance.lower_bound_loads()
-        lb = float(replica_energy(paper_instance.data, lb_loads).sum())
         ref = solve_reference(paper_instance)
         # The greedy relaxation ignores convexity's spreading benefit, so it
         # is not a true bound in general; but for all-eligible instances the

@@ -16,7 +16,7 @@ from repro.core.lddm import LddmSolver, solve_lddm
 from repro.core.params import ProblemData
 from repro.core.problem import ReplicaSelectionProblem
 from repro.core.reference import solve_reference
-from repro.core.stepsize import ConstantStep, DiminishingStep
+from repro.core.stepsize import DiminishingStep
 from repro.errors import InfeasibleProblemError, ValidationError
 
 from tests.core.conftest import random_instance

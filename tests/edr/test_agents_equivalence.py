@@ -56,7 +56,6 @@ class TestEquivalence:
             f"max diff {np.abs(agent_alloc - matrix_alloc).max():.2e}"
 
     def test_masked_instance_matches(self):
-        rng = make_rng(7)
         mask = np.array([[True, False, True],
                          [True, True, True]])
         data = ProblemData.paper_defaults(

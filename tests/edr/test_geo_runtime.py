@@ -6,7 +6,6 @@ This verifies the runtime honors the mask end-to-end: a replica too far
 from every client never serves a byte, yet everything is delivered.
 """
 
-import numpy as np
 import pytest
 
 from repro.edr.system import EDRSystem, RuntimeConfig

@@ -115,3 +115,63 @@ class TestHeartbeatProtocol:
         sim, net, ring = self._setup()
         with pytest.raises(MembershipError):
             HeartbeatProtocol(sim, net, ring, interval=0.3, timeout=0.2)
+
+    def test_partitioned_predecessor_detected_despite_churn(self):
+        """Shared-timestamp regression: detection state must be local.
+
+        Only the r5 -> r0 link is cut, so r0 alone stops hearing its
+        predecessor r5.  With observer-local timestamps, r0 declares r5
+        dead one timeout after the last delivered heartbeat — deaths
+        elsewhere on the ring (r1, r3 crash around the same time) must
+        not refresh r0's window and postpone the detection.
+        """
+        sim, net, ring = self._setup(6)
+        deaths = []
+        hb = HeartbeatProtocol(sim, net, ring, interval=0.05, timeout=0.25,
+                               on_death=lambda n: deaths.append((sim.now, n)))
+        inj = FaultInjector(sim, net)
+        inj.crash_at(0.87, "r1")
+        inj.crash_at(1.03, "r3")
+        sim.call_at(0.98, lambda: inj.cut_link("r5", "r0"))
+        sim.run(until=1.5)
+        hb.stop()
+        times = {name: t for t, name in deaths}
+        assert set(times) == {"r1", "r3", "r5"}
+        # One timeout after r5's last delivered heartbeat (~0.95), plus
+        # watch-tick granularity — not one timeout after the churn.
+        assert times["r5"] < 1.35
+        assert ring.live == ["r0", "r2", "r4"]
+
+    def test_crash_restore_rejoin_round_trip(self):
+        """A restored replica rejoins the ring and is watched again."""
+        sim, net, ring = self._setup(3)
+        deaths = []
+        hb = HeartbeatProtocol(sim, net, ring, interval=0.05, timeout=0.25,
+                               on_death=deaths.append)
+        inj = FaultInjector(sim, net, on_restore=hb.rejoin)
+        inj.crash_at(1.0, "r1")
+        inj.restore_at(2.0, "r1")
+        sim.run(until=3.0)
+        # Detected once, then re-admitted; no spurious deaths after the
+        # rejoin (the re-seeded window must not instantly re-kill it, and
+        # the restarted beat process must keep its successor satisfied).
+        assert deaths == ["r1"]
+        assert ring.live == ["r0", "r1", "r2"]
+        assert ("alive", "r1") in ring.events
+        # The rejoined member is a first-class participant: crash it again
+        # and the restarted protocol must re-detect it.
+        inj.crash_at(3.0, "r1")
+        sim.run(until=4.0)
+        hb.stop()
+        assert deaths == ["r1", "r1"]
+        assert ring.live == ["r0", "r2"]
+
+    def test_rejoin_requires_restored_transport(self):
+        sim, net, ring = self._setup(3)
+        hb = HeartbeatProtocol(sim, net, ring, interval=0.05, timeout=0.25)
+        inj = FaultInjector(sim, net)
+        inj.crash_at(1.0, "r1")
+        sim.run(until=2.0)
+        with pytest.raises(MembershipError):
+            hb.rejoin("r1")
+        hb.stop()

@@ -6,8 +6,6 @@ These tests serve a controlled workload at varying loads and verify the
 measured energy has the planning model's qualitative shape.
 """
 
-import numpy as np
-import pytest
 
 from repro.cluster.node import NodeActivity, ReplicaNode
 from repro.cluster.pdu import PowerSampler

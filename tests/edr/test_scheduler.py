@@ -1,6 +1,5 @@
 """Tests for the distributed solve session."""
 
-import numpy as np
 import pytest
 
 from repro.cluster.node import NodeActivity, ReplicaNode
@@ -86,7 +85,7 @@ class TestSession:
     def test_nodes_busy_during_solve(self):
         sim, net, nodes, problem, session = setup_session("cdpsm",
                                                           max_iter=50)
-        proc = sim.process(session.run())
+        sim.process(session.run())
         sim.run(until=1e-4)
         states = {n.activity for n in nodes.values()}
         assert states == {NodeActivity.SELECTING}

@@ -5,7 +5,7 @@ import pytest
 
 from repro.edr.system import EDRSystem, RuntimeConfig
 from repro.errors import ValidationError
-from repro.workload.requests import Request, RequestTrace
+from repro.workload.requests import RequestTrace
 
 from tests.edr.conftest import burst_trace
 
@@ -148,7 +148,7 @@ class TestFaultTolerance:
 class TestPowerProfiles:
     def test_profiles_recorded_at_50hz(self, dfs_burst):
         system = EDRSystem(dfs_burst, RuntimeConfig(algorithm="lddm"))
-        res = system.run(app="dfs")
+        system.run(app="dfs")
         profiles = system.power_profiles()
         assert set(profiles) == set(system.replica_names)
         for series in profiles.values():

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments.runner import main, run_one
+from repro.experiments.runner import main
 
 
 class TestRunner:

@@ -84,3 +84,42 @@ class TestCrash:
         inj = FaultInjector(sim, net, flows=None)
         inj.crash("a")
         assert net.is_crashed("a")
+
+    def test_restore_fires_on_restore_hook(self):
+        sim = Simulator()
+        topo = Topology.lan(["a", "b"])
+        net = Network(sim, topo)
+        restored = []
+        inj = FaultInjector(sim, net, on_restore=restored.append)
+        inj.crash("a")
+        assert restored == []
+        inj.restore("a")
+        assert restored == ["a"]
+
+
+class TestLinkCuts:
+    def test_cut_link_is_directional(self):
+        sim, net, fm, inj = setup()
+        inj.cut_link("a", "b")
+        net.endpoint("a").send("b", "m", "X")   # cut direction: dropped
+        net.endpoint("b").send("a", "m", "Y")   # reverse: delivered
+        net.endpoint("a").send("c", "m", "Z")   # other links: delivered
+        sim.run()
+        assert net.messages_delivered == 2
+        assert net.is_link_cut("a", "b")
+        assert not net.is_link_cut("b", "a")
+
+    def test_heal_link_restores_delivery(self):
+        sim, net, fm, inj = setup()
+        inj.cut_link("a", "b")
+        net.endpoint("a").send("b", "m", "X")
+        inj.heal_link("a", "b")
+        net.endpoint("a").send("b", "m", "X")
+        sim.run()
+        assert net.messages_delivered == 1
+
+    def test_cut_and_heal_logged(self):
+        sim, net, fm, inj = setup()
+        inj.cut_link("a", "b")
+        inj.heal_link("a", "b")
+        assert inj.crash_log == [(0.0, "a->b", "cut"), (0.0, "a->b", "heal")]

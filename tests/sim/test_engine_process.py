@@ -184,7 +184,6 @@ class TestInterrupt:
         sim = Simulator()
 
         def robust(sim):
-            total = 0.0
             try:
                 yield sim.timeout(100)
             except Interrupt:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.sim.engine import Simulator
-from repro.sim.events import AllOf, AnyOf, Event, EventQueue, Timeout
+from repro.sim.events import AllOf, AnyOf, Event, EventQueue
 
 
 class TestEvent:

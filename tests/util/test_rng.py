@@ -1,7 +1,6 @@
 """Tests for deterministic RNG streams."""
 
 import numpy as np
-import pytest
 
 from repro.util.rng import RngFactory, make_rng
 

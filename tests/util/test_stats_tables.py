@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ValidationError
-from repro.util.stats import Summary, percentile, summarize
+from repro.util.stats import percentile, summarize
 from repro.util.tables import render_series, render_table
 
 

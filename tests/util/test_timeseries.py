@@ -1,6 +1,5 @@
 """Tests (incl. property tests) for the TimeSeries container."""
 
-import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 

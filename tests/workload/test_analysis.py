@@ -1,17 +1,14 @@
 """Tests for trace analysis: the generated workloads exhibit their
 configured statistics (closing the loop on the YouTube model)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ValidationError
 from repro.util.rng import make_rng
 from repro.workload.analysis import (
-    TraceStats,
     analyze,
     arrival_rate_series,
-    fit_zipf_exponent,
-)
+    fit_zipf_exponent)
 from repro.workload.apps import FILE_SERVICE, VIDEO_STREAMING
 from repro.workload.clients import ClientPopulation
 from repro.workload.generator import WorkloadGenerator
