@@ -1,13 +1,21 @@
 """Benchmark — Fig. 9: response-time scaling, EDR vs DONAR."""
 
+import time
+
 from repro.experiments import fig9
 
 
-def test_bench_fig9_scaling(benchmark, report_sink):
+def test_bench_fig9_scaling(benchmark, report_sink, bench_report):
+    start = time.perf_counter()
     result = benchmark.pedantic(
         fig9.run, kwargs={"request_counts": fig9.DEFAULT_REQUEST_COUNTS},
         rounds=1, iterations=1)
+    wall_s = time.perf_counter() - start
     report_sink("fig9_scaling", result.render())
+    bench_report("fig9_scaling", wall_s=wall_s,
+                 iterations=sum(result.edr_solve_iterations),
+                 request_counts=list(result.request_counts),
+                 edr_solve_s=round(sum(result.edr_solve_time), 6))
     # Paper shape: < 200 ms per request throughout the sweep...
     assert max(result.edr_mean_response) < 0.2
     # ... EDR comparable to DONAR ...

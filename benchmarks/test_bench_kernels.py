@@ -89,7 +89,7 @@ def _timed_solve(problem, cls, **kw):
 
 
 @pytest.mark.parametrize("n_clients,n_replicas", [(16, 32), (64, 32)])
-def test_bench_batched_cdpsm(benchmark, n_clients, n_replicas):
+def test_bench_batched_cdpsm(benchmark, bench_report, n_clients, n_replicas):
     problem = _bench_instance(n_clients, n_replicas)
     kw = dict(max_iter=10)
     scalar, scalar_s = _timed_solve(problem, CdpsmSolver, batched=False, **kw)
@@ -101,10 +101,13 @@ def test_bench_batched_cdpsm(benchmark, n_clients, n_replicas):
     benchmark.extra_info["scalar_s"] = round(scalar_s, 4)
     benchmark.extra_info["batched_s"] = round(batched_s, 4)
     benchmark.extra_info["speedup"] = round(scalar_s / batched_s, 2)
+    bench_report("batched_cdpsm", wall_s=batched_s,
+                 iterations=batched.iterations, n_clients=n_clients,
+                 n_replicas=n_replicas, scalar_s=round(scalar_s, 6))
 
 
 @pytest.mark.parametrize("n_clients,n_replicas", [(16, 32), (64, 32)])
-def test_bench_batched_lddm(benchmark, n_clients, n_replicas):
+def test_bench_batched_lddm(benchmark, bench_report, n_clients, n_replicas):
     problem = _bench_instance(n_clients, n_replicas)
     kw = dict(max_iter=40)
     scalar, scalar_s = _timed_solve(problem, LddmSolver, batched=False, **kw)
@@ -116,6 +119,9 @@ def test_bench_batched_lddm(benchmark, n_clients, n_replicas):
     benchmark.extra_info["scalar_s"] = round(scalar_s, 4)
     benchmark.extra_info["batched_s"] = round(batched_s, 4)
     benchmark.extra_info["speedup"] = round(scalar_s / batched_s, 2)
+    bench_report("batched_lddm", wall_s=batched_s,
+                 iterations=batched.iterations, n_clients=n_clients,
+                 n_replicas=n_replicas, scalar_s=round(scalar_s, 6))
 
 
 def test_bench_kernel_max_min_fair(benchmark):

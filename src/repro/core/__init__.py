@@ -38,6 +38,13 @@ from repro.core.subproblem import solve_replica_subproblem
 from repro.core.cdpsm import CdpsmSolver, solve_cdpsm
 from repro.core.lddm import LddmSolver, solve_lddm
 from repro.core.reference import solve_reference
+from repro.core.warmstart import (
+    AdaptiveBudget,
+    WarmStartCache,
+    WarmStartEntry,
+    project_warm_start,
+    recover_mu,
+)
 
 __all__ = [
     "ProblemData",
@@ -65,4 +72,9 @@ __all__ = [
     "LddmSolver",
     "solve_lddm",
     "solve_reference",
+    "AdaptiveBudget",
+    "WarmStartCache",
+    "WarmStartEntry",
+    "project_warm_start",
+    "recover_mu",
 ]

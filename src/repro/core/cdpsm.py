@@ -98,6 +98,7 @@ class CdpsmSolver:
         self.dykstra_iter = int(dykstra_iter)
         self.track_objective = bool(track_objective)
         self.batched = bool(batched)
+        self.converged_ = False
 
     def iterations(self, initial: np.ndarray | None = None):
         """Generator over consensus iterations (the runtime steps this).
@@ -106,6 +107,12 @@ class CdpsmSolver:
         ``change`` is the max movement of any replica's estimate.  Stops
         when the estimates no longer move ("until P does not change") or
         at ``max_iter``.
+
+        ``initial`` seeds every replica's estimate (each is projected
+        into its own local set before the first consensus round) — the
+        runtime passes the previous batch's projected consensus mean here
+        to warm-start the solve.  ``self.converged_`` reports whether the
+        stopping rule fired.
         """
         problem = self.problem
         data = problem.data
@@ -113,6 +120,9 @@ class CdpsmSolver:
         cols = np.arange(N)
         base = problem.uniform_allocation() if initial is None \
             else np.asarray(initial, dtype=float)
+        if base.shape != data.shape:
+            raise ValidationError("initial allocation shape mismatch")
+        self.converged_ = False
         # Per-replica estimates, each projected into its own local set.
         if self.batched:
             X = kernels.project_local_sets_stacked(
@@ -149,6 +159,7 @@ class CdpsmSolver:
             X = X_new
             yield k, X.mean(axis=0), change
             if change < tol_abs:
+                self.converged_ = True
                 return
 
     def solve(self, initial: np.ndarray | None = None) -> Solution:

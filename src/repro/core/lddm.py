@@ -33,7 +33,8 @@ from repro.core.subproblem import ReplicaSubproblem, solve_replica_subproblem
 from repro.core import kernels, model
 from repro.errors import ValidationError
 
-__all__ = ["LddmSolver", "solve_lddm", "default_lddm_parameters"]
+__all__ = ["LddmSolver", "solve_lddm", "default_lddm_parameters",
+           "initial_mu"]
 
 
 def default_lddm_parameters(data: ProblemData) -> tuple[float, float]:
@@ -54,6 +55,25 @@ def default_lddm_parameters(data: ProblemData) -> tuple[float, float]:
     epsilon = max(g_typ, 1e-12) / scale
     dual_step = 1.0 * epsilon / max(data.n_replicas, 1)
     return epsilon, dual_step
+
+
+def initial_mu(problem: ReplicaSelectionProblem) -> np.ndarray:
+    """Cold-start ``mu_c``: minus the cheapest eligible marginal cost.
+
+    At optimality ``mu_c = -dE/dP[c, n]`` for every replica carrying
+    client c's load; the marginal at the uniform allocation is a good
+    first guess and saves most of the dual travel.  Warm starts
+    (:mod:`repro.core.warmstart`) fall back to this per client when no
+    cached multiplier applies.
+    """
+    data = problem.data
+    loads = problem.uniform_allocation().sum(axis=0)
+    marginal = model.load_marginal_cost(data, loads)
+    mu = np.empty(data.n_clients)
+    for c in range(data.n_clients):
+        eligible = data.mask[c]
+        mu[c] = -float(marginal[eligible].min()) if eligible.any() else 0.0
+    return mu
 
 
 class LddmSolver:
@@ -97,25 +117,17 @@ class LddmSolver:
         self.track_objective = bool(track_objective)
         self.warm_start_mu = bool(warm_start_mu)
         self.batched = bool(batched)
+        # Final dual state of the last iterations() run (cached by the
+        # runtime's warm-start layer).
+        self.mu_: np.ndarray | None = None
+        self.converged_ = False
 
     # -- pieces -------------------------------------------------------------
     def _initial_mu(self) -> np.ndarray:
-        """Warm-start ``mu_c`` at minus the cheapest marginal cost.
-
-        At optimality ``mu_c = -dE/dP[c, n]`` for every replica carrying
-        client c's load; the marginal at the uniform allocation is a good
-        first guess and saves most of the dual travel.
-        """
-        data = self.problem.data
+        """Cold-start multipliers (see :func:`initial_mu`)."""
         if not self.warm_start_mu:
-            return np.zeros(data.n_clients)
-        loads = self.problem.uniform_allocation().sum(axis=0)
-        marginal = model.load_marginal_cost(data, loads)
-        mu = np.empty(data.n_clients)
-        for c in range(data.n_clients):
-            eligible = data.mask[c]
-            mu[c] = -float(marginal[eligible].min()) if eligible.any() else 0.0
-        return mu
+            return np.zeros(self.problem.data.n_clients)
+        return initial_mu(self.problem)
 
     def _solve_columns(self, mu: np.ndarray, prev: np.ndarray) -> np.ndarray:
         """One round of local subproblem solves (all replicas)."""
@@ -137,7 +149,8 @@ class LddmSolver:
         return P
 
     # -- main loop -----------------------------------------------------------
-    def iterations(self, initial: np.ndarray | None = None):
+    def iterations(self, initial: np.ndarray | None = None,
+                   mu0: np.ndarray | None = None):
         """Generator over solver iterations (the runtime steps this).
 
         Yields ``(k, candidate, residual)`` after each iteration, where
@@ -145,12 +158,28 @@ class LddmSolver:
         averaging is on) and ``residual`` is the max demand violation of
         the *raw* iterate.  The generator stops once the stopping rule is
         met or ``max_iter`` is reached.
+
+        ``initial`` seeds the primal reference point and ``mu0`` the dual
+        multipliers (both default to the cold start); together they form
+        the cross-batch warm-start entry point used by the runtime.
+        After the generator finishes, ``self.mu_`` holds the final
+        multipliers and ``self.converged_`` whether the stopping rule
+        fired — the state the runtime caches for the next batch.
         """
         problem = self.problem
         data = problem.data
         prev = problem.uniform_allocation() if initial is None \
             else np.asarray(initial, dtype=float)
-        mu = self._initial_mu()
+        if prev.shape != data.shape:
+            raise ValidationError("initial allocation shape mismatch")
+        if mu0 is None:
+            mu = self._initial_mu()
+        else:
+            mu = np.array(mu0, dtype=float, copy=True)
+            if mu.shape != (data.n_clients,):
+                raise ValidationError("mu0 must have one entry per client")
+        self.mu_ = mu
+        self.converged_ = False
         # Suffix averaging: restart the running mean at k = 1, 2, 4, 8, ...
         # so the recovered primal always averages (roughly) the last half
         # of the iterates — plain ergodic averaging would dilute the
@@ -163,6 +192,7 @@ class LddmSolver:
             P = self._solve_columns(mu, prev)
             r = P.sum(axis=1) - data.R
             mu = mu + self.step(k) * r
+            self.mu_ = mu
             prev = P
             if k == next_restart:
                 average = np.zeros(data.shape)
@@ -179,9 +209,11 @@ class LddmSolver:
             res = min(res_raw, res_cand)
             yield k, candidate, res
             if res < tol_abs and k >= 1:
+                self.converged_ = True
                 return
 
-    def solve(self, initial: np.ndarray | None = None) -> Solution:
+    def solve(self, initial: np.ndarray | None = None,
+              mu0: np.ndarray | None = None) -> Solution:
         """Run Algorithm 2; returns the repaired (averaged) solution."""
         problem = self.problem
         problem.require_feasible()
@@ -203,7 +235,7 @@ class LddmSolver:
                     data, pending, sweeps=10))
                 pending.clear()
 
-        for k, candidate, res in self.iterations(initial):
+        for k, candidate, res in self.iterations(initial, mu0=mu0):
             iterations = k + 1
             messages += 2 * C * N
             comm_floats += 2 * C * N

@@ -1,0 +1,260 @@
+"""Cross-batch warm starts for the runtime's repeated solves.
+
+EDR re-solves the replica-selection problem for every arriving sub-batch,
+and consecutive batches are nearly identical instances: the live replica
+set, prices and latency mask drift slowly while only the client demands
+change.  The geographical load-balancing literature (Adnan et al.'s
+dynamic deferral, Mathew et al.'s energy-aware CDN balancing) exploits
+exactly this temporal correlation; this module is the EDR-side
+realization.
+
+:class:`WarmStartCache` remembers, per ``(live replica set, price
+vector)`` key, the last converged allocation rows, the converged
+*column-load fractions* (each replica's share of the batch's demand),
+each client's latency-eligibility row, and the final LDDM multipliers
+(for CDPSM the cached rows are the converged consensus mean — its
+consensus state summary).  :func:`project_warm_start` maps a cached
+entry onto a new batch's feasible set: returning clients keep their
+cached split rescaled to the new demand, new clients (and clients whose
+eligibility row changed) are seeded proportionally to the cached
+column-load fractions — the load *distribution* over replicas is the
+temporally-correlated object; it depends on the replica set and prices,
+not on which clients happen to be in the batch — departed clients are
+dropped, and the result is pushed through the masked demand projection /
+capacity repair so the solvers start from a feasible point.
+
+:func:`recover_mu` re-derives consistent LDDM multipliers at the
+projected point's operating load.  The *raw* cached ``mu`` is
+deliberately not replayed: it is a sample of the dual limit cycle tied
+to the previous batch's total demand, and feeding it to a batch at a
+different load level sends the dual far from its new optimum (measured:
+it makes warm solves slower than cold ones).
+
+:class:`AdaptiveBudget` shrinks the per-batch iteration cap while warm
+starts keep converging early and resets to the cold-start budget the
+moment one fails to converge — bounding decision latency without risking
+solution quality.
+
+Invalidation rules (enforced by the runtime, tested in
+``tests/edr/test_warm_start_system.py``): any membership change — a
+replica death or a rejoin — clears the cache, so the next batch cold
+starts; a price change rotates the key, which is a miss (old entries age
+out of the LRU ring).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core import model
+from repro.core.problem import ReplicaSelectionProblem
+from repro.errors import ValidationError
+
+__all__ = ["WarmStartEntry", "WarmStartCache", "AdaptiveBudget",
+           "project_warm_start", "recover_mu"]
+
+#: Decimal places prices are rounded to inside cache keys (float-stable).
+_PRICE_DECIMALS = 9
+
+
+@dataclass
+class WarmStartEntry:
+    """Converged per-client state from one solved batch.
+
+    All mappings are keyed by client *name* so entries survive the
+    client churn between batches; rows are stored over the key's replica
+    ordering.
+    """
+
+    rows: dict[str, np.ndarray]       # client -> allocation row (N,)
+    demands: dict[str, float]         # client -> demand the row served
+    eligibility: dict[str, np.ndarray]  # client -> bool eligibility row (N,)
+    fractions: np.ndarray | None = None  # converged column-load shares (N,)
+    mu: dict[str, float] = field(default_factory=dict)  # final LDDM duals
+    iterations: int = 0               # iterations the producing solve took
+    converged: bool = True
+
+
+def _cache_key(replicas: Sequence[str], prices: np.ndarray) -> tuple:
+    return (tuple(replicas),
+            tuple(np.round(np.asarray(prices, dtype=float),
+                           _PRICE_DECIMALS).tolist()))
+
+
+class WarmStartCache:
+    """LRU cache of :class:`WarmStartEntry` keyed by (replica set, prices).
+
+    The latency-feasibility component of the key is enforced per client
+    row at projection time (the client set varies between batches, so a
+    whole-mask key would almost never hit); see
+    :func:`project_warm_start`.
+    """
+
+    def __init__(self, max_entries: int = 32) -> None:
+        if max_entries < 1:
+            raise ValidationError("max_entries must be >= 1")
+        self.max_entries = int(max_entries)
+        self._entries: OrderedDict[tuple, WarmStartEntry] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, replicas: Sequence[str],
+               prices: np.ndarray) -> WarmStartEntry | None:
+        """The entry for this (replica set, price vector), or ``None``."""
+        key = _cache_key(replicas, prices)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def store(self, replicas: Sequence[str], prices: np.ndarray,
+              clients: Sequence[str], allocation: np.ndarray,
+              mask: np.ndarray, mu: np.ndarray | None = None,
+              iterations: int = 0, converged: bool = True) -> WarmStartEntry:
+        """Record a solved batch's allocation (and LDDM ``mu``) for reuse."""
+        P = np.asarray(allocation, dtype=float)
+        if P.shape != (len(clients), len(replicas)):
+            raise ValidationError("allocation shape mismatch in store()")
+        loads = P.sum(axis=0)
+        total = float(loads.sum())
+        entry = WarmStartEntry(
+            rows={c: P[i].copy() for i, c in enumerate(clients)},
+            demands={c: float(P[i].sum()) for i, c in enumerate(clients)},
+            eligibility={c: np.asarray(mask[i], dtype=bool).copy()
+                         for i, c in enumerate(clients)},
+            fractions=loads / total if total > 0 else None,
+            mu={} if mu is None else
+               {c: float(mu[i]) for i, c in enumerate(clients)},
+            iterations=int(iterations), converged=bool(converged))
+        key = _cache_key(replicas, prices)
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return entry
+
+    def invalidate(self) -> None:
+        """Drop every entry (membership changed: death or rejoin)."""
+        if self._entries:
+            self.invalidations += 1
+        self._entries.clear()
+
+
+def project_warm_start(entry: WarmStartEntry,
+                       problem: ReplicaSelectionProblem,
+                       clients: Sequence[str],
+                       repair_sweeps: int = 50) -> np.ndarray:
+    """Map a cached allocation onto a new batch's feasible set.
+
+    Returning clients whose eligibility row is unchanged keep their
+    cached split rescaled to the new demand; new clients and clients
+    whose mask row drifted are seeded proportionally to the cached
+    column-load fractions restricted to their eligible replicas (uniform
+    only when no cached fraction survives the mask); departed clients
+    simply do not appear in ``clients``.  The assembled matrix is then
+    repaired (masked demand projection + capacity sweeps, ending on the
+    demand projection) so the returned point has exact demand rows,
+    respects the latency mask, and fits capacity up to the repair
+    tolerance.
+    """
+    data = problem.data
+    if len(clients) != data.n_clients:
+        raise ValidationError("clients length must match problem rows")
+    P0 = np.zeros(data.shape)
+    for i, c in enumerate(clients):
+        row = entry.rows.get(c)
+        elig = entry.eligibility.get(c)
+        demand = entry.demands.get(c, 0.0)
+        if (row is not None and elig is not None
+                and row.shape == (data.n_replicas,)
+                and np.array_equal(elig, data.mask[i])
+                and demand > 0.0):
+            P0[i] = row * (data.R[i] / demand)
+            continue
+        weights = None
+        if entry.fractions is not None \
+                and entry.fractions.shape == (data.n_replicas,):
+            weights = entry.fractions * data.mask[i]
+        if weights is None or weights.sum() <= 0.0:
+            weights = data.mask[i].astype(float)
+        total = weights.sum()
+        if total > 0:
+            P0[i] = data.R[i] * weights / total
+    # Off-mask mass (a cached row whose support shrank) is dropped before
+    # the repair so the demand projection redistributes it feasibly.
+    P0[~data.mask] = 0.0
+    return problem.repair(P0, sweeps=repair_sweeps)
+
+
+def recover_mu(problem: ReplicaSelectionProblem,
+               allocation: np.ndarray) -> np.ndarray:
+    """Consistent LDDM multipliers at an allocation's operating point.
+
+    At optimality every client's multiplier equals minus the marginal
+    energy cost of the replicas carrying its load; evaluating the
+    cheapest eligible marginal at the warm-start point's column loads
+    transfers the dual across batches *at the new batch's load level* —
+    unlike the raw cached ``mu``, which is pinned to the old batch's
+    operating point.
+    """
+    data = problem.data
+    P = np.asarray(allocation, dtype=float)
+    if P.shape != data.shape:
+        raise ValidationError("allocation shape mismatch")
+    marginal = model.load_marginal_cost(data, P.sum(axis=0))
+    mu = np.empty(data.n_clients)
+    for c in range(data.n_clients):
+        eligible = data.mask[c]
+        mu[c] = -float(marginal[eligible].min()) if eligible.any() else 0.0
+    return mu
+
+
+class AdaptiveBudget:
+    """Per-batch iteration cap that tightens while warm starts converge.
+
+    A converged warm solve that used ``k`` iterations sets the next warm
+    budget to ``max(floor, headroom * k)``; a warm solve that hits its
+    budget without converging resets to the cold default.  Cold solves
+    always get the full default budget.
+    """
+
+    def __init__(self, floor: int = 16, headroom: float = 2.0) -> None:
+        if floor < 1:
+            raise ValidationError("floor must be >= 1")
+        if headroom < 1.0:
+            raise ValidationError("headroom must be >= 1")
+        self.floor = int(floor)
+        self.headroom = float(headroom)
+        self._warm_budget: int | None = None
+
+    def budget(self, default: int, warm: bool) -> int:
+        """Iteration cap for the next solve."""
+        if not warm or self._warm_budget is None:
+            return int(default)
+        return min(int(default), self._warm_budget)
+
+    def observe(self, iterations: int, budget: int, converged: bool,
+                warm: bool) -> None:
+        """Feed back one solve's outcome."""
+        if not warm:
+            return
+        if not converged and iterations >= budget:
+            self._warm_budget = None  # budget too tight: back to cold cap
+        elif converged:
+            self._warm_budget = max(
+                self.floor, int(np.ceil(self.headroom * max(iterations, 1))))
+
+    def reset(self) -> None:
+        """Forget the learned cap (e.g. after a membership change)."""
+        self._warm_budget = None

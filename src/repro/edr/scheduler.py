@@ -29,10 +29,67 @@ from repro.net.transport import Network
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
 
-__all__ = ["SolveTimingModel", "DistributedSolveSession"]
+__all__ = ["SolveTimingModel", "SessionCommPlan", "DistributedSolveSession"]
 
 #: Bytes-in-MB of one float share in a coordination message.
 _FLOAT_MB = 8e-6
+
+
+@dataclass(frozen=True)
+class SessionCommPlan:
+    """Precomputed per-iteration messaging for one solve session.
+
+    The message pattern, pairwise delays and sizes are fixed for a
+    session's lifetime (the topology is immutable and the participant
+    sets don't change mid-solve), so the endpoint handles, the send list
+    and the round's max delay are all computed once at construction —
+    the old per-iteration rebuild recomputed ``O(C*N)`` latency/capacity
+    lookups on every round.
+
+    ``sends`` holds ``(endpoint, dst, port, kind, size)`` tuples replayed
+    verbatim each round; ``round_delay`` is the constant max one-round
+    coordination delay.
+    """
+
+    sends: tuple
+    round_delay: float
+
+    @classmethod
+    def build(cls, network: Network, algorithm: str,
+              replicas: Sequence[str], clients: Sequence[str],
+              n_clients: int, n_replicas: int) -> "SessionCommPlan":
+        topo = network.topology
+        ep = {name: network.endpoint(name)
+              for name in set(replicas) | set(clients)}
+        sends = []
+        max_delay = 0.0
+        if algorithm == "cdpsm":
+            # All-pairs solution exchange: C*N floats per message.
+            size = n_clients * n_replicas * _FLOAT_MB
+            for src in replicas:
+                for dst in replicas:
+                    if src == dst:
+                        continue
+                    sends.append((ep[src], dst, Ports.REPLICA,
+                                  MsgKind.SOLVE_SYNC, size))
+                    delay = topo.latency(src, dst) \
+                        + size / min(topo.capacity(src), topo.capacity(dst))
+                    max_delay = max(max_delay, delay)
+        else:
+            # Replica -> client solution rows, client -> replica mu.
+            for rep in replicas:
+                for cli in clients:
+                    if rep == cli:
+                        continue
+                    sends.append((ep[rep], cli, "solve",
+                                  MsgKind.SOLUTION, _FLOAT_MB))
+                    sends.append((ep[cli], rep, Ports.REPLICA,
+                                  MsgKind.MU_UPDATE, _FLOAT_MB))
+                    delay = 2 * topo.latency(rep, cli) \
+                        + 2 * _FLOAT_MB / min(topo.capacity(rep),
+                                              topo.capacity(cli))
+                    max_delay = max(max_delay, delay)
+        return cls(sends=tuple(sends), round_delay=max_delay)
 
 
 @dataclass(frozen=True)
@@ -74,7 +131,17 @@ class DistributedSolveSession:
     batched: use the stacked numpy kernels (:mod:`repro.core.kernels`)
         for the per-iteration numeric work; the scalar per-replica path
         remains available for oracle runs (``batched=False``).
+    initial: optional warm-start allocation (feasible, same shape as the
+        problem) — typically the previous batch's projected solution from
+        :mod:`repro.core.warmstart`.
+    mu0: optional warm-start LDDM multipliers (one per client; ignored
+        by CDPSM).
     solver_kwargs: forwarded to the underlying solver.
+
+    After :meth:`run` finishes, ``converged`` reports whether the solver's
+    stopping rule fired within its budget and ``final_mu`` (LDDM only)
+    holds the final multipliers — the state the runtime caches for the
+    next batch's warm start.
     """
 
     def __init__(self, sim: "Simulator", network: Network,
@@ -85,6 +152,8 @@ class DistributedSolveSession:
                  nodes: dict[str, ReplicaNode] | None = None,
                  timing: SolveTimingModel | None = None,
                  batched: bool = True,
+                 initial: np.ndarray | None = None,
+                 mu0: np.ndarray | None = None,
                  **solver_kwargs) -> None:
         if algorithm not in ("lddm", "cdpsm"):
             raise ValidationError(f"unknown algorithm {algorithm!r}")
@@ -107,47 +176,25 @@ class DistributedSolveSession:
         else:
             self.solver = CdpsmSolver(problem, track_objective=False,
                                       **solver_kwargs)
+        C, N = problem.data.shape
+        self.comm_plan = SessionCommPlan.build(
+            network, algorithm, self.replicas, self.clients, C, N)
+        self.initial = None if initial is None \
+            else np.asarray(initial, dtype=float)
+        self.mu0 = None if mu0 is None else np.asarray(mu0, dtype=float)
         # Results, populated by run():
         self.allocation: np.ndarray | None = None
         self.iterations = 0
         self.duration = 0.0
+        self.converged = False
+        self.final_mu: np.ndarray | None = None
 
     # -- communication rounds ---------------------------------------------------
     def _round_messages(self) -> float:
         """Send one iteration's coordination messages; return max delay."""
-        C, N = self.problem.data.shape
-        ep = {name: self.network.endpoint(name) for name in self.replicas}
-        max_delay = 0.0
-        if self.algorithm == "cdpsm":
-            # All-pairs solution exchange: C*N floats per message.
-            size = C * N * _FLOAT_MB
-            for src in self.replicas:
-                for dst in self.replicas:
-                    if src == dst:
-                        continue
-                    ep[src].send(dst, Ports.REPLICA, MsgKind.SOLVE_SYNC,
-                                 payload=None, size=size)
-                    delay = self.network.topology.latency(src, dst) \
-                        + size / min(self.network.topology.capacity(src),
-                                     self.network.topology.capacity(dst))
-                    max_delay = max(max_delay, delay)
-        else:
-            # Replica -> client solution rows, client -> replica mu.
-            for rep in self.replicas:
-                for cli in self.clients:
-                    if rep == cli:
-                        continue
-                    ep[rep].send(cli, "solve", MsgKind.SOLUTION,
-                                 payload=None, size=_FLOAT_MB)
-                    delay = 2 * self.network.topology.latency(rep, cli) \
-                        + 2 * _FLOAT_MB / min(
-                            self.network.topology.capacity(rep),
-                            self.network.topology.capacity(cli))
-                    max_delay = max(max_delay, delay)
-                    self.network.endpoint(cli).send(
-                        rep, Ports.REPLICA, MsgKind.MU_UPDATE,
-                        payload=None, size=_FLOAT_MB)
-        return max_delay
+        for ep, dst, port, kind, size in self.comm_plan.sends:
+            ep.send(dst, port, kind, payload=None, size=size)
+        return self.comm_plan.round_delay
 
     def _set_activity(self, activity: NodeActivity) -> None:
         for name in self.replicas:
@@ -168,15 +215,22 @@ class DistributedSolveSession:
         start = self.sim.now
         self._set_activity(NodeActivity.SELECTING)
         C = self.problem.data.n_clients
-        candidate = self.problem.uniform_allocation()
+        candidate = self.initial if self.initial is not None \
+            else self.problem.uniform_allocation()
+        if self.algorithm == "lddm":
+            steps = self.solver.iterations(self.initial, mu0=self.mu0)
+        else:
+            steps = self.solver.iterations(self.initial)
         try:
-            for k, candidate, _metric in self.solver.iterations():
+            for k, candidate, _metric in steps:
                 self.iterations = k + 1
                 comm_delay = self._round_messages()
                 compute = self.timing.iteration_time(C, self.algorithm)
                 yield self.sim.timeout(compute + comm_delay)
         finally:
             self._set_activity(NodeActivity.IDLE)
+        self.converged = self.solver.converged_
+        self.final_mu = getattr(self.solver, "mu_", None)
         self.allocation = self.problem.repair(candidate)
         self.duration = self.sim.now - start
         return self.allocation

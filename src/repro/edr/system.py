@@ -37,6 +37,12 @@ from repro.core.params import (
     ProblemData,
 )
 from repro.core.problem import ReplicaSelectionProblem
+from repro.core.warmstart import (
+    AdaptiveBudget,
+    WarmStartCache,
+    project_warm_start,
+    recover_mu,
+)
 from repro.edr.client import ClientAgent
 from repro.edr.membership import HeartbeatProtocol, MembershipRing
 from repro.edr.scheduler import DistributedSolveSession, SolveTimingModel
@@ -79,6 +85,17 @@ class RuntimeConfig:
     hb_timeout: float = 0.25
     timing: SolveTimingModel = field(default_factory=SolveTimingModel)
     solver_kwargs: dict = field(default_factory=dict)
+    #: Warm-start each sub-batch solve from the previous round's projected
+    #: solution (same live replicas and prices; see
+    #: :mod:`repro.core.warmstart`).  Membership changes invalidate the
+    #: cache, falling back to a cold start.
+    warm_start: bool = True
+    #: With warm starts on, adaptively shrink the per-batch iteration
+    #: budget while warm solves keep converging early (reset to the full
+    #: budget the moment one does not).
+    adaptive_budget: bool = True
+    #: Floor of the adaptive warm-start iteration budget.
+    warm_budget_floor: int = 16
     #: Drop per-request shares below this fraction of the request size and
     #: redistribute them over the kept replicas.  Slivers of a few MB keep
     #: a replica's execution window open for an entire download at almost
@@ -239,6 +256,14 @@ class EDRSystem:
         # Persistent round-robin state (only used by that algorithm): the
         # cursor and in-flight commitments live across batches.
         self._rr_sched: RoundRobinScheduler | None = None
+        # Cross-batch warm-start state (LDDM/CDPSM): cache of converged
+        # allocations + duals, the adaptive iteration budget, and the live
+        # set the cache was built against (membership change -> flush).
+        self._warm_cache = WarmStartCache()
+        self._warm_budget = AdaptiveBudget(floor=cfg.warm_budget_floor)
+        self._warm_live: tuple[str, ...] = tuple(self.ring.live)
+        self._warm_solves = 0
+        self._cold_solves = 0
         if cfg.standby_after is not None:
             if cfg.standby_after <= 0:
                 raise ValidationError("standby_after must be positive")
@@ -441,13 +466,43 @@ class EDRSystem:
             kwargs = {"max_iter": 150, "tol": 1e-3} \
                 if cfg.algorithm == "lddm" else {"max_iter": 100, "tol": 1e-4}
             kwargs.update(cfg.solver_kwargs)
+            initial = mu0 = None
+            if cfg.warm_start:
+                if tuple(live) != self._warm_live:
+                    # Membership changed (death or rejoin): every cached
+                    # allocation is stale — flush and cold start.
+                    self._warm_cache.invalidate()
+                    self._warm_budget.reset()
+                    self._warm_live = tuple(live)
+                entry = self._warm_cache.lookup(live, problem.data.u)
+                if entry is not None:
+                    initial = project_warm_start(entry, problem, clients)
+                    if cfg.algorithm == "lddm":
+                        mu0 = recover_mu(problem, initial)
+            warm = initial is not None
+            base_iter = int(kwargs["max_iter"])
+            if cfg.warm_start and cfg.adaptive_budget:
+                kwargs["max_iter"] = self._warm_budget.budget(base_iter, warm)
             session = DistributedSolveSession(
                 self.sim, self.network, problem, live, clients,
                 cfg.algorithm, nodes=self.nodes, timing=cfg.timing,
-                **kwargs)
+                initial=initial, mu0=mu0, **kwargs)
             yield from session.run()
             self._solve_time_total += session.duration
             self._solve_iterations += session.iterations
+            if warm:
+                self._warm_solves += 1
+            else:
+                self._cold_solves += 1
+            if cfg.warm_start:
+                self._warm_budget.observe(
+                    session.iterations, int(kwargs["max_iter"]),
+                    session.converged, warm)
+                self._warm_cache.store(
+                    live, problem.data.u, clients, session.allocation,
+                    problem.data.mask, mu=session.final_mu,
+                    iterations=session.iterations,
+                    converged=session.converged)
             for r in live:  # every live replica worked through the solve
                 self._busy_end[r] = max(self._busy_end[r], self.sim.now)
             assignments = self._shares_per_request(
@@ -537,6 +592,10 @@ class EDRSystem:
                 "batches": self._batches_solved,
                 "solve_time": self._solve_time_total,
                 "solve_iterations": self._solve_iterations,
+                "warm_solves": self._warm_solves,
+                "cold_solves": self._cold_solves,
+                "warm_cache_invalidations":
+                    self._warm_cache.invalidations,
                 "retries": sum(c.retries for c in self.clients.values()),
                 "delivered_mb": self._delivered_mb,
                 "wall_clock_joules": wall_joules,

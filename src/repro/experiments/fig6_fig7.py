@@ -13,11 +13,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.experiments.parallel import parallel_map
 from repro.experiments.runtime_common import ALGORITHMS, run_runtime
 from repro.experiments.scenarios import PAPER_DFS, PAPER_VIDEO, Scenario
 from repro.metrics.report import ExperimentResult, compare_table
 
 __all__ = ["PerReplicaCostResult", "run"]
+
+
+def _run_algo(item: tuple) -> ExperimentResult:
+    # Module-level so it pickles into ProcessPoolExecutor workers.
+    scenario, algo = item
+    return run_runtime(scenario, algo)
 
 
 @dataclass
@@ -54,10 +61,16 @@ class PerReplicaCostResult:
         return float(cheap / res.total_cents)
 
 
-def run(scenario: Scenario | None = None, app: str = "video"
-        ) -> PerReplicaCostResult:
-    """Run Fig. 6 (``app="video"``) or Fig. 7 (``app="dfs"``)."""
+def run(scenario: Scenario | None = None, app: str = "video",
+        jobs: int = 1) -> PerReplicaCostResult:
+    """Run Fig. 6 (``app="video"``) or Fig. 7 (``app="dfs"``).
+
+    The three schedulers are independent runs over the same trace seed,
+    so ``jobs > 1`` executes them in parallel processes.
+    """
     if scenario is None:
         scenario = PAPER_VIDEO if app == "video" else PAPER_DFS
-    results = {algo: run_runtime(scenario, algo) for algo in ALGORITHMS}
+    outs = parallel_map(_run_algo, [(scenario, a) for a in ALGORITHMS],
+                        jobs=jobs)
+    results = dict(zip(ALGORITHMS, outs))
     return PerReplicaCostResult(scenario=scenario, results=results)

@@ -14,11 +14,12 @@ from dataclasses import dataclass, field
 from repro.edr.donar_runtime import DonarRuntime, DonarRuntimeConfig
 from repro.edr.system import EDRSystem, RuntimeConfig
 from repro.errors import ValidationError
+from repro.experiments.parallel import parallel_map
 from repro.experiments.scenarios import Scenario, make_trace
 from repro.util.tables import render_series
 from repro.workload.apps import FILE_SERVICE
 
-__all__ = ["Fig9Result", "run", "DEFAULT_REQUEST_COUNTS"]
+__all__ = ["Fig9Result", "run", "run_point", "DEFAULT_REQUEST_COUNTS"]
 
 DEFAULT_REQUEST_COUNTS = (24, 48, 72, 96, 120, 144, 168, 192)
 
@@ -37,6 +38,8 @@ class Fig9Result:
     donar_total_response: list[float] = field(default_factory=list)
     #: Simulated seconds EDR spent inside LDDM solves, per request count.
     edr_solve_time: list[float] = field(default_factory=list)
+    #: Total LDDM iterations across all of EDR's solves, per request count.
+    edr_solve_iterations: list[int] = field(default_factory=list)
 
     def render(self) -> str:
         table = render_series(
@@ -62,31 +65,51 @@ def _scenario(count: int) -> Scenario:
                     arrival_rate=count * 50.0)
 
 
-def run(request_counts=DEFAULT_REQUEST_COUNTS) -> Fig9Result:
-    """Sweep the request count for both systems."""
+def run_point(point: int | tuple) -> dict:
+    """One sweep point: both systems at one request count.
+
+    Module-level and driven entirely by its argument — a count, or a
+    ``(count, warm_start)`` pair — so it pickles cleanly into worker
+    processes and gives bit-identical results at any ``--jobs`` level
+    (every random draw derives from the scenario's fixed seed).
+    """
+    count, warm = (point, True) if isinstance(point, int) else point
+    scenario = _scenario(int(count))
+    trace = make_trace(scenario)
+    edr = EDRSystem(trace, RuntimeConfig(
+        algorithm="lddm", prices=_PRICES_3,
+        batch_capacity_fraction=0.35, warm_start=warm)).run(app="dfs")
+    donar = DonarRuntime(trace, DonarRuntimeConfig(
+        n_replicas=3, n_mapping_nodes=3)).run(app="dfs")
+    return {
+        "count": int(count),
+        "edr_mean": edr.mean_response,
+        "donar_mean": donar.mean_response,
+        "edr_total": sum(edr.response_times),
+        "donar_total": sum(donar.response_times),
+        "edr_solve_time": float(edr.extras.get("solve_time", 0.0)),
+        "edr_solve_iterations": int(edr.extras.get("solve_iterations", 0)),
+    }
+
+
+def run(request_counts=DEFAULT_REQUEST_COUNTS, jobs: int = 1,
+        warm_start: bool = True) -> Fig9Result:
+    """Sweep the request count for both systems.
+
+    ``jobs > 1`` spreads the (independent) sweep points over worker
+    processes; ``warm_start=False`` forces every EDR batch to cold-start,
+    for the warm-vs-cold regression and benchmarks.
+    """
     counts = [int(c) for c in request_counts]
     if not counts or min(counts) < 1:
         raise ValidationError("request_counts must be positive")
-    edr_mean, donar_mean = [], []
-    edr_tot, donar_tot = [], []
-    edr_solve = []
-    for count in counts:
-        scenario = _scenario(count)
-        trace = make_trace(scenario)
-        edr = EDRSystem(trace, RuntimeConfig(
-            algorithm="lddm", prices=_PRICES_3,
-            batch_capacity_fraction=0.35)).run(app="dfs")
-        donar = DonarRuntime(trace, DonarRuntimeConfig(
-            n_replicas=3, n_mapping_nodes=3)).run(app="dfs")
-        edr_mean.append(edr.mean_response)
-        donar_mean.append(donar.mean_response)
-        edr_tot.append(sum(edr.response_times))
-        donar_tot.append(sum(donar.response_times))
-        edr_solve.append(float(edr.extras.get("solve_time", 0.0)))
+    points = parallel_map(run_point, [(c, warm_start) for c in counts],
+                          jobs=jobs)
     return Fig9Result(
         request_counts=counts,
-        edr_mean_response=edr_mean,
-        donar_mean_response=donar_mean,
-        edr_total_response=edr_tot,
-        donar_total_response=donar_tot,
-        edr_solve_time=edr_solve)
+        edr_mean_response=[p["edr_mean"] for p in points],
+        donar_mean_response=[p["donar_mean"] for p in points],
+        edr_total_response=[p["edr_total"] for p in points],
+        donar_total_response=[p["donar_total"] for p in points],
+        edr_solve_time=[p["edr_solve_time"] for p in points],
+        edr_solve_iterations=[p["edr_solve_iterations"] for p in points])

@@ -48,15 +48,17 @@ def run_one(name: str, args) -> str:
     if name == "fig5":
         return fig5.run(max_iter=100 if quick else 300).render()
     if name == "fig6":
-        return fig6_fig7.run(_scaled(PAPER_VIDEO, quick), app="video").render()
+        return fig6_fig7.run(_scaled(PAPER_VIDEO, quick), app="video",
+                             jobs=args.jobs).render()
     if name == "fig7":
-        return fig6_fig7.run(_scaled(PAPER_DFS, quick), app="dfs").render()
+        return fig6_fig7.run(_scaled(PAPER_DFS, quick), app="dfs",
+                             jobs=args.jobs).render()
     if name == "fig8":
         return fig8.run(video=_scaled(PAPER_VIDEO, quick),
                         dfs=_scaled(PAPER_DFS, quick)).render()
     if name == "fig9":
         counts = (24, 48, 96) if quick else fig9.DEFAULT_REQUEST_COUNTS
-        return fig9.run(request_counts=counts).render()
+        return fig9.run(request_counts=counts, jobs=args.jobs).render()
     if name == "headline":
         runs = args.runs if args.runs else (6 if quick else 40)
         return headline_mod.run(n_runs=runs).render()
@@ -89,6 +91,9 @@ def main(argv=None) -> int:
                         help="smaller workloads for a fast pass")
     parser.add_argument("--runs", type=int, default=0,
                         help="override run count for the headline sweep")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for sweep points "
+                             "(1 = serial; results are identical)")
     args = parser.parse_args(argv)
     names = list(args.experiments)
     if names == ["all"]:

@@ -245,3 +245,66 @@ class TestBatchedSolversMatchScalar:
     def test_lddm_exact_subproblem_path(self, tiny_instance):
         self._check(tiny_instance, LddmSolver, max_iter=60,
                     exact_subproblem=True, averaging=True)
+
+
+class TestWarmStartedSolversMatchScalar:
+    """Warm-started runs stay on the scalar oracle path too.
+
+    The warm-start plumbing (``initial``/``mu0``) feeds both the batched
+    and scalar per-iteration kernels; every iterate must agree to the
+    oracle tolerance, exactly like the cold-start equivalence above.
+    """
+
+    def _warm_point(self, problem, seed=0):
+        rng = np.random.default_rng(seed)
+        noisy = problem.uniform_allocation() \
+            * rng.uniform(0.5, 1.5, size=problem.data.shape)
+        initial = problem.repair(noisy)
+        mu0 = rng.uniform(-50.0, 0.0, size=problem.data.n_clients)
+        return initial, mu0
+
+    def _check_lddm(self, problem, **kw):
+        initial, mu0 = self._warm_point(problem)
+        runs = {}
+        for batched in (True, False):
+            solver = LddmSolver(problem, batched=batched,
+                                track_objective=False, **kw)
+            iters = [(k, cand.copy(), res) for k, cand, res
+                     in solver.iterations(initial, mu0=mu0)]
+            runs[batched] = (iters, solver.mu_.copy(), solver.converged_)
+        (fast, fast_mu, fast_conv) = runs[True]
+        (slow, slow_mu, slow_conv) = runs[False]
+        assert len(fast) == len(slow)
+        assert fast_conv == slow_conv
+        assert np.allclose(fast_mu, slow_mu, atol=ORACLE_ATOL)
+        for (kf, cf, rf), (ks, cs, rs) in zip(fast, slow):
+            assert kf == ks
+            assert np.allclose(cf, cs, atol=ORACLE_ATOL)
+            assert abs(rf - rs) < ORACLE_ATOL
+
+    def _check_cdpsm(self, problem, **kw):
+        initial, _ = self._warm_point(problem)
+        runs = {}
+        for batched in (True, False):
+            solver = CdpsmSolver(problem, batched=batched,
+                                 track_objective=False, **kw)
+            runs[batched] = [(k, cand.copy()) for k, cand, _
+                             in solver.iterations(initial)]
+        assert len(runs[True]) == len(runs[False])
+        for (kf, cf), (ks, cs) in zip(runs[True], runs[False]):
+            assert kf == ks
+            assert np.allclose(cf, cs, atol=ORACLE_ATOL)
+
+    def test_lddm_warm_paper_instance(self, paper_instance):
+        self._check_lddm(paper_instance, max_iter=80)
+
+    def test_cdpsm_warm_paper_instance(self, paper_instance):
+        self._check_cdpsm(paper_instance, max_iter=40)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_lddm_warm_random_masked(self, seed):
+        self._check_lddm(random_instance(seed, masked=True), max_iter=60)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_cdpsm_warm_random_masked(self, seed):
+        self._check_cdpsm(random_instance(seed, masked=True), max_iter=30)

@@ -1,0 +1,228 @@
+"""Warm-start cache, projection, dual recovery and budget (property tests).
+
+The contracts the runtime leans on: a projected warm-start point is
+always feasible for the *new* batch (whatever the cached batch looked
+like), a warm-started solve lands on the same objective as a cold one,
+and the cache/budget bookkeeping invalidates exactly when it should.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.lddm import LddmSolver
+from repro.core import model
+from repro.core.params import ProblemData
+from repro.core.warmstart import (
+    AdaptiveBudget,
+    WarmStartCache,
+    project_warm_start,
+    recover_mu,
+)
+from repro.errors import ValidationError
+from tests.core.conftest import random_instance
+
+#: repair() leaves at most a tiny capacity overshoot (tests elsewhere
+#: bound full-solver violations by 1e-4; the projection is no looser).
+FEASIBILITY_TOL = 1e-6
+
+
+def _names(problem, offset=0):
+    C, N = problem.data.shape
+    clients = [f"c{i + offset}" for i in range(C)]
+    replicas = [f"r{j}" for j in range(N)]
+    return clients, replicas
+
+
+def _stored_entry(problem, clients, replicas, cache=None):
+    cache = cache or WarmStartCache()
+    sol = LddmSolver(problem, max_iter=600, track_objective=False).solve()
+    return cache.store(replicas, problem.data.u, clients, sol.allocation,
+                       problem.data.mask), sol, cache
+
+
+class TestWarmStartCache:
+    def test_lookup_roundtrip_and_counters(self):
+        problem = random_instance(0)
+        clients, replicas = _names(problem)
+        entry, _, cache = _stored_entry(problem, clients, replicas)
+        assert cache.lookup(replicas, problem.data.u) is entry
+        assert cache.lookup(replicas, problem.data.u * 2.0) is None
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_price_change_is_a_miss_not_an_error(self):
+        problem = random_instance(1)
+        clients, replicas = _names(problem)
+        _, _, cache = _stored_entry(problem, clients, replicas)
+        shifted = problem.data.u.copy()
+        shifted[0] += 1.0
+        assert cache.lookup(replicas, shifted) is None
+
+    def test_replica_set_is_part_of_the_key(self):
+        problem = random_instance(2)
+        clients, replicas = _names(problem)
+        _, _, cache = _stored_entry(problem, clients, replicas)
+        fewer = replicas[:-1] + ["r_other"]
+        assert cache.lookup(fewer, problem.data.u) is None
+
+    def test_invalidate_clears_and_counts(self):
+        problem = random_instance(3)
+        clients, replicas = _names(problem)
+        _, _, cache = _stored_entry(problem, clients, replicas)
+        cache.invalidate()
+        assert len(cache) == 0
+        assert cache.invalidations == 1
+        assert cache.lookup(replicas, problem.data.u) is None
+        cache.invalidate()  # empty-cache invalidate is not counted
+        assert cache.invalidations == 1
+
+    def test_lru_eviction(self):
+        problem = random_instance(4)
+        clients, replicas = _names(problem)
+        cache = WarmStartCache(max_entries=2)
+        sol = LddmSolver(problem, max_iter=200,
+                         track_objective=False).solve()
+        for scale in (1.0, 2.0, 3.0):
+            cache.store(replicas, problem.data.u * scale, clients,
+                        sol.allocation, problem.data.mask)
+        assert len(cache) == 2
+        assert cache.lookup(replicas, problem.data.u) is None  # evicted
+        assert cache.lookup(replicas, problem.data.u * 3.0) is not None
+
+    def test_store_rejects_shape_mismatch(self):
+        problem = random_instance(5)
+        clients, replicas = _names(problem)
+        with pytest.raises(ValidationError):
+            WarmStartCache().store(
+                replicas[:-1], problem.data.u[:-1], clients,
+                problem.uniform_allocation(), problem.data.mask)
+
+
+class TestProjectWarmStart:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 100000))
+    def test_property_projected_point_feasible(self, seed):
+        """Whatever batch the cache saw, the projection fits the new one."""
+        rng = np.random.default_rng(seed)
+        old = random_instance(seed, masked=bool(rng.integers(2)))
+        new = random_instance(seed + 1,
+                              masked=bool(rng.integers(2)))
+        clients_old, replicas = _names(old)
+        # Overlap the client sets partially: the new batch keeps some of
+        # the old names and brings fresh ones.
+        keep = int(rng.integers(0, old.data.n_clients + 1))
+        clients_new = clients_old[:keep] + [
+            f"fresh{i}" for i in range(new.data.n_clients - keep)]
+        entry, _, _ = _stored_entry(old, clients_old, replicas)
+        P0 = project_warm_start(entry, new, clients_new)
+        assert np.allclose(P0.sum(axis=1), new.data.R, atol=FEASIBILITY_TOL)
+        assert np.all(P0[~new.data.mask] == 0.0)
+        assert P0.min() >= -FEASIBILITY_TOL
+        # Demand rows are exact; the bounded repair may leave a small
+        # relative capacity overshoot (the solvers' local-set projections
+        # absorb it on the first iteration).
+        overshoot = float(np.max(P0.sum(axis=0) - new.data.B, initial=0.0))
+        assert overshoot <= 1e-3 * float(new.data.B.max())
+
+    def test_returning_client_keeps_its_split(self):
+        problem = random_instance(6)
+        clients, replicas = _names(problem)
+        entry, sol, _ = _stored_entry(problem, clients, replicas)
+        P0 = project_warm_start(entry, problem, clients)
+        # Same batch again: the projection reproduces the cached rows.
+        assert np.allclose(P0, sol.allocation, atol=1e-6)
+
+    def test_new_clients_follow_cached_fractions(self):
+        problem = random_instance(7)
+        clients, replicas = _names(problem)
+        entry, _, _ = _stored_entry(problem, clients, replicas)
+        fresh = [f"fresh{i}" for i in range(len(clients))]
+        P0 = project_warm_start(entry, problem, fresh)
+        # Unmasked rows of unseen clients are proportional to fractions.
+        full = np.all(problem.data.mask, axis=1)
+        for i in np.flatnonzero(full):
+            expect = problem.data.R[i] * entry.fractions
+            assert np.allclose(P0[i], expect, rtol=0.2, atol=1.0)
+
+    def test_client_count_mismatch_rejected(self):
+        problem = random_instance(8)
+        clients, replicas = _names(problem)
+        entry, _, _ = _stored_entry(problem, clients, replicas)
+        with pytest.raises(ValidationError):
+            project_warm_start(entry, problem, clients + ["extra"])
+
+
+class TestRecoverMu:
+    def test_values_are_min_eligible_marginal(self):
+        problem = random_instance(9, masked=True)
+        P = problem.repair(problem.uniform_allocation())
+        mu = recover_mu(problem, P)
+        marginal = model.load_marginal_cost(problem.data, P.sum(axis=0))
+        for c in range(problem.data.n_clients):
+            eligible = problem.data.mask[c]
+            assert mu[c] == pytest.approx(-marginal[eligible].min())
+
+    def test_shape_mismatch_rejected(self):
+        problem = random_instance(10)
+        with pytest.raises(ValidationError):
+            recover_mu(problem, np.ones((1, 1)))
+
+
+class TestWarmMatchesCold:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 100000))
+    def test_property_same_objective_warm_or_cold(self, seed):
+        """A drifted re-solve from the cache lands on the cold answer."""
+        rng = np.random.default_rng(seed)
+        old = random_instance(seed, n_clients=6, n_replicas=5)
+        drift = rng.uniform(0.9, 1.1, size=6)
+        new_data = ProblemData(
+            demands=old.data.R * drift, capacities=old.data.B,
+            prices=old.data.u, alpha=1.0, beta=0.01, gamma=3.0,
+            mask=old.data.mask)
+        new = type(old)(new_data)
+        clients, replicas = _names(old)
+        entry, _, _ = _stored_entry(old, clients, replicas)
+        kw = dict(max_iter=3000, track_objective=False)
+        cold = LddmSolver(new, **kw).solve()
+        initial = project_warm_start(entry, new, clients)
+        warm = LddmSolver(new, **kw).solve(initial,
+                                           mu0=recover_mu(new, initial))
+        assert warm.objective == pytest.approx(cold.objective, rel=0.01)
+        assert new.violation(warm.allocation) < 1e-4
+
+
+class TestAdaptiveBudget:
+    def test_cold_always_gets_default(self):
+        b = AdaptiveBudget(floor=4)
+        b.observe(iterations=10, budget=100, converged=True, warm=True)
+        assert b.budget(100, warm=False) == 100
+
+    def test_warm_budget_learns_headroom(self):
+        b = AdaptiveBudget(floor=4, headroom=2.0)
+        assert b.budget(100, warm=True) == 100  # nothing learned yet
+        b.observe(iterations=10, budget=100, converged=True, warm=True)
+        assert b.budget(100, warm=True) == 20
+        b.observe(iterations=1, budget=20, converged=True, warm=True)
+        assert b.budget(100, warm=True) == 4  # floor kicks in
+
+    def test_unconverged_at_cap_resets_to_cold(self):
+        b = AdaptiveBudget(floor=4, headroom=2.0)
+        b.observe(iterations=10, budget=100, converged=True, warm=True)
+        b.observe(iterations=20, budget=20, converged=False, warm=True)
+        assert b.budget(100, warm=True) == 100
+
+    def test_budget_never_exceeds_default(self):
+        b = AdaptiveBudget(floor=4, headroom=2.0)
+        b.observe(iterations=90, budget=100, converged=True, warm=True)
+        assert b.budget(50, warm=True) == 50
+
+    def test_reset_and_validation(self):
+        b = AdaptiveBudget()
+        b.observe(iterations=5, budget=100, converged=True, warm=True)
+        b.reset()
+        assert b.budget(100, warm=True) == 100
+        with pytest.raises(ValidationError):
+            AdaptiveBudget(floor=0)
+        with pytest.raises(ValidationError):
+            AdaptiveBudget(headroom=0.5)

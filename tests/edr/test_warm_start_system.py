@@ -1,0 +1,93 @@
+"""Runtime-level warm-start behavior: reuse, invalidation, regression.
+
+The cache lives inside :class:`EDRSystem`; these tests drive it through
+real traces — including a mid-run membership change — and pin the
+headline property: warm starts never cost iterations or response time
+on the Fig. 9 workload.
+"""
+
+import pytest
+
+from repro.edr.system import EDRSystem, RuntimeConfig
+from repro.experiments import fig9
+
+from tests.edr.conftest import burst_trace
+
+
+def _run(trace, **cfg_kwargs):
+    cfg_kwargs.setdefault("algorithm", "lddm")
+    cfg = RuntimeConfig(**cfg_kwargs)
+    system = EDRSystem(trace, cfg)
+    return system, system.run(app="dfs")
+
+
+class TestWarmStartRuntime:
+    def test_warm_solves_happen_and_are_counted(self):
+        trace = burst_trace(count=24, n_clients=12, rate=40.0, seed=1)
+        _, res = _run(trace)
+        assert res.extras["warm_solves"] >= 1
+        assert res.extras["cold_solves"] >= 1  # the first solve at least
+
+    def test_disabled_means_all_cold(self):
+        trace = burst_trace(count=24, n_clients=12, rate=40.0, seed=1)
+        _, res = _run(trace, warm_start=False)
+        assert res.extras["warm_solves"] == 0
+
+    def test_same_delivery_with_and_without(self):
+        trace = burst_trace(count=24, n_clients=12, rate=40.0, seed=2)
+        _, warm = _run(trace)
+        _, cold = _run(trace, warm_start=False)
+        assert warm.extras["delivered_mb"] == pytest.approx(
+            cold.extras["delivered_mb"], rel=1e-6)
+        # Warm starts must not degrade the energy outcome.
+        assert warm.total_cents <= cold.total_cents * 1.02
+
+    def test_warm_never_more_iterations_on_fig9_trace(self):
+        counts = (24, 48, 72)
+        warm = fig9.run(request_counts=counts)
+        cold = fig9.run(request_counts=counts, warm_start=False)
+        for w, c in zip(warm.edr_solve_iterations,
+                        cold.edr_solve_iterations):
+            assert w <= c
+        for w, c in zip(warm.edr_solve_time, cold.edr_solve_time):
+            assert w <= c + 1e-9
+        assert max(warm.edr_mean_response) < 0.2
+
+
+class TestMembershipInvalidation:
+    def test_crash_mid_run_invalidates_and_recovers(self):
+        # Long spread-out trace so batches are solved both before and
+        # after the crash; the post-crash solve must cold-start against
+        # the shrunken replica set without error.
+        trace = burst_trace(count=20, n_clients=10, rate=4.0, seed=3)
+        system, res = (lambda s: (s, s.run(app="dfs")))(
+            EDRSystem(trace, RuntimeConfig(algorithm="lddm")))
+        baseline_invalidations = res.extras["warm_cache_invalidations"]
+
+        trace = burst_trace(count=20, n_clients=10, rate=4.0, seed=3)
+        system = EDRSystem(trace, RuntimeConfig(algorithm="lddm"))
+        system.crash_replica("replica2", at=1.5)
+        res = system.run(app="dfs")
+        assert "replica2" not in system.ring.live
+        assert res.extras["warm_cache_invalidations"] \
+            >= baseline_invalidations + 1
+        # Everything still delivered: the fallback path is sound.
+        assert res.extras["delivered_mb"] == pytest.approx(
+            trace.total_mb(), rel=1e-6)
+
+    def test_crash_then_solves_still_converge(self):
+        trace = burst_trace(count=24, n_clients=12, rate=6.0, seed=5)
+        system = EDRSystem(trace, RuntimeConfig(algorithm="lddm"))
+        system.crash_replica("replica3", at=1.0)
+        res = system.run(app="dfs")
+        # Post-crash batches ran (cold) and produced allocations.
+        assert res.extras["solve_iterations"] > 0
+        assert res.extras["delivered_mb"] == pytest.approx(
+            trace.total_mb(), rel=1e-6)
+
+    def test_cdpsm_also_takes_warm_starts(self):
+        trace = burst_trace(count=16, n_clients=8, rate=40.0, seed=4)
+        _, res = _run(trace, algorithm="cdpsm")
+        assert res.extras["warm_solves"] >= 1
+        assert res.extras["delivered_mb"] == pytest.approx(
+            trace.total_mb(), rel=1e-6)

@@ -1,0 +1,60 @@
+"""Parallel sweep execution must be invisible in the results."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.experiments import fig6_fig7, fig9
+from repro.experiments.parallel import parallel_map, point_seed
+from repro.experiments.scenarios import PAPER_VIDEO
+
+
+def _square(x):
+    return x * x
+
+
+class TestParallelMap:
+    def test_serial_and_parallel_agree_in_order(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, jobs=1) \
+            == parallel_map(_square, items, jobs=4) \
+            == [x * x for x in items]
+
+    def test_zero_and_one_jobs_are_serial(self):
+        assert parallel_map(_square, [3], jobs=0) == [9]
+        assert parallel_map(_square, [], jobs=8) == []
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ValidationError):
+            parallel_map(_square, [1], jobs=-1)
+
+    def test_point_seed_deterministic_and_distinct(self):
+        assert point_seed(2013, 24) == point_seed(2013, 24)
+        seeds = {point_seed(2013, c) for c in range(64)}
+        assert len(seeds) == 64  # no collisions across a sweep
+        assert point_seed(2013, 24) != point_seed(2014, 24)
+
+
+class TestSweepParity:
+    def test_fig9_identical_at_any_jobs_level(self):
+        counts = (24, 48)
+        serial = fig9.run(request_counts=counts, jobs=1)
+        fanned = fig9.run(request_counts=counts, jobs=2)
+        assert serial.edr_mean_response == fanned.edr_mean_response
+        assert serial.donar_mean_response == fanned.donar_mean_response
+        assert serial.edr_solve_time == fanned.edr_solve_time
+        assert serial.edr_solve_iterations == fanned.edr_solve_iterations
+
+    def test_fig6_identical_at_any_jobs_level(self):
+        scenario = PAPER_VIDEO.scaled(0.5)
+        serial = fig6_fig7.run(scenario, app="video", jobs=1)
+        fanned = fig6_fig7.run(scenario, app="video", jobs=3)
+        assert set(serial.results) == set(fanned.results)
+        for algo in serial.results:
+            a, b = serial.results[algo], fanned.results[algo]
+            assert (a.cents_by_replica == b.cents_by_replica).all()
+
+    def test_runner_accepts_jobs_flag(self, capsys):
+        from repro.experiments.runner import main
+        assert main(["fig9", "--quick", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out and "EDR" in out
