@@ -19,6 +19,12 @@ REPORT_DIR = pathlib.Path(__file__).parent / "reports"
 #: Machine-readable solver-benchmark ledger (appended across runs).
 BENCH_LEDGER = REPORT_DIR / "BENCH_solvers.json"
 
+#: Repo-level perf trajectory for the headline fig9 bench: one compact
+#: record per run (largest-point solve time, total iterations, git rev)
+#: at the repository root, so the trend is visible without digging into
+#: ``benchmarks/reports/``.
+FIG9_TRAJECTORY = pathlib.Path(__file__).parent.parent / "BENCH_fig9.json"
+
 
 def _git_rev() -> str:
     try:
@@ -51,6 +57,31 @@ def json_sink():
 
     def write(name: str, results: dict) -> None:
         (REPORT_DIR / f"{name}.json").write_text(dump_results(results))
+
+    return write
+
+
+@pytest.fixture
+def fig9_trajectory():
+    """Appends one summary record per fig9 bench run to ``BENCH_fig9.json``.
+
+    The top-level trajectory file holds only the headline numbers —
+    everything else stays in the detailed ledger.
+    """
+    rev = _git_rev()
+
+    def write(**fields) -> dict:
+        record = {"git_rev": rev}
+        record.update({k: v for k, v in sorted(fields.items())})
+        try:
+            history = json.loads(FIG9_TRAJECTORY.read_text())
+            if not isinstance(history, list):
+                history = []
+        except (OSError, ValueError):
+            history = []
+        history.append(record)
+        FIG9_TRAJECTORY.write_text(json.dumps(history, indent=2) + "\n")
+        return record
 
     return write
 

@@ -1,0 +1,67 @@
+"""Benchmark — class-space aggregation: parity gate + large-C scaling.
+
+Two gates:
+
+* the aggregated LDDM solve lands on the reference optimum of a
+  fig9-style instance (the reduction is exact, so any drift is a solver
+  bug, not a modeling one);
+* the fig9-regime scaling sweep reaches 10^5 clients aggregated, with a
+  >= 10x wall-time speedup over the direct path at the largest size both
+  run — the ledger records every point for the perf trajectory.
+"""
+
+import time
+
+from repro.core.lddm import solve_lddm
+from repro.core.reference import solve_reference
+from repro.experiments import fig9
+
+#: Sweep sizes: direct timed through 2e4 clients, aggregated to 1e5.
+SCALING_CLIENTS = (2_000, 10_000, 20_000, 50_000, 100_000)
+DIRECT_LIMIT = 20_000
+
+
+def test_bench_aggregate_parity(bench_report):
+    prob = fig9.scaling_problem(256)
+    start = time.perf_counter()
+    agg = solve_lddm(prob, aggregate=True, max_iter=800, tol=1e-6)
+    wall_s = time.perf_counter() - start
+    ref = solve_reference(prob)
+    assert agg.objective <= ref.objective * (1 + 1e-4)
+    assert prob.violation(agg.allocation) < 1e-8
+    bench_report("aggregate_parity", wall_s=wall_s,
+                 iterations=agg.iterations, clients=256,
+                 objective=round(agg.objective, 3),
+                 reference=round(ref.objective, 3))
+
+
+def test_bench_aggregate_scaling(benchmark, report_sink, bench_report):
+    result = benchmark.pedantic(
+        fig9.run_solver_scaling,
+        kwargs={"client_counts": SCALING_CLIENTS,
+                "direct_limit": DIRECT_LIMIT},
+        rounds=1, iterations=1)
+    report_sink("aggregate_scaling", result.render())
+    for i, count in enumerate(result.client_counts):
+        bench_report(
+            "aggregate_scaling", wall_s=result.aggregate_solve_s[i],
+            iterations=result.aggregate_iterations[i], clients=count,
+            n_classes=result.n_classes[i],
+            direct_s=(None if result.direct_solve_s[i] is None
+                      else round(result.direct_solve_s[i], 6)))
+    speedup = result.speedup()
+    largest_both = max(
+        c for c, d in zip(result.client_counts, result.direct_solve_s)
+        if d is not None)
+    bench_report("aggregate_speedup",
+                 wall_s=sum(result.aggregate_solve_s),
+                 iterations=sum(result.aggregate_iterations),
+                 speedup=round(speedup, 2), at_clients=largest_both,
+                 largest_aggregated=max(result.client_counts))
+    # Acceptance gates: the sweep completes at >= 5e4 clients aggregated,
+    # and the aggregated path is >= 10x faster at the largest common size.
+    assert max(result.client_counts) >= 50_000
+    assert speedup >= 10.0
+    benchmark.extra_info["speedup"] = round(speedup, 1)
+    benchmark.extra_info["agg_ms"] = [
+        round(1000 * v, 1) for v in result.aggregate_solve_s]

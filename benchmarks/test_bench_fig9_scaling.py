@@ -5,7 +5,8 @@ import time
 from repro.experiments import fig9
 
 
-def test_bench_fig9_scaling(benchmark, report_sink, bench_report):
+def test_bench_fig9_scaling(benchmark, report_sink, bench_report,
+                            fig9_trajectory):
     start = time.perf_counter()
     result = benchmark.pedantic(
         fig9.run, kwargs={"request_counts": fig9.DEFAULT_REQUEST_COUNTS},
@@ -16,6 +17,12 @@ def test_bench_fig9_scaling(benchmark, report_sink, bench_report):
                  iterations=sum(result.edr_solve_iterations),
                  request_counts=list(result.request_counts),
                  edr_solve_s=round(sum(result.edr_solve_time), 6))
+    fig9_trajectory(
+        largest_point_requests=int(result.request_counts[-1]),
+        largest_point_solve_s=round(result.edr_solve_time[-1], 6),
+        largest_point_mean_response_s=round(result.edr_mean_response[-1], 6),
+        total_iterations=int(sum(result.edr_solve_iterations)),
+        wall_s=round(wall_s, 3))
     # Paper shape: < 200 ms per request throughout the sweep...
     assert max(result.edr_mean_response) < 0.2
     # ... EDR comparable to DONAR ...

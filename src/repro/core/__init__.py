@@ -14,6 +14,12 @@ Quick start::
 
 from repro.core.params import ProblemData, ReplicaParams
 from repro.core.problem import ReplicaSelectionProblem
+from repro.core.aggregate import (
+    AggregatedProblem,
+    ClassStructure,
+    aggregate_problem,
+    solve_aggregated,
+)
 from repro.core.model import (
     replica_loads,
     replica_energy,
@@ -50,6 +56,10 @@ __all__ = [
     "ProblemData",
     "ReplicaParams",
     "ReplicaSelectionProblem",
+    "AggregatedProblem",
+    "ClassStructure",
+    "aggregate_problem",
+    "solve_aggregated",
     "replica_loads",
     "replica_energy",
     "total_energy",

@@ -216,6 +216,16 @@ class CdpsmSolver:
         )
 
 
-def solve_cdpsm(problem: ReplicaSelectionProblem, **kwargs) -> Solution:
-    """One-call convenience wrapper around :class:`CdpsmSolver`."""
+def solve_cdpsm(problem: ReplicaSelectionProblem, aggregate: bool = False,
+                **kwargs) -> Solution:
+    """One-call convenience wrapper around :class:`CdpsmSolver`.
+
+    ``aggregate=True`` solves the exact class-space reduction (one
+    super-client per distinct eligibility row; O(K*N) per iteration) and
+    disaggregates the result — see :mod:`repro.core.aggregate`.
+    """
+    if aggregate:
+        from repro.core.aggregate import solve_aggregated
+
+        return solve_aggregated(problem, method="cdpsm", **kwargs)
     return CdpsmSolver(problem, **kwargs).solve()

@@ -68,12 +68,8 @@ def initial_mu(problem: ReplicaSelectionProblem) -> np.ndarray:
     """
     data = problem.data
     loads = problem.uniform_allocation().sum(axis=0)
-    marginal = model.load_marginal_cost(data, loads)
-    mu = np.empty(data.n_clients)
-    for c in range(data.n_clients):
-        eligible = data.mask[c]
-        mu[c] = -float(marginal[eligible].min()) if eligible.any() else 0.0
-    return mu
+    best = model.cheapest_eligible_marginal(data, loads)
+    return np.where(np.isfinite(best), -best, 0.0)
 
 
 class LddmSolver:
@@ -267,6 +263,16 @@ class LddmSolver:
         )
 
 
-def solve_lddm(problem: ReplicaSelectionProblem, **kwargs) -> Solution:
-    """One-call convenience wrapper around :class:`LddmSolver`."""
+def solve_lddm(problem: ReplicaSelectionProblem, aggregate: bool = False,
+               **kwargs) -> Solution:
+    """One-call convenience wrapper around :class:`LddmSolver`.
+
+    ``aggregate=True`` solves the exact class-space reduction (one
+    super-client per distinct eligibility row; O(K*N) per iteration) and
+    disaggregates the result — see :mod:`repro.core.aggregate`.
+    """
+    if aggregate:
+        from repro.core.aggregate import solve_aggregated
+
+        return solve_aggregated(problem, method="lddm", **kwargs)
     return LddmSolver(problem, **kwargs).solve()

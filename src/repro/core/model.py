@@ -17,7 +17,8 @@ from repro.core.params import ProblemData
 from repro.errors import ValidationError
 
 __all__ = ["replica_loads", "replica_energy", "total_energy",
-           "energy_gradient", "load_marginal_cost"]
+           "energy_gradient", "load_marginal_cost",
+           "cheapest_eligible_marginal"]
 
 
 def replica_loads(allocation: np.ndarray) -> np.ndarray:
@@ -53,6 +54,20 @@ def load_marginal_cost(data: ProblemData, loads: np.ndarray) -> np.ndarray:
     # which is the correct gamma == 1 limit (derivative beta*gamma at L=0).
     powered = L ** (data.gamma - 1.0)
     return data.u * (data.alpha + data.beta * data.gamma * powered)
+
+
+def cheapest_eligible_marginal(data: ProblemData,
+                               loads: np.ndarray) -> np.ndarray:
+    """Per-client minimum of ``E_n'(L_n)`` over eligible replicas.
+
+    Rows with no eligible replica get ``+inf`` so callers can decide
+    their own convention for unservable clients.  This is the operating
+    point the LDDM multipliers settle at (``mu_c = -min``), shared by
+    :func:`repro.core.lddm.initial_mu` and
+    :func:`repro.core.warmstart.recover_mu`.
+    """
+    marginal = load_marginal_cost(data, loads)
+    return np.where(data.mask, marginal[None, :], np.inf).min(axis=1)
 
 
 def energy_gradient(data: ProblemData, allocation: np.ndarray) -> np.ndarray:

@@ -28,26 +28,31 @@ class ReplicaSelectionProblem:
 
     # -- feasibility -------------------------------------------------------
     def feasibility_report(self) -> dict:
-        """Certify feasibility by max-flow on the client-replica bipartite graph.
+        """Certify feasibility by max-flow on the class-replica bipartite graph.
 
-        Source -> client c with capacity R_c; client -> replica for every
-        eligible pair (unbounded); replica n -> sink with capacity B_n.
-        The instance is feasible iff max-flow equals total demand.
+        Clients with identical eligibility rows are merged into one source
+        node whose capacity is their summed demand — merging sources with
+        identical adjacency preserves the max-flow value, so the
+        certificate is exact while the graph has at most ``2^N`` client
+        nodes regardless of the client count.  Source -> class k with
+        capacity ``sum R_c``; class -> replica for every eligible pair
+        (unbounded); replica n -> sink with capacity ``B_n``.  The
+        instance is feasible iff max-flow equals total demand.
         """
         data = self.data
-        orphans = [c for c in range(data.n_clients)
-                   if data.R[c] > 0 and not data.mask[c].any()]
+        orphans = np.nonzero((data.R > 0) & ~data.mask.any(axis=1))[0].tolist()
+        patterns, inverse = np.unique(data.mask, axis=0, return_inverse=True)
+        class_demand = np.bincount(inverse.reshape(-1), weights=data.R,
+                                   minlength=patterns.shape[0])
         g = nx.DiGraph()
-        for c in range(data.n_clients):
-            g.add_edge("source", ("client", c),
-                       capacity=int(round(data.R[c] * _FLOW_SCALE)))
+        for k in range(patterns.shape[0]):
+            g.add_edge("source", ("class", k),
+                       capacity=int(round(class_demand[k] * _FLOW_SCALE)))
+            for n in np.nonzero(patterns[k])[0]:
+                g.add_edge(("class", k), ("replica", int(n)))  # uncapacitated
         for n in range(data.n_replicas):
             g.add_edge(("replica", n), "sink",
                        capacity=int(round(data.B[n] * _FLOW_SCALE)))
-        for c in range(data.n_clients):
-            for n in range(data.n_replicas):
-                if data.mask[c, n]:
-                    g.add_edge(("client", c), ("replica", n))  # uncapacitated
         total = int(round(float(data.R.sum()) * _FLOW_SCALE))
         if total == 0:
             flow = 0
@@ -87,16 +92,28 @@ class ReplicaSelectionProblem:
         (solvers project it into their local sets before use).
         """
         data = self.data
-        P = np.zeros(data.shape)
         counts = data.mask.sum(axis=1)
-        for c in range(data.n_clients):
-            if counts[c] == 0:
-                if data.R[c] > 0:
-                    raise InfeasibleProblemError(
-                        f"client {c} has no eligible replica")
-                continue
-            P[c, data.mask[c]] = data.R[c] / counts[c]
-        return P
+        orphaned = (counts == 0) & (data.R > 0)
+        if orphaned.any():
+            raise InfeasibleProblemError(
+                f"client {int(np.nonzero(orphaned)[0][0])} has no "
+                f"eligible replica")
+        share = np.divide(data.R, counts, out=np.zeros(data.n_clients),
+                          where=counts > 0)
+        return np.where(data.mask, share[:, None], 0.0)
+
+    def aggregated(self):
+        """Class-space reduction of this instance (exact; see
+        :mod:`repro.core.aggregate`).
+
+        Returns an :class:`~repro.core.aggregate.AggregatedProblem` whose
+        ``problem`` has one super-client per distinct eligibility row;
+        solving it and expanding costs O(K*N) per iteration instead of
+        O(C*N).
+        """
+        from repro.core.aggregate import aggregate_problem
+
+        return aggregate_problem(self)
 
     def objective(self, allocation: np.ndarray) -> float:
         """``E_g`` at an allocation."""

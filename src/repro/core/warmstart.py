@@ -67,7 +67,12 @@ class WarmStartEntry:
 
     All mappings are keyed by client *name* so entries survive the
     client churn between batches; rows are stored over the key's replica
-    ordering.
+    ordering.  When the runtime solves in class space
+    (:mod:`repro.core.aggregate`), the "clients" are eligibility classes
+    and the keys are the classes' packed-mask byte tokens
+    (:attr:`~repro.core.aggregate.ClassStructure.keys`) — class identity
+    does not depend on which clients are in a batch, so class-space
+    entries hit across arbitrary client churn.
     """
 
     rows: dict[str, np.ndarray]       # client -> allocation row (N,)
@@ -212,12 +217,8 @@ def recover_mu(problem: ReplicaSelectionProblem,
     P = np.asarray(allocation, dtype=float)
     if P.shape != data.shape:
         raise ValidationError("allocation shape mismatch")
-    marginal = model.load_marginal_cost(data, P.sum(axis=0))
-    mu = np.empty(data.n_clients)
-    for c in range(data.n_clients):
-        eligible = data.mask[c]
-        mu[c] = -float(marginal[eligible].min()) if eligible.any() else 0.0
-    return mu
+    best = model.cheapest_eligible_marginal(data, P.sum(axis=0))
+    return np.where(np.isfinite(best), -best, 0.0)
 
 
 class AdaptiveBudget:

@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from repro.cluster.node import NodeActivity, ReplicaNode
+from repro.core.aggregate import AggregatedProblem
 from repro.core.cdpsm import CdpsmSolver
 from repro.core.lddm import LddmSolver
 from repro.core.problem import ReplicaSelectionProblem
@@ -131,17 +132,27 @@ class DistributedSolveSession:
     batched: use the stacked numpy kernels (:mod:`repro.core.kernels`)
         for the per-iteration numeric work; the scalar per-replica path
         remains available for oracle runs (``batched=False``).
+    aggregation: optional class-space reduction of ``problem``
+        (:class:`~repro.core.aggregate.AggregatedProblem`).  When given,
+        the numeric iterations run on the reduced K-row instance —
+        O(K*N) local work per round instead of O(C*N) — while the
+        communication plan keeps the paper's per-client message pattern
+        (every client still sends/receives its rows; aggregation is a
+        local-computation optimization, not a protocol change).  The
+        client-space allocation is expanded lazily on first read of
+        :attr:`allocation`; ``solver_allocation`` holds the K-row result.
     initial: optional warm-start allocation (feasible, same shape as the
-        problem) — typically the previous batch's projected solution from
+        *solved* instance — class space when ``aggregation`` is given) —
+        typically the previous batch's projected solution from
         :mod:`repro.core.warmstart`.
-    mu0: optional warm-start LDDM multipliers (one per client; ignored
-        by CDPSM).
+    mu0: optional warm-start LDDM multipliers (one per solved row;
+        ignored by CDPSM).
     solver_kwargs: forwarded to the underlying solver.
 
     After :meth:`run` finishes, ``converged`` reports whether the solver's
     stopping rule fired within its budget and ``final_mu`` (LDDM only)
     holds the final multipliers — the state the runtime caches for the
-    next batch's warm start.
+    next batch's warm start (class-space when aggregating).
     """
 
     def __init__(self, sim: "Simulator", network: Network,
@@ -152,6 +163,7 @@ class DistributedSolveSession:
                  nodes: dict[str, ReplicaNode] | None = None,
                  timing: SolveTimingModel | None = None,
                  batched: bool = True,
+                 aggregation: AggregatedProblem | None = None,
                  initial: np.ndarray | None = None,
                  mu0: np.ndarray | None = None,
                  **solver_kwargs) -> None:
@@ -161,9 +173,16 @@ class DistributedSolveSession:
             raise ValidationError("replica_names length mismatch")
         if len(client_names) != problem.data.n_clients:
             raise ValidationError("client_names length mismatch")
+        if aggregation is not None \
+                and aggregation.structure.class_of_client.shape[0] \
+                != problem.data.n_clients:
+            raise ValidationError("aggregation does not match problem rows")
         self.sim = sim
         self.network = network
         self.problem = problem
+        self.aggregation = aggregation
+        self._solve_problem = problem if aggregation is None \
+            else aggregation.problem
         self.replicas = list(replica_names)
         self.clients = list(client_names)
         self.algorithm = algorithm
@@ -171,11 +190,11 @@ class DistributedSolveSession:
         self.timing = timing or SolveTimingModel()
         solver_kwargs.setdefault("batched", batched)
         if algorithm == "lddm":
-            self.solver = LddmSolver(problem, track_objective=False,
-                                     **solver_kwargs)
+            self.solver = LddmSolver(self._solve_problem,
+                                     track_objective=False, **solver_kwargs)
         else:
-            self.solver = CdpsmSolver(problem, track_objective=False,
-                                      **solver_kwargs)
+            self.solver = CdpsmSolver(self._solve_problem,
+                                      track_objective=False, **solver_kwargs)
         C, N = problem.data.shape
         self.comm_plan = SessionCommPlan.build(
             network, algorithm, self.replicas, self.clients, C, N)
@@ -183,11 +202,29 @@ class DistributedSolveSession:
             else np.asarray(initial, dtype=float)
         self.mu0 = None if mu0 is None else np.asarray(mu0, dtype=float)
         # Results, populated by run():
-        self.allocation: np.ndarray | None = None
+        self.solver_allocation: np.ndarray | None = None
+        self._allocation: np.ndarray | None = None
         self.iterations = 0
         self.duration = 0.0
         self.converged = False
         self.final_mu: np.ndarray | None = None
+
+    @property
+    def allocation(self) -> np.ndarray | None:
+        """The client-space allocation, expanded lazily.
+
+        In aggregated mode the solve produces only the K-row
+        ``solver_allocation``; the full (C, N) matrix is materialized on
+        first read — sessions whose per-client splits are never inspected
+        never build it.
+        """
+        if self._allocation is None and self.solver_allocation is not None:
+            if self.aggregation is None:
+                self._allocation = self.solver_allocation
+            else:
+                self._allocation = self.aggregation.structure.expand_rows(
+                    self.solver_allocation)
+        return self._allocation
 
     # -- communication rounds ---------------------------------------------------
     def _round_messages(self) -> float:
@@ -214,9 +251,11 @@ class DistributedSolveSession:
         """Simulated process: run the solve, leave results on ``self``."""
         start = self.sim.now
         self._set_activity(NodeActivity.SELECTING)
-        C = self.problem.data.n_clients
+        # Local per-iteration work is proportional to the number of rows
+        # the solver actually touches — K classes when aggregating.
+        rows = self._solve_problem.data.n_clients
         candidate = self.initial if self.initial is not None \
-            else self.problem.uniform_allocation()
+            else self._solve_problem.uniform_allocation()
         if self.algorithm == "lddm":
             steps = self.solver.iterations(self.initial, mu0=self.mu0)
         else:
@@ -225,12 +264,13 @@ class DistributedSolveSession:
             for k, candidate, _metric in steps:
                 self.iterations = k + 1
                 comm_delay = self._round_messages()
-                compute = self.timing.iteration_time(C, self.algorithm)
+                compute = self.timing.iteration_time(rows, self.algorithm)
                 yield self.sim.timeout(compute + comm_delay)
         finally:
             self._set_activity(NodeActivity.IDLE)
         self.converged = self.solver.converged_
         self.final_mu = getattr(self.solver, "mu_", None)
-        self.allocation = self.problem.repair(candidate)
+        self.solver_allocation = self._solve_problem.repair(candidate)
+        self._allocation = None
         self.duration = self.sim.now - start
-        return self.allocation
+        return self.solver_allocation

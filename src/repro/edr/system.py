@@ -85,6 +85,14 @@ class RuntimeConfig:
     hb_timeout: float = 0.25
     timing: SolveTimingModel = field(default_factory=SolveTimingModel)
     solver_kwargs: dict = field(default_factory=dict)
+    #: Solve each sub-batch in eligibility-class space (one super-client
+    #: per distinct latency-mask row; see :mod:`repro.core.aggregate`).
+    #: The reduction is exact — identical objective and per-client
+    #: constraint satisfaction — while per-iteration local work drops
+    #: from O(C*N) to O(K*N), and warm-start entries become keyed by
+    #: class (so they survive client churn).  The per-iteration message
+    #: pattern over the network is unchanged.
+    aggregate: bool = True
     #: Warm-start each sub-batch solve from the previous round's projected
     #: solution (same live replicas and prices; see
     #: :mod:`repro.core.warmstart`).  Membership changes invalidate the
@@ -466,6 +474,14 @@ class EDRSystem:
             kwargs = {"max_iter": 150, "tol": 1e-3} \
                 if cfg.algorithm == "lddm" else {"max_iter": 100, "tol": 1e-4}
             kwargs.update(cfg.solver_kwargs)
+            # Class-space reduction: the solver (and the warm-start cache)
+            # see one row per distinct eligibility pattern instead of one
+            # per client; cache entries are keyed by the classes' packed
+            # mask tokens, which outlive any particular client set.
+            agg = problem.aggregated() if cfg.aggregate else None
+            solve_problem = problem if agg is None else agg.problem
+            warm_tokens = clients if agg is None else list(agg.structure.keys)
+            warm_mask = solve_problem.data.mask
             initial = mu0 = None
             if cfg.warm_start:
                 if tuple(live) != self._warm_live:
@@ -476,9 +492,10 @@ class EDRSystem:
                     self._warm_live = tuple(live)
                 entry = self._warm_cache.lookup(live, problem.data.u)
                 if entry is not None:
-                    initial = project_warm_start(entry, problem, clients)
+                    initial = project_warm_start(entry, solve_problem,
+                                                 warm_tokens)
                     if cfg.algorithm == "lddm":
-                        mu0 = recover_mu(problem, initial)
+                        mu0 = recover_mu(solve_problem, initial)
             warm = initial is not None
             base_iter = int(kwargs["max_iter"])
             if cfg.warm_start and cfg.adaptive_budget:
@@ -486,7 +503,7 @@ class EDRSystem:
             session = DistributedSolveSession(
                 self.sim, self.network, problem, live, clients,
                 cfg.algorithm, nodes=self.nodes, timing=cfg.timing,
-                initial=initial, mu0=mu0, **kwargs)
+                aggregation=agg, initial=initial, mu0=mu0, **kwargs)
             yield from session.run()
             self._solve_time_total += session.duration
             self._solve_iterations += session.iterations
@@ -499,8 +516,9 @@ class EDRSystem:
                     session.iterations, int(kwargs["max_iter"]),
                     session.converged, warm)
                 self._warm_cache.store(
-                    live, problem.data.u, clients, session.allocation,
-                    problem.data.mask, mu=session.final_mu,
+                    live, problem.data.u, warm_tokens,
+                    session.solver_allocation, warm_mask,
+                    mu=session.final_mu,
                     iterations=session.iterations,
                     converged=session.converged)
             for r in live:  # every live replica worked through the solve

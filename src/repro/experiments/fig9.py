@@ -5,23 +5,47 @@ count sweeps 24..192 (YouTube-patterned).  Published shape: the two
 systems' response times are very close, under ~200 ms per request, and
 grow near-linearly with the request count; EDR's asymptotic communication
 complexity is lower, so it wins at scale.
+
+Beyond the paper's sweep, :func:`run_solver_scaling` pushes the *solver*
+(the batched replica-selection step that dominates EDR's decision
+latency) into the 10^4-10^5-client range, comparing the direct per-client
+path against the exact class-space aggregation of
+:mod:`repro.core.aggregate` — the regime the ROADMAP's "millions of
+users" north star cares about, where the full runtime's dense topology
+matrices are no longer the bottleneck that matters.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
+import numpy as np
+
+from repro.core.lddm import solve_lddm
+from repro.core.params import ProblemData
+from repro.core.problem import ReplicaSelectionProblem
 from repro.edr.donar_runtime import DonarRuntime, DonarRuntimeConfig
 from repro.edr.system import EDRSystem, RuntimeConfig
 from repro.errors import ValidationError
 from repro.experiments.parallel import parallel_map
 from repro.experiments.scenarios import Scenario, make_trace
+from repro.util.rng import make_rng
 from repro.util.tables import render_series
 from repro.workload.apps import FILE_SERVICE
 
-__all__ = ["Fig9Result", "run", "run_point", "DEFAULT_REQUEST_COUNTS"]
+__all__ = ["Fig9Result", "run", "run_point", "DEFAULT_REQUEST_COUNTS",
+           "SolverScalingResult", "scaling_problem", "run_scaling_point",
+           "run_solver_scaling", "DEFAULT_SCALING_CLIENTS"]
 
 DEFAULT_REQUEST_COUNTS = (24, 48, 72, 96, 120, 144, 168, 192)
+
+#: Client counts for the large-C solver scaling sweep (fig. 9 regime,
+#: pushed to the 10^5 clients the aggregated path makes tractable).
+DEFAULT_SCALING_CLIENTS = (2_000, 10_000, 20_000, 50_000, 100_000)
+
+#: Largest client count the direct O(C*N) path is timed at by default.
+DEFAULT_DIRECT_LIMIT = 20_000
 
 #: 3-replica price vector (prices do not affect response time).
 _PRICES_3 = (1.0, 8.0, 1.0)
@@ -55,13 +79,13 @@ class Fig9Result:
                 "(paper: < 200 ms per request, near-linear growth)")
 
 
-def _scenario(count: int) -> Scenario:
+def _scenario(count: int, max_clients: int = 24) -> Scenario:
     # All requests submitted (nearly) together, as in the paper's sweep:
     # the whole count lands within ~20 ms, so the systems must schedule
     # one large backlog and later requests queue behind earlier chunks —
     # this is what makes response time grow with the request count.
     return Scenario(name=f"fig9-{count}", app=FILE_SERVICE,
-                    n_requests=count, n_clients=min(count, 24),
+                    n_requests=count, n_clients=min(count, max_clients),
                     arrival_rate=count * 50.0)
 
 
@@ -69,16 +93,20 @@ def run_point(point: int | tuple) -> dict:
     """One sweep point: both systems at one request count.
 
     Module-level and driven entirely by its argument — a count, or a
-    ``(count, warm_start)`` pair — so it pickles cleanly into worker
-    processes and gives bit-identical results at any ``--jobs`` level
-    (every random draw derives from the scenario's fixed seed).
+    ``(count, warm_start[, aggregate[, max_clients]])`` tuple — so it
+    pickles cleanly into worker processes and gives bit-identical results
+    at any ``--jobs`` level (every random draw derives from the
+    scenario's fixed seed).
     """
-    count, warm = (point, True) if isinstance(point, int) else point
-    scenario = _scenario(int(count))
+    count, warm, aggregate, max_clients = \
+        ((point, True, True, 24) if isinstance(point, int)
+         else (tuple(point) + (True, True, 24))[:4])
+    scenario = _scenario(int(count), max_clients=int(max_clients))
     trace = make_trace(scenario)
     edr = EDRSystem(trace, RuntimeConfig(
         algorithm="lddm", prices=_PRICES_3,
-        batch_capacity_fraction=0.35, warm_start=warm)).run(app="dfs")
+        batch_capacity_fraction=0.35, warm_start=warm,
+        aggregate=aggregate)).run(app="dfs")
     donar = DonarRuntime(trace, DonarRuntimeConfig(
         n_replicas=3, n_mapping_nodes=3)).run(app="dfs")
     return {
@@ -93,18 +121,24 @@ def run_point(point: int | tuple) -> dict:
 
 
 def run(request_counts=DEFAULT_REQUEST_COUNTS, jobs: int = 1,
-        warm_start: bool = True) -> Fig9Result:
+        warm_start: bool = True, aggregate: bool = True,
+        max_clients: int = 24) -> Fig9Result:
     """Sweep the request count for both systems.
 
     ``jobs > 1`` spreads the (independent) sweep points over worker
     processes; ``warm_start=False`` forces every EDR batch to cold-start,
-    for the warm-vs-cold regression and benchmarks.
+    for the warm-vs-cold regression and benchmarks; ``aggregate=False``
+    disables the class-space solve; ``max_clients`` lifts the paper's
+    24-client population cap so the sweep can grow the client count with
+    the request count.
     """
     counts = [int(c) for c in request_counts]
     if not counts or min(counts) < 1:
         raise ValidationError("request_counts must be positive")
-    points = parallel_map(run_point, [(c, warm_start) for c in counts],
-                          jobs=jobs)
+    points = parallel_map(
+        run_point,
+        [(c, warm_start, aggregate, int(max_clients)) for c in counts],
+        jobs=jobs)
     return Fig9Result(
         request_counts=counts,
         edr_mean_response=[p["edr_mean"] for p in points],
@@ -113,3 +147,138 @@ def run(request_counts=DEFAULT_REQUEST_COUNTS, jobs: int = 1,
         donar_total_response=[p["donar_total"] for p in points],
         edr_solve_time=[p["edr_solve_time"] for p in points],
         edr_solve_iterations=[p["edr_solve_iterations"] for p in points])
+
+
+# -- large-C solver scaling (the aggregation regime) -------------------------
+
+#: Solver budget used by the runtime's LDDM batches (see EDRSystem).
+_RUNTIME_LDDM_KWARGS = {"max_iter": 150, "tol": 1e-3,
+                        "track_objective": False}
+
+
+@dataclass
+class SolverScalingResult:
+    """Direct vs aggregated LDDM solve times across client counts.
+
+    ``direct_solve_s`` entries are ``None`` where the direct path was not
+    timed (above ``direct_limit``).
+    """
+
+    client_counts: list[int]
+    n_classes: list[int]
+    aggregate_solve_s: list[float]
+    aggregate_objective: list[float]
+    aggregate_iterations: list[int]
+    direct_solve_s: list[float | None]
+    direct_objective: list[float | None]
+    direct_iterations: list[int | None]
+
+    def speedup(self) -> float | None:
+        """Direct/aggregated wall-time ratio at the largest count with both."""
+        best = None
+        for i, c in enumerate(self.client_counts):
+            if self.direct_solve_s[i] is not None \
+                    and self.aggregate_solve_s[i] > 0:
+                if best is None or c > self.client_counts[best]:
+                    best = i
+        if best is None:
+            return None
+        return self.direct_solve_s[best] / self.aggregate_solve_s[best]
+
+    def render(self) -> str:
+        table = render_series(
+            {"K": self.n_classes,
+             "agg_ms": [1000 * v for v in self.aggregate_solve_s],
+             "direct_ms": [None if v is None else 1000 * v
+                           for v in self.direct_solve_s]},
+            x=self.client_counts, x_label="clients",
+            title=("Fig. 9 extension — LDDM solve time vs client count, "
+                   "class-space aggregation vs direct"))
+        sp = self.speedup()
+        tail = "" if sp is None else \
+            f"\nspeedup at largest common size: {sp:.1f}x"
+        return table + tail
+
+
+def scaling_problem(n_clients: int, seed: int = 2013
+                    ) -> ReplicaSelectionProblem:
+    """A fig9-style batch instance with ``n_clients`` clients.
+
+    Three replicas at the sweep's prices, per-client demands drawn from
+    the DFS profile's lognormal size distribution (drawn vectorized —
+    same distribution as ``FILE_SERVICE.sample_size``), and four
+    latency-eligibility patterns standing in for client regions; replica
+    capacities scale with total demand so every count stays feasible.
+    """
+    if n_clients < 1:
+        raise ValidationError("n_clients must be positive")
+    rng = make_rng(seed)
+    sigma = FILE_SERVICE.size_sigma
+    mu = float(np.log(FILE_SERVICE.mean_size_mb)) - sigma ** 2 / 2.0
+    demands = rng.lognormal(mean=mu, sigma=sigma, size=n_clients)
+    patterns = np.array([[1, 1, 1], [1, 1, 0], [0, 1, 1], [1, 0, 1]],
+                        dtype=bool)
+    mask = patterns[rng.integers(0, len(patterns), size=n_clients)]
+    total = float(demands.sum())
+    data = ProblemData.paper_defaults(
+        demands=demands, prices=_PRICES_3, bandwidth=0.6 * total, mask=mask)
+    return ReplicaSelectionProblem(data)
+
+
+def run_scaling_point(point: int | tuple) -> dict:
+    """Time one client count (module-level: pickles into workers).
+
+    ``point`` is a count or a ``(count, time_direct[, seed])`` tuple.
+    """
+    count, time_direct, seed = \
+        ((point, True, 2013) if isinstance(point, int)
+         else (tuple(point) + (True, 2013))[:3])
+    problem = scaling_problem(int(count), seed=int(seed))
+    t0 = perf_counter()
+    agg_sol = solve_lddm(problem, aggregate=True, **_RUNTIME_LDDM_KWARGS)
+    agg_s = perf_counter() - t0
+    out = {
+        "count": int(count),
+        "n_classes": problem.aggregated().n_classes,
+        "agg_s": agg_s,
+        "agg_objective": agg_sol.objective,
+        "agg_iterations": agg_sol.iterations,
+        "direct_s": None, "direct_objective": None,
+        "direct_iterations": None,
+    }
+    if time_direct:
+        t0 = perf_counter()
+        direct_sol = solve_lddm(problem, **_RUNTIME_LDDM_KWARGS)
+        out["direct_s"] = perf_counter() - t0
+        out["direct_objective"] = direct_sol.objective
+        out["direct_iterations"] = direct_sol.iterations
+    return out
+
+
+def run_solver_scaling(client_counts=DEFAULT_SCALING_CLIENTS,
+                       direct_limit: int = DEFAULT_DIRECT_LIMIT,
+                       jobs: int = 1, seed: int = 2013
+                       ) -> SolverScalingResult:
+    """Time aggregated vs direct LDDM solves across client counts.
+
+    Every point runs the aggregated path; the direct path is only timed
+    up to ``direct_limit`` clients (beyond that it is minutes-per-solve —
+    the point of the aggregation).  Uses the runtime's LDDM budget, so
+    the timings are the decision-latency the EDR scheduler would see.
+    """
+    counts = [int(c) for c in client_counts]
+    if not counts or min(counts) < 1:
+        raise ValidationError("client_counts must be positive")
+    points = parallel_map(
+        run_scaling_point,
+        [(c, c <= int(direct_limit), int(seed)) for c in counts],
+        jobs=jobs)
+    return SolverScalingResult(
+        client_counts=counts,
+        n_classes=[p["n_classes"] for p in points],
+        aggregate_solve_s=[p["agg_s"] for p in points],
+        aggregate_objective=[p["agg_objective"] for p in points],
+        aggregate_iterations=[p["agg_iterations"] for p in points],
+        direct_solve_s=[p["direct_s"] for p in points],
+        direct_objective=[p["direct_objective"] for p in points],
+        direct_iterations=[p["direct_iterations"] for p in points])

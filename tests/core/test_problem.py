@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
 
 from repro.core.params import ProblemData
 from repro.core.problem import ReplicaSelectionProblem
@@ -129,6 +131,35 @@ class TestRepair:
         P = rng.uniform(0, 40, size=prob.data.shape) * prob.data.mask
         fixed = prob.repair(P)
         assert prob.violation(fixed) < 1e-4 * max(1.0, prob.data.R.max())
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 100_000), n_clients=st.integers(1, 12),
+           n_replicas=st.integers(1, 6), masked=st.booleans(),
+           tight=st.booleans(), start_scale=st.floats(0.0, 10.0))
+    def test_repair_capacity_residual_bounded_after_budget(
+            self, seed, n_clients, n_replicas, masked, tight, start_scale):
+        # Repair is the rounding step every solver run ends with (and
+        # aggregation adds a second call site at expansion), so its
+        # residual after the default sweep budget must be bounded on any
+        # feasible instance — from arbitrarily bad starting points.
+        prob = random_instance(seed, n_clients=n_clients,
+                               n_replicas=n_replicas, masked=masked,
+                               tight=tight)
+        assume(prob.is_feasible())
+        rng = np.random.default_rng(seed)
+        start = rng.uniform(0, start_scale * max(prob.data.R.max(), 1.0),
+                            size=prob.data.shape)
+        fixed = prob.repair(start)  # default sweep budget
+        scale = max(float(prob.data.R.max()), float(prob.data.B.max()), 1.0)
+        # Demand rows and the mask hold exactly by construction (repair
+        # ends on the demand projection); the capacity residual after the
+        # sweep budget is what the alternation can leave behind.
+        assert np.max(np.abs(fixed.sum(axis=1) - prob.data.R)) <= 1e-9 * scale
+        assert np.all(fixed[~prob.data.mask] == 0.0)
+        assert np.all(fixed >= 0.0)
+        capacity_residual = float(
+            np.max(fixed.sum(axis=0) - prob.data.B, initial=0.0))
+        assert capacity_residual <= 1e-6 * scale
 
 
 class TestLowerBound:
