@@ -8,28 +8,29 @@ method needs — the two quantities Sec. III-D compares.
 Run:  python examples/convergence_comparison.py
 """
 
-from repro.core import (
-    ProblemData,
-    ReplicaSelectionProblem,
-    solve_cdpsm,
-    solve_lddm)
+from repro.core import ProblemData, ReplicaSelectionProblem, solve
 from repro.experiments import fig5
+from repro.obs import TraceRecorder
 
 
 def main() -> None:
     print(fig5.run(max_iter=200).render())
 
-    # Communication accounting on the same instance.
+    # Communication accounting on the same instance, with a telemetry
+    # trace capturing both solvers' per-iteration residuals.
     data = ProblemData.paper_defaults(
         demands=[40.0, 55.0, 25.0], prices=[2.0, 9.0, 4.0])
     problem = ReplicaSelectionProblem(data)
-    lddm = solve_lddm(problem)
-    cdpsm = solve_cdpsm(problem)
+    rec = TraceRecorder()
+    lddm = solve(problem, "lddm", recorder=rec)
+    cdpsm = solve(problem, "cdpsm", recorder=rec)
     print("\ncommunication to convergence:")
     print(f"  LDDM : {lddm.iterations:4d} iterations, "
           f"{lddm.comm_floats:8d} floats moved  (O(|C|·|N|)/iter)")
     print(f"  CDPSM: {cdpsm.iterations:4d} iterations, "
           f"{cdpsm.comm_floats:8d} floats moved  (O(|C|·|N|^3)/iter)")
+    print(f"\ntrace captured {len(rec.records)} records; final LDDM "
+          f"residual {rec.events_named('lddm.iteration')[-1]['residual']:.2e}")
 
 
 if __name__ == "__main__":

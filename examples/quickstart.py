@@ -11,12 +11,7 @@ Run:  python examples/quickstart.py
 
 
 from repro.baselines import solve_round_robin
-from repro.core import (
-    ProblemData,
-    ReplicaSelectionProblem,
-    solve_lddm,
-    solve_reference,
-)
+from repro.core import ProblemData, ReplicaSelectionProblem, solve
 from repro.util.tables import render_table
 
 
@@ -30,9 +25,9 @@ def main() -> None:
     problem = ReplicaSelectionProblem(data)
     problem.require_feasible()
 
-    lddm = solve_lddm(problem)
+    lddm = solve(problem, "lddm")
     rr = solve_round_robin(problem)
-    optimum = solve_reference(problem)
+    optimum = solve(problem, "reference")
 
     print(render_table(
         ["replica", "price ¢/kWh", "LDDM load", "RoundRobin load"],

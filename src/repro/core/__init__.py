@@ -3,13 +3,19 @@ its two distributed solvers (CDPSM, LDDM), plus a centralized reference.
 
 Quick start::
 
-    from repro.core import ProblemData, ReplicaSelectionProblem, solve_lddm
+    from repro.core import ProblemData, ReplicaSelectionProblem, solve
 
     data = ProblemData.paper_defaults(
         demands=[40.0, 60.0], prices=[1.0, 8.0, 1.0])
     problem = ReplicaSelectionProblem(data)
-    solution = solve_lddm(problem)
+    solution = solve(problem, algorithm="lddm")
     print(solution.allocation, solution.objective)
+
+:func:`solve` dispatches to any algorithm (``"lddm"``, ``"cdpsm"``,
+``"reference"``) with one keyword-only option set (``aggregate=``,
+``warm_start=``, ``mu0=``, ``recorder=``, plus solver options); the
+per-algorithm helpers ``solve_lddm`` / ``solve_cdpsm`` /
+``solve_reference`` are thin wrappers with the same names.
 """
 
 from repro.core.params import ProblemData, ReplicaParams
@@ -44,6 +50,7 @@ from repro.core.subproblem import solve_replica_subproblem
 from repro.core.cdpsm import CdpsmSolver, solve_cdpsm
 from repro.core.lddm import LddmSolver, solve_lddm
 from repro.core.reference import solve_reference
+from repro.core.api import ALGORITHMS, solve
 from repro.core.warmstart import (
     AdaptiveBudget,
     WarmStartCache,
@@ -82,6 +89,8 @@ __all__ = [
     "LddmSolver",
     "solve_lddm",
     "solve_reference",
+    "solve",
+    "ALGORITHMS",
     "AdaptiveBudget",
     "WarmStartCache",
     "WarmStartEntry",

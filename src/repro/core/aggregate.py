@@ -219,6 +219,9 @@ class AggregatedProblem:
             messages=solution.messages,
             comm_floats=solution.comm_floats,
             method=solution.method,
+            solve_time_s=solution.solve_time_s,
+            warm_started=solution.warm_started,
+            n_classes=self.n_classes,
         )
 
 
@@ -231,18 +234,34 @@ def aggregate_problem(problem: ReplicaSelectionProblem) -> AggregatedProblem:
 
 
 def solve_aggregated(problem: ReplicaSelectionProblem, method: str = "lddm",
-                     **kwargs) -> Solution:
+                     *, initial: np.ndarray | None = None,
+                     mu0: np.ndarray | None = None, **kwargs) -> Solution:
     """Solve ``problem`` in class space and disaggregate exactly.
 
     ``method`` is ``"lddm"`` or ``"cdpsm"``; ``kwargs`` go to the solver.
-    The per-iteration cost is O(K*N) regardless of the client count.
+    ``initial`` (and, for LDDM, ``mu0``) warm-start the reduced solve and
+    must therefore be *class-space* arrays — (K, N) / (K,).  The
+    per-iteration cost is O(K*N) regardless of the client count.  The
+    returned solution's ``solve_time_s`` covers the whole call
+    (reduction + solve + expansion) and ``n_classes`` reports K.
     """
+    from time import perf_counter
+
     from repro.core.cdpsm import CdpsmSolver
     from repro.core.lddm import LddmSolver
 
     solvers = {"lddm": LddmSolver, "cdpsm": CdpsmSolver}
     if method not in solvers:
         raise ValidationError(f"unknown aggregated solver {method!r}")
+    if mu0 is not None and method != "lddm":
+        raise ValidationError("mu0 applies to the lddm solver only")
+    t0 = perf_counter()
     agg = aggregate_problem(problem)
-    reduced_solution = solvers[method](agg.problem, **kwargs).solve()
-    return agg.expand_solution(reduced_solution)
+    solver = solvers[method](agg.problem, **kwargs)
+    if method == "lddm":
+        reduced_solution = solver.solve(initial, mu0=mu0)
+    else:
+        reduced_solution = solver.solve(initial)
+    solution = agg.expand_solution(reduced_solution)
+    solution.solve_time_s = perf_counter() - t0
+    return solution

@@ -1,0 +1,76 @@
+"""`solve()`: the one-call entry point for every solver.
+
+The per-algorithm helpers (:func:`~repro.core.lddm.solve_lddm`,
+:func:`~repro.core.cdpsm.solve_cdpsm`,
+:func:`~repro.core.reference.solve_reference`) are thin wrappers over
+this facade, so every entry point shares one signature contract: the
+problem and algorithm positionally, everything else keyword-only under
+one set of names (``aggregate``, ``warm_start``, ``mu0``, ``recorder``,
+plus algorithm-specific options).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.aggregate import solve_aggregated
+from repro.core.cdpsm import CdpsmSolver
+from repro.core.lddm import LddmSolver
+from repro.core.problem import ReplicaSelectionProblem
+from repro.core.solution import Solution
+from repro.errors import ValidationError
+
+__all__ = ["solve", "ALGORITHMS"]
+
+#: Algorithms the facade dispatches to.
+ALGORITHMS = ("lddm", "cdpsm", "reference")
+
+
+def solve(problem: ReplicaSelectionProblem, algorithm: str = "lddm", *,
+          aggregate: bool = False, warm_start: np.ndarray | None = None,
+          mu0: np.ndarray | None = None, recorder=None,
+          **options) -> Solution:
+    """Solve a replica-selection instance; returns a :class:`Solution`.
+
+    Parameters
+    ----------
+    problem: the instance to solve.
+    algorithm: ``"lddm"`` (the paper's Algorithm 2, default), ``"cdpsm"``
+        (Algorithm 1), or ``"reference"`` (the centralized scipy optimum).
+    aggregate: solve the exact eligibility-class reduction (O(K*N) per
+        iteration; see :mod:`repro.core.aggregate`).  Distributed
+        algorithms only.
+    warm_start: optional initial allocation.  Problem-shaped (C, N) for
+        direct solves, class-space (K, N) when ``aggregate=True``.
+    mu0: optional initial dual multipliers (LDDM only; one per solved
+        row).
+    recorder: optional :class:`~repro.obs.Recorder` capturing
+        per-iteration samples and the final solve event.
+    options: forwarded to the solver (``max_iter``, ``tol``, ``step``,
+        ...; ``tol``/``max_iter`` for the reference solver).
+
+    The dispatch adds nothing numerically: ``solve(p, "lddm", **o)``
+    computes bit-identical output to ``LddmSolver(p, **o).solve()``.
+    """
+    if algorithm not in ALGORITHMS:
+        raise ValidationError(
+            f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}")
+    if mu0 is not None and algorithm != "lddm":
+        raise ValidationError("mu0 applies to the lddm algorithm only")
+    if algorithm == "reference":
+        if aggregate:
+            raise ValidationError(
+                "the reference solver has no aggregated mode")
+        from repro.core.reference import solve_reference
+
+        return solve_reference(problem, warm_start=warm_start,
+                               recorder=recorder, **options)
+    if aggregate:
+        return solve_aggregated(problem, method=algorithm,
+                                initial=warm_start, mu0=mu0,
+                                recorder=recorder, **options)
+    if algorithm == "lddm":
+        solver = LddmSolver(problem, recorder=recorder, **options)
+        return solver.solve(warm_start, mu0=mu0)
+    solver = CdpsmSolver(problem, recorder=recorder, **options)
+    return solver.solve(warm_start)

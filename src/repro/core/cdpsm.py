@@ -17,6 +17,9 @@ Communication per iteration is ``N*(N-1)`` solution exchanges of
 
 from __future__ import annotations
 
+import warnings
+from time import perf_counter
+
 import numpy as np
 
 from repro.core import kernels, model
@@ -27,6 +30,7 @@ from repro.core.projection import project_local_set
 from repro.core.solution import Solution
 from repro.core.stepsize import ConstantStep
 from repro.errors import ValidationError
+from repro.obs import NULL_RECORDER
 
 __all__ = ["CdpsmSolver", "solve_cdpsm", "default_cdpsm_step"]
 
@@ -79,8 +83,10 @@ class CdpsmSolver:
                  step=None, max_iter: int = 400, tol: float = 1e-5,
                  dykstra_iter: int = 60,
                  track_objective: bool = True,
-                 batched: bool = True) -> None:
+                 batched: bool = True,
+                 recorder=None) -> None:
         self.problem = problem
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         data = problem.data
         n = data.n_replicas
         W = uniform_weights(n) if weights is None else np.asarray(weights, float)
@@ -136,6 +142,7 @@ class CdpsmSolver:
                 for i in range(N)
             ])
         tol_abs = self.tol * float(max(data.R.max(initial=0.0), 1.0))
+        rec = self.recorder
         for k in range(self.max_iter):
             # Consensus: V_i = sum_j W[i, j] X_j.
             V = np.tensordot(self.weights, X, axes=(1, 0))
@@ -157,6 +164,9 @@ class CdpsmSolver:
                         max_iter=self.dykstra_iter)
             change = float(np.max(np.abs(X_new - X)))
             X = X_new
+            if rec.enabled:
+                rec.event("cdpsm.iteration", k=k, change=change,
+                          step=float(d_k))
             yield k, X.mean(axis=0), change
             if change < tol_abs:
                 self.converged_ = True
@@ -168,7 +178,9 @@ class CdpsmSolver:
         problem.require_feasible()
         data = problem.data
         C, N = data.shape
+        t_start = perf_counter()
         tol_abs = self.tol * float(max(data.R.max(initial=0.0), 1.0))
+        rec = self.recorder
         history: list[float] = []
         residuals: list[float] = []
         messages = 0
@@ -180,8 +192,12 @@ class CdpsmSolver:
 
         def flush_history() -> None:
             if pending:
-                history.extend(kernels.objective_history(
-                    data, pending, sweeps=10))
+                base = len(history)
+                values = kernels.objective_history(data, pending, sweeps=10)
+                history.extend(values)
+                if rec.enabled:
+                    for j, v in enumerate(values):
+                        rec.sample("solver.objective", v, k=base + j)
                 pending.clear()
 
         for k, mean, change in self.iterations(initial):
@@ -197,13 +213,16 @@ class CdpsmSolver:
                     if len(pending) >= 128:
                         flush_history()
                 else:
-                    history.append(problem.objective(
-                        problem.repair(mean, sweeps=10)))
+                    value = problem.objective(
+                        problem.repair(mean, sweeps=10))
+                    history.append(value)
+                    if rec.enabled:
+                        rec.sample("solver.objective", value, k=k)
             if change < tol_abs:
                 converged = True
         flush_history()
         final = problem.repair(mean)
-        return Solution(
+        solution = Solution(
             allocation=final,
             objective=problem.objective(final),
             iterations=iterations,
@@ -213,19 +232,42 @@ class CdpsmSolver:
             messages=messages,
             comm_floats=comm_floats,
             method=self.method,
+            solve_time_s=perf_counter() - t_start,
+            warm_started=initial is not None,
         )
+        if rec.enabled:
+            rec.event("solver.solve", method=self.method,
+                      iterations=iterations, converged=converged,
+                      objective=float(solution.objective),
+                      messages=messages, comm_floats=comm_floats,
+                      solve_time_s=solution.solve_time_s,
+                      warm_started=solution.warm_started,
+                      n_clients=C, n_replicas=N)
+        return solution
 
 
-def solve_cdpsm(problem: ReplicaSelectionProblem, aggregate: bool = False,
+def solve_cdpsm(problem: ReplicaSelectionProblem, *args,
+                aggregate: bool = False,
+                warm_start: np.ndarray | None = None, recorder=None,
                 **kwargs) -> Solution:
-    """One-call convenience wrapper around :class:`CdpsmSolver`.
+    """One-call convenience wrapper: ``solve(problem, "cdpsm", ...)``.
 
-    ``aggregate=True`` solves the exact class-space reduction (one
-    super-client per distinct eligibility row; O(K*N) per iteration) and
-    disaggregates the result — see :mod:`repro.core.aggregate`.
+    All options are keyword-only and named exactly as on
+    :func:`repro.core.solve` (``aggregate``, ``warm_start``, ``recorder``,
+    plus any :class:`CdpsmSolver` option).  ``aggregate=True`` solves the
+    exact class-space reduction (one super-client per distinct
+    eligibility row; O(K*N) per iteration) and disaggregates the result —
+    see :mod:`repro.core.aggregate`.
     """
-    if aggregate:
-        from repro.core.aggregate import solve_aggregated
+    if args:  # pre-facade signature had ``aggregate`` positional
+        if len(args) > 1:
+            raise TypeError("solve_cdpsm takes options keyword-only")
+        warnings.warn(
+            "passing aggregate positionally to solve_cdpsm is deprecated; "
+            "use solve_cdpsm(problem, aggregate=...)",
+            DeprecationWarning, stacklevel=2)
+        aggregate = bool(args[0])
+    from repro.core.api import solve
 
-        return solve_aggregated(problem, method="cdpsm", **kwargs)
-    return CdpsmSolver(problem, **kwargs).solve()
+    return solve(problem, "cdpsm", aggregate=aggregate,
+                 warm_start=warm_start, recorder=recorder, **kwargs)

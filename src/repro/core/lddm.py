@@ -23,6 +23,9 @@ both default-on and both removable for the ablation bench:
 
 from __future__ import annotations
 
+import warnings
+from time import perf_counter
+
 import numpy as np
 
 from repro.core.params import ProblemData
@@ -32,6 +35,7 @@ from repro.core.stepsize import ConstantStep
 from repro.core.subproblem import ReplicaSubproblem, solve_replica_subproblem
 from repro.core import kernels, model
 from repro.errors import ValidationError
+from repro.obs import NULL_RECORDER
 
 __all__ = ["LddmSolver", "solve_lddm", "default_lddm_parameters",
            "initial_mu"]
@@ -89,8 +93,10 @@ class LddmSolver:
                  averaging: bool = True, exact_subproblem: bool = False,
                  track_objective: bool = True,
                  warm_start_mu: bool = True,
-                 batched: bool = True) -> None:
+                 batched: bool = True,
+                 recorder=None) -> None:
         self.problem = problem
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         data = problem.data
         eps_default, step_default = default_lddm_parameters(data)
         if epsilon is None:
@@ -184,10 +190,12 @@ class LddmSolver:
         avg_count = 0
         next_restart = 1
         tol_abs = self.tol * float(max(data.R.max(initial=0.0), 1.0))
+        rec = self.recorder
         for k in range(self.max_iter):
             P = self._solve_columns(mu, prev)
             r = P.sum(axis=1) - data.R
-            mu = mu + self.step(k) * r
+            d_k = self.step(k)
+            mu = mu + d_k * r
             self.mu_ = mu
             prev = P
             if k == next_restart:
@@ -203,6 +211,10 @@ class LddmSolver:
             res_cand = float(np.max(
                 np.abs(candidate.sum(axis=1) - data.R), initial=0.0))
             res = min(res_raw, res_cand)
+            if rec.enabled:
+                rec.event("lddm.iteration", k=k, residual=res,
+                          step=float(d_k),
+                          mu_max=float(np.max(np.abs(mu), initial=0.0)))
             yield k, candidate, res
             if res < tol_abs and k >= 1:
                 self.converged_ = True
@@ -215,7 +227,9 @@ class LddmSolver:
         problem.require_feasible()
         data = problem.data
         C, N = data.shape
+        t_start = perf_counter()
         tol_abs = self.tol * float(max(data.R.max(initial=0.0), 1.0))
+        rec = self.recorder
         history: list[float] = []
         residuals: list[float] = []
         messages = 0
@@ -227,8 +241,12 @@ class LddmSolver:
 
         def flush_history() -> None:
             if pending:
-                history.extend(kernels.objective_history(
-                    data, pending, sweeps=10))
+                base = len(history)
+                values = kernels.objective_history(data, pending, sweeps=10)
+                history.extend(values)
+                if rec.enabled:
+                    for j, v in enumerate(values):
+                        rec.sample("solver.objective", v, k=base + j)
                 pending.clear()
 
         for k, candidate, res in self.iterations(initial, mu0=mu0):
@@ -244,13 +262,16 @@ class LddmSolver:
                     if len(pending) >= 128:
                         flush_history()
                 else:
-                    history.append(problem.objective(
-                        problem.repair(candidate, sweeps=10)))
+                    value = problem.objective(
+                        problem.repair(candidate, sweeps=10))
+                    history.append(value)
+                    if rec.enabled:
+                        rec.sample("solver.objective", value, k=k)
             if res < tol_abs and k >= 1:
                 converged = True
         flush_history()
         final = problem.repair(candidate)
-        return Solution(
+        solution = Solution(
             allocation=final,
             objective=problem.objective(final),
             iterations=iterations,
@@ -260,19 +281,43 @@ class LddmSolver:
             messages=messages,
             comm_floats=comm_floats,
             method=self.method,
+            solve_time_s=perf_counter() - t_start,
+            warm_started=initial is not None or mu0 is not None,
         )
+        if rec.enabled:
+            rec.event("solver.solve", method=self.method,
+                      iterations=iterations, converged=converged,
+                      objective=float(solution.objective),
+                      messages=messages, comm_floats=comm_floats,
+                      solve_time_s=solution.solve_time_s,
+                      warm_started=solution.warm_started,
+                      n_clients=C, n_replicas=N)
+        return solution
 
 
-def solve_lddm(problem: ReplicaSelectionProblem, aggregate: bool = False,
+def solve_lddm(problem: ReplicaSelectionProblem, *args,
+               aggregate: bool = False, warm_start: np.ndarray | None = None,
+               mu0: np.ndarray | None = None, recorder=None,
                **kwargs) -> Solution:
-    """One-call convenience wrapper around :class:`LddmSolver`.
+    """One-call convenience wrapper: ``solve(problem, "lddm", ...)``.
 
-    ``aggregate=True`` solves the exact class-space reduction (one
-    super-client per distinct eligibility row; O(K*N) per iteration) and
-    disaggregates the result — see :mod:`repro.core.aggregate`.
+    All options are keyword-only and named exactly as on
+    :func:`repro.core.solve` (``aggregate``, ``warm_start``, ``mu0``,
+    ``recorder``, plus any :class:`LddmSolver` option).  ``aggregate=True``
+    solves the exact class-space reduction (one super-client per distinct
+    eligibility row; O(K*N) per iteration) and disaggregates the result —
+    see :mod:`repro.core.aggregate`.
     """
-    if aggregate:
-        from repro.core.aggregate import solve_aggregated
+    if args:  # pre-facade signature had ``aggregate`` positional
+        if len(args) > 1:
+            raise TypeError("solve_lddm takes options keyword-only")
+        warnings.warn(
+            "passing aggregate positionally to solve_lddm is deprecated; "
+            "use solve_lddm(problem, aggregate=...)",
+            DeprecationWarning, stacklevel=2)
+        aggregate = bool(args[0])
+    from repro.core.api import solve
 
-        return solve_aggregated(problem, method="lddm", **kwargs)
-    return LddmSolver(problem, **kwargs).solve()
+    return solve(problem, "lddm", aggregate=aggregate,
+                 warm_start=warm_start, mu0=mu0, recorder=recorder,
+                 **kwargs)

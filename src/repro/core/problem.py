@@ -135,14 +135,18 @@ class ReplicaSelectionProblem:
         negativity = float(-min(P.min(initial=0.0), 0.0))
         return max(demand, capacity, mask, negativity)
 
-    def repair(self, allocation: np.ndarray, sweeps: int = 50,
+    def repair(self, allocation: np.ndarray, sweeps: int = 500,
                tol: float = 1e-10) -> np.ndarray:
         """Round an approximate solution to a (near-)feasible allocation.
 
         Alternates exact row-demand projection with proportional column
         scaling onto the capacity caps, ending on the demand projection so
         client demands are met exactly.  Any residual capacity overshoot
-        is reported by :meth:`violation` (tests bound it).
+        is reported by :meth:`violation` (tests bound it).  The sweep
+        budget is sized for tight masked instances, where the
+        alternation's geometric rate can be slow — the loop exits as
+        soon as no column is over capacity, so easy instances never pay
+        for it.
         """
         from repro.core.projection import project_demands
 

@@ -9,26 +9,37 @@ against, and the ideal objective value for convergence plots.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 from scipy import optimize
 
 from repro.core import model
 from repro.core.problem import ReplicaSelectionProblem
 from repro.core.solution import Solution
-from repro.errors import ConvergenceError
+from repro.errors import ConvergenceError, ValidationError
 
 __all__ = ["solve_reference"]
 
 
 def solve_reference(problem: ReplicaSelectionProblem,
                     x0: np.ndarray | None = None,
-                    tol: float = 1e-9, max_iter: int = 500) -> Solution:
+                    tol: float = 1e-9, max_iter: int = 500,
+                    warm_start: np.ndarray | None = None,
+                    recorder=None) -> Solution:
     """Solve the instance centrally; returns a :class:`Solution`.
 
-    Raises :class:`~repro.errors.InfeasibleProblemError` if the instance is
+    ``warm_start`` is the facade-standard spelling of the initial point
+    (``x0`` is the historical alias; passing both is an error).  Raises
+    :class:`~repro.errors.InfeasibleProblemError` if the instance is
     infeasible and :class:`~repro.errors.ConvergenceError` if both scipy
     methods fail.
     """
+    if warm_start is not None:
+        if x0 is not None:
+            raise ValidationError("pass warm_start or x0, not both")
+        x0 = warm_start
+    t_start = perf_counter()
     problem.require_feasible()
     data = problem.data
     mask = data.mask
@@ -91,13 +102,23 @@ def solve_reference(problem: ReplicaSelectionProblem,
                 f"reference solver failed: {result.message}",
                 iterations=int(getattr(result, "nit", 0)))
     P = unpack(np.maximum(result.x, 0.0))
-    return Solution(
+    solution = Solution(
         allocation=P,
         objective=model.total_energy(data, P),
         iterations=int(getattr(result, "nit", 0)),
         converged=True,
         method="reference",
+        solve_time_s=perf_counter() - t_start,
+        warm_started=x0 is not None,
     )
+    if recorder is not None and recorder.enabled:
+        recorder.event("solver.solve", method="reference",
+                       iterations=solution.iterations, converged=True,
+                       objective=float(solution.objective),
+                       solve_time_s=solution.solve_time_s,
+                       warm_started=solution.warm_started,
+                       n_clients=data.n_clients, n_replicas=data.n_replicas)
+    return solution
 
 
 def _violation(problem: ReplicaSelectionProblem, P: np.ndarray) -> float:

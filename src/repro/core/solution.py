@@ -27,6 +27,12 @@ class Solution:
     messages: control messages the distributed execution would exchange.
     comm_floats: total floats moved between agents (communication volume).
     method: solver tag ("cdpsm" / "lddm" / "reference" / baseline names).
+    solve_time_s: wall-clock seconds the producing solve took (``None``
+        when the producer did not time itself).
+    warm_started: whether the solve was seeded from a prior solution
+        (``None`` when not applicable).
+    n_classes: eligibility-class count K of an aggregated solve
+        (``None`` for direct solves).
     """
 
     allocation: np.ndarray
@@ -38,6 +44,9 @@ class Solution:
     messages: int = 0
     comm_floats: int = 0
     method: str = ""
+    solve_time_s: float | None = None
+    warm_started: bool | None = None
+    n_classes: int | None = None
 
     @property
     def loads(self) -> np.ndarray:

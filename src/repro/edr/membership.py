@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING, Callable
 from repro.edr.messages import MsgKind, Ports
 from repro.errors import MembershipError
 from repro.net.transport import Network
+from repro.obs import NULL_RECORDER
 from repro.sim.process import Interrupt
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -26,9 +27,14 @@ __all__ = ["MembershipRing", "HeartbeatProtocol"]
 
 
 class MembershipRing:
-    """Active member list plus ring ordering."""
+    """Active member list plus ring ordering.
 
-    def __init__(self, members: list[str]) -> None:
+    ``recorder`` (:mod:`repro.obs`) gets one ``membership`` event per
+    transition — the churn signal runtime traces correlate with
+    warm-start invalidations and solve-latency spikes.
+    """
+
+    def __init__(self, members: list[str], recorder=None) -> None:
         if not members:
             raise MembershipError("ring needs at least one member")
         if len(set(members)) != len(members):
@@ -36,6 +42,7 @@ class MembershipRing:
         self._order = list(members)
         self._alive = set(members)
         self.events: list[tuple[str, str]] = []
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
 
     @property
     def live(self) -> list[str]:
@@ -67,6 +74,8 @@ class MembershipRing:
         if name in self._alive:
             self._alive.discard(name)
             self.events.append(("dead", name))
+            if self.recorder.enabled:
+                self.recorder.event("membership", change="dead", member=name)
 
     def mark_alive(self, name: str) -> None:
         """Re-admit a member (restart support)."""
@@ -75,6 +84,8 @@ class MembershipRing:
         if name not in self._alive:
             self._alive.add(name)
             self.events.append(("alive", name))
+            if self.recorder.enabled:
+                self.recorder.event("membership", change="alive", member=name)
 
 
 class HeartbeatProtocol:

@@ -26,6 +26,7 @@ from repro.core.problem import ReplicaSelectionProblem
 from repro.edr.messages import MsgKind, Ports
 from repro.errors import ValidationError
 from repro.net.transport import Network
+from repro.obs import NULL_RECORDER
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
@@ -147,6 +148,10 @@ class DistributedSolveSession:
         :mod:`repro.core.warmstart`.
     mu0: optional warm-start LDDM multipliers (one per solved row;
         ignored by CDPSM).
+    recorder: optional :class:`~repro.obs.Recorder`; threaded into the
+        underlying solver (per-iteration events) and given one
+        ``session.solve`` event per run with the simulated-time duration
+        and the session's exact message/byte totals.
     solver_kwargs: forwarded to the underlying solver.
 
     After :meth:`run` finishes, ``converged`` reports whether the solver's
@@ -166,6 +171,7 @@ class DistributedSolveSession:
                  aggregation: AggregatedProblem | None = None,
                  initial: np.ndarray | None = None,
                  mu0: np.ndarray | None = None,
+                 recorder=None,
                  **solver_kwargs) -> None:
         if algorithm not in ("lddm", "cdpsm"):
             raise ValidationError(f"unknown algorithm {algorithm!r}")
@@ -188,7 +194,9 @@ class DistributedSolveSession:
         self.algorithm = algorithm
         self.nodes = nodes or {}
         self.timing = timing or SolveTimingModel()
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         solver_kwargs.setdefault("batched", batched)
+        solver_kwargs.setdefault("recorder", self.recorder)
         if algorithm == "lddm":
             self.solver = LddmSolver(self._solve_problem,
                                      track_objective=False, **solver_kwargs)
@@ -273,4 +281,17 @@ class DistributedSolveSession:
         self.solver_allocation = self._solve_problem.repair(candidate)
         self._allocation = None
         self.duration = self.sim.now - start
+        rec = self.recorder
+        if rec.enabled:
+            C, N = self.problem.data.shape
+            round_mb = sum(s[4] for s in self.comm_plan.sends)
+            rec.event(
+                "session.solve", algorithm=self.algorithm, rows=rows,
+                n_clients=C, n_replicas=N, iterations=self.iterations,
+                converged=self.converged, sim_start=start,
+                sim_duration=self.duration,
+                messages=self.iterations * len(self.comm_plan.sends),
+                mb=self.iterations * round_mb,
+                msgs_per_round=len(self.comm_plan.sends),
+                mb_per_round=round_mb)
         return self.solver_allocation

@@ -54,6 +54,7 @@ from repro.net.faults import FaultInjector
 from repro.net.flows import FlowManager
 from repro.net.topology import Topology
 from repro.net.transport import Network
+from repro.obs import NULL_RECORDER
 from repro.sim.engine import Simulator
 from repro.workload.requests import RequestTrace
 
@@ -129,6 +130,12 @@ class RuntimeConfig:
     #: (normalized internally).  A static, oblivious scheduler — used by
     #: the planning-model validation experiment and as an extra baseline.
     weights: Sequence[float] | None = None
+    #: Optional :class:`~repro.obs.Recorder` threaded through the whole
+    #: runtime — transport counters, membership events, per-batch solve
+    #: events, warm-start hit/miss counters.  ``None`` (default) uses the
+    #: shared no-op recorder; tracing requires serial (``jobs=1``)
+    #: sweeps, since events captured in worker processes are lost.
+    recorder: "object | None" = None
     horizon: float = 100000.0        # safety cap on simulated seconds
 
     def __post_init__(self) -> None:
@@ -177,6 +184,8 @@ class EDRSystem:
                  topology: Topology | None = None) -> None:
         self.config = config or RuntimeConfig()
         cfg = self.config
+        self.recorder = cfg.recorder if cfg.recorder is not None \
+            else NULL_RECORDER
         self.trace = trace
         n_rep = n_replicas if n_replicas is not None else len(cfg.prices)
         if len(cfg.prices) != n_rep:
@@ -202,7 +211,8 @@ class EDRSystem:
                                    np.full(len(self.client_names),
                                            float(cfg.bandwidth))])
             self.topology = Topology(all_nodes, lat, caps)
-        self.network = Network(self.sim, self.topology)
+        self.network = Network(self.sim, self.topology,
+                               recorder=self.recorder)
         self.flows = FlowManager(self.sim, self.topology,
                                  crashed=self.network.is_crashed)
         self.faults = FaultInjector(self.sim, self.network, self.flows,
@@ -222,7 +232,8 @@ class EDRSystem:
                 price_cents_per_kwh=float(cfg.prices[i]), index=i))
 
         # -- membership --------------------------------------------------------
-        self.ring = MembershipRing(list(self.replica_names))
+        self.ring = MembershipRing(list(self.replica_names),
+                                   recorder=self.recorder)
         self.heartbeats = None
         if cfg.heartbeats:
             self.heartbeats = HeartbeatProtocol(
@@ -487,6 +498,8 @@ class EDRSystem:
                 if tuple(live) != self._warm_live:
                     # Membership changed (death or rejoin): every cached
                     # allocation is stale — flush and cold start.
+                    if len(self._warm_cache) and self.recorder.enabled:
+                        self.recorder.count("warmstart.invalidation")
                     self._warm_cache.invalidate()
                     self._warm_budget.reset()
                     self._warm_live = tuple(live)
@@ -503,7 +516,8 @@ class EDRSystem:
             session = DistributedSolveSession(
                 self.sim, self.network, problem, live, clients,
                 cfg.algorithm, nodes=self.nodes, timing=cfg.timing,
-                aggregation=agg, initial=initial, mu0=mu0, **kwargs)
+                aggregation=agg, initial=initial, mu0=mu0,
+                recorder=self.recorder, **kwargs)
             yield from session.run()
             self._solve_time_total += session.duration
             self._solve_iterations += session.iterations
@@ -511,6 +525,17 @@ class EDRSystem:
                 self._warm_solves += 1
             else:
                 self._cold_solves += 1
+            rec = self.recorder
+            if rec.enabled:
+                rec.count("warmstart.hit" if warm else "warmstart.miss")
+                rec.event(
+                    "runtime.batch", sim_time=self.sim.now,
+                    algorithm=cfg.algorithm, n_requests=len(chunk),
+                    n_clients=len(clients),
+                    n_classes=None if agg is None else agg.n_classes,
+                    iterations=session.iterations,
+                    converged=session.converged, warm_started=warm,
+                    solve_sim_s=session.duration)
             if cfg.warm_start:
                 self._warm_budget.observe(
                     session.iterations, int(kwargs["max_iter"]),
@@ -526,6 +551,8 @@ class EDRSystem:
             assignments = self._shares_per_request(
                 chunk, clients, demands, session.allocation, live)
         self._batches_solved += 1
+        if self.recorder.enabled:
+            self.recorder.count("runtime.batches")
         lead_server = self.servers[self.lead()]
         per_client: dict[str, dict] = {}
         for uid, entry in assignments.items():

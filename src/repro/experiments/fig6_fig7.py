@@ -10,6 +10,7 @@ relative to Round-Robin's price-blind spread.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
@@ -21,10 +22,13 @@ from repro.metrics.report import ExperimentResult, compare_table
 __all__ = ["PerReplicaCostResult", "run"]
 
 
-def _run_algo(item: tuple) -> ExperimentResult:
+def _run_algo(item: tuple, recorder=None) -> ExperimentResult:
     # Module-level so it pickles into ProcessPoolExecutor workers.
     scenario, algo = item
-    return run_runtime(scenario, algo)
+    if recorder is not None and recorder.enabled:
+        recorder.event("experiment.point", figure=scenario.app.name,
+                       algorithm=algo)
+    return run_runtime(scenario, algo, recorder=recorder)
 
 
 @dataclass
@@ -62,15 +66,21 @@ class PerReplicaCostResult:
 
 
 def run(scenario: Scenario | None = None, app: str = "video",
-        jobs: int = 1) -> PerReplicaCostResult:
+        jobs: int = 1, recorder=None) -> PerReplicaCostResult:
     """Run Fig. 6 (``app="video"``) or Fig. 7 (``app="dfs"``).
 
     The three schedulers are independent runs over the same trace seed,
-    so ``jobs > 1`` executes them in parallel processes.
+    so ``jobs > 1`` executes them in parallel processes.  An enabled
+    ``recorder`` forces serial execution — events captured inside worker
+    processes would be lost.
     """
     if scenario is None:
         scenario = PAPER_VIDEO if app == "video" else PAPER_DFS
-    outs = parallel_map(_run_algo, [(scenario, a) for a in ALGORITHMS],
+    algo_fn = _run_algo
+    if recorder is not None and getattr(recorder, "enabled", False):
+        jobs = 1
+        algo_fn = partial(_run_algo, recorder=recorder)
+    outs = parallel_map(algo_fn, [(scenario, a) for a in ALGORITHMS],
                         jobs=jobs)
     results = dict(zip(ALGORITHMS, outs))
     return PerReplicaCostResult(scenario=scenario, results=results)

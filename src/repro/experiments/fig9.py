@@ -18,7 +18,7 @@ matrices are no longer the bottleneck that matters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from time import perf_counter
+from functools import partial
 
 import numpy as np
 
@@ -89,24 +89,29 @@ def _scenario(count: int, max_clients: int = 24) -> Scenario:
                     arrival_rate=count * 50.0)
 
 
-def run_point(point: int | tuple) -> dict:
+def run_point(point: int | tuple, recorder=None) -> dict:
     """One sweep point: both systems at one request count.
 
     Module-level and driven entirely by its argument — a count, or a
     ``(count, warm_start[, aggregate[, max_clients]])`` tuple — so it
     pickles cleanly into worker processes and gives bit-identical results
     at any ``--jobs`` level (every random draw derives from the
-    scenario's fixed seed).
+    scenario's fixed seed).  ``recorder`` threads a
+    :class:`~repro.obs.Recorder` through the EDR runtime (serial sweeps
+    only — events captured in worker processes would be lost).
     """
     count, warm, aggregate, max_clients = \
         ((point, True, True, 24) if isinstance(point, int)
          else (tuple(point) + (True, True, 24))[:4])
     scenario = _scenario(int(count), max_clients=int(max_clients))
     trace = make_trace(scenario)
+    if recorder is not None and recorder.enabled:
+        recorder.event("experiment.point", figure="fig9",
+                       requests=int(count))
     edr = EDRSystem(trace, RuntimeConfig(
         algorithm="lddm", prices=_PRICES_3,
         batch_capacity_fraction=0.35, warm_start=warm,
-        aggregate=aggregate)).run(app="dfs")
+        aggregate=aggregate, recorder=recorder)).run(app="dfs")
     donar = DonarRuntime(trace, DonarRuntimeConfig(
         n_replicas=3, n_mapping_nodes=3)).run(app="dfs")
     return {
@@ -122,7 +127,7 @@ def run_point(point: int | tuple) -> dict:
 
 def run(request_counts=DEFAULT_REQUEST_COUNTS, jobs: int = 1,
         warm_start: bool = True, aggregate: bool = True,
-        max_clients: int = 24) -> Fig9Result:
+        max_clients: int = 24, recorder=None) -> Fig9Result:
     """Sweep the request count for both systems.
 
     ``jobs > 1`` spreads the (independent) sweep points over worker
@@ -130,13 +135,18 @@ def run(request_counts=DEFAULT_REQUEST_COUNTS, jobs: int = 1,
     for the warm-vs-cold regression and benchmarks; ``aggregate=False``
     disables the class-space solve; ``max_clients`` lifts the paper's
     24-client population cap so the sweep can grow the client count with
-    the request count.
+    the request count.  An enabled ``recorder`` forces ``jobs=1`` —
+    events captured inside worker processes would be lost.
     """
     counts = [int(c) for c in request_counts]
     if not counts or min(counts) < 1:
         raise ValidationError("request_counts must be positive")
+    point_fn = run_point
+    if recorder is not None and getattr(recorder, "enabled", False):
+        jobs = 1
+        point_fn = partial(run_point, recorder=recorder)
     points = parallel_map(
-        run_point,
+        point_fn,
         [(c, warm_start, aggregate, int(max_clients)) for c in counts],
         jobs=jobs)
     return Fig9Result(
@@ -234,22 +244,19 @@ def run_scaling_point(point: int | tuple) -> dict:
         ((point, True, 2013) if isinstance(point, int)
          else (tuple(point) + (True, 2013))[:3])
     problem = scaling_problem(int(count), seed=int(seed))
-    t0 = perf_counter()
     agg_sol = solve_lddm(problem, aggregate=True, **_RUNTIME_LDDM_KWARGS)
-    agg_s = perf_counter() - t0
     out = {
         "count": int(count),
-        "n_classes": problem.aggregated().n_classes,
-        "agg_s": agg_s,
+        "n_classes": agg_sol.n_classes,
+        "agg_s": agg_sol.solve_time_s,
         "agg_objective": agg_sol.objective,
         "agg_iterations": agg_sol.iterations,
         "direct_s": None, "direct_objective": None,
         "direct_iterations": None,
     }
     if time_direct:
-        t0 = perf_counter()
         direct_sol = solve_lddm(problem, **_RUNTIME_LDDM_KWARGS)
-        out["direct_s"] = perf_counter() - t0
+        out["direct_s"] = direct_sol.solve_time_s
         out["direct_objective"] = direct_sol.objective
         out["direct_iterations"] = direct_sol.iterations
     return out

@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments fig3 fig4 fig6
     python -m repro.experiments all --quick
     python -m repro.experiments headline --runs 10
+    python -m repro.experiments fig9 --counts 24 --trace out.jsonl
 """
 
 from __future__ import annotations
@@ -38,9 +39,16 @@ def _scaled(scenario, quick: bool):
     return scenario.scaled(0.5) if quick else scenario
 
 
-def run_one(name: str, args) -> str:
-    """Run one experiment by name; returns its rendered report."""
+def run_one(name: str, args, recorder=None) -> str:
+    """Run one experiment by name; returns its rendered report.
+
+    ``recorder`` (a :class:`repro.obs.TraceRecorder` from ``--trace``)
+    is threaded through the experiments that support runtime tracing
+    (fig6/fig7/fig9); the others run untraced.
+    """
     quick = args.quick
+    if recorder is not None and recorder.enabled:
+        recorder.event("experiment.figure", figure=name)
     if name in ("fig3", "fig4"):
         results = fig3_fig4.run(_scaled(PAPER_DFS, quick))
         key = "cdpsm" if name == "fig3" else "lddm"
@@ -49,16 +57,18 @@ def run_one(name: str, args) -> str:
         return fig5.run(max_iter=100 if quick else 300).render()
     if name == "fig6":
         return fig6_fig7.run(_scaled(PAPER_VIDEO, quick), app="video",
-                             jobs=args.jobs).render()
+                             jobs=args.jobs, recorder=recorder).render()
     if name == "fig7":
         return fig6_fig7.run(_scaled(PAPER_DFS, quick), app="dfs",
-                             jobs=args.jobs).render()
+                             jobs=args.jobs, recorder=recorder).render()
     if name == "fig8":
         return fig8.run(video=_scaled(PAPER_VIDEO, quick),
                         dfs=_scaled(PAPER_DFS, quick)).render()
     if name == "fig9":
-        counts = (24, 48, 96) if quick else fig9.DEFAULT_REQUEST_COUNTS
-        return fig9.run(request_counts=counts, jobs=args.jobs).render()
+        counts = tuple(args.counts) if getattr(args, "counts", None) \
+            else ((24, 48, 96) if quick else fig9.DEFAULT_REQUEST_COUNTS)
+        return fig9.run(request_counts=counts, jobs=args.jobs,
+                        recorder=recorder).render()
     if name == "headline":
         runs = args.runs if args.runs else (6 if quick else 40)
         return headline_mod.run(n_runs=runs).render()
@@ -94,16 +104,34 @@ def main(argv=None) -> int:
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for sweep points "
                              "(1 = serial; results are identical)")
+    parser.add_argument("--counts", type=int, nargs="+", default=None,
+                        help="override fig9's request-count sweep points")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="capture a runtime telemetry trace "
+                             "(repro.obs) and write it as JSONL; forces "
+                             "serial sweeps for traced experiments")
     args = parser.parse_args(argv)
     names = list(args.experiments)
     if names == ["all"]:
         names = list(_ALL)
+    recorder = None
+    if args.trace:
+        from repro.obs import TraceRecorder
+        recorder = TraceRecorder()
     for name in names:
         t0 = time.time()
-        report = run_one(name, args)
+        report = run_one(name, args, recorder=recorder)
         elapsed = time.time() - t0
         print(f"\n=== {name} ({elapsed:.1f}s) " + "=" * 40)
         print(report)
+    if recorder is not None:
+        from repro.obs import summary, to_jsonl
+        lines = to_jsonl(recorder, args.trace)
+        print(f"\ntrace: {lines} records -> {args.trace}")
+        s = summary(recorder)
+        for section in ("sessions", "net", "warm_start", "aggregation"):
+            if section in s:
+                print(f"  {section}: {s[section]}")
     return 0
 
 

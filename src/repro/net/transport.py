@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Iterable
 from repro.errors import ValidationError
 from repro.net.message import Message
 from repro.net.topology import Topology
+from repro.obs import NULL_RECORDER
 from repro.sim.events import Event
 from repro.sim.resources import Store
 
@@ -63,11 +64,16 @@ class Network:
 
     Statistics (message and byte counters, per node and total) feed the
     communication-complexity comparisons between CDPSM, LDDM and DONAR.
+    An optional ``recorder`` (:mod:`repro.obs`) additionally aggregates
+    per-message-kind counters (``net.messages`` / ``net.mb``) so traces
+    can split solver coordination from heartbeats and data-plane control.
     """
 
-    def __init__(self, sim: "Simulator", topology: Topology) -> None:
+    def __init__(self, sim: "Simulator", topology: Topology,
+                 recorder=None) -> None:
         self.sim = sim
         self.topology = topology
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self._mailboxes: dict[tuple[str, str], Store] = {}
         self._crashed: set[str] = set()
         self._cut: set[tuple[str, str]] = set()
@@ -140,6 +146,10 @@ class Network:
         self.messages_sent += 1
         self.mb_sent += msg.size
         self.sent_by_node[msg.src] = self.sent_by_node.get(msg.src, 0) + 1
+        rec = self.recorder
+        if rec.enabled:
+            rec.count("net.messages", kind=msg.kind)
+            rec.count("net.mb", msg.size, kind=msg.kind)
         if msg.src in self._crashed:
             return  # sender is dead: message never leaves
         if (msg.src, msg.dst) in self._cut:

@@ -1,0 +1,54 @@
+"""Runtime telemetry: typed event recording for solvers and the runtime.
+
+Zero-dependency (stdlib only).  Every instrumented component takes a
+``recorder=`` that defaults to the shared :data:`NULL_RECORDER` — a
+no-op whose per-call cost is one attribute check, so the hot paths pay
+nothing when tracing is off.  :class:`TraceRecorder` captures typed
+events (per-iteration solver samples, solve sessions, runtime batches,
+membership changes), aggregated counters (message/byte counts,
+warm-start hits/misses), and timing spans; exporters render the capture
+as JSONL, Prometheus text, or a summary dict.
+
+Quick start::
+
+    from repro.obs import TraceRecorder, summary, to_jsonl
+
+    rec = TraceRecorder()
+    solution = solve(problem, recorder=rec)
+    to_jsonl(rec, "trace.jsonl")
+    print(summary(rec)["solves"])
+"""
+
+from repro.obs.events import (
+    COUNTER_NAMES,
+    EVENT_SCHEMAS,
+    validate_record,
+)
+from repro.obs.export import (
+    from_jsonl,
+    iter_records,
+    summary,
+    to_jsonl,
+    to_prometheus_text,
+)
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    TraceRecorder,
+)
+
+__all__ = [
+    "Recorder",
+    "NullRecorder",
+    "TraceRecorder",
+    "NULL_RECORDER",
+    "COUNTER_NAMES",
+    "EVENT_SCHEMAS",
+    "validate_record",
+    "iter_records",
+    "to_jsonl",
+    "from_jsonl",
+    "to_prometheus_text",
+    "summary",
+]

@@ -1,0 +1,184 @@
+"""Exporters: JSONL, Prometheus text exposition, and a summary dict."""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO, Iterator, Union
+
+from repro.obs.events import validate_record
+from repro.obs.recorder import TraceRecorder
+
+__all__ = ["iter_records", "to_jsonl", "from_jsonl", "to_prometheus_text",
+           "summary"]
+
+
+def _json_default(value):
+    """Serialize numpy scalars (and anything else stringifiable)."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    return str(value)
+
+
+def iter_records(recorder: TraceRecorder) -> Iterator[dict]:
+    """All of a recorder's records: captures first, then counter totals.
+
+    Counters aggregate in place during recording, so they are
+    materialized here — one ``{"kind": "counter", "name", "value",
+    "labels": {...}}`` record per series, in sorted order for
+    determinism.  Labels stay nested: a label called ``kind`` (the
+    transport's per-message-kind series) must not clobber the record
+    kind.
+    """
+    yield from recorder.records
+    for (name, labels) in sorted(recorder.counters):
+        record = {"kind": "counter", "name": name,
+                  "value": recorder.counters[(name, labels)]}
+        if labels:
+            record["labels"] = dict(labels)
+        yield record
+
+
+def to_jsonl(recorder: TraceRecorder,
+             target: Union[str, os.PathLike, IO[str]]) -> int:
+    """Write every record plus a trailing summary line; returns the count.
+
+    ``target`` is a path (opened for writing) or an open text file.  One
+    JSON object per line; the last line is ``{"kind": "summary", ...}``
+    (see :func:`summary`).
+    """
+    def _write(fh: IO[str]) -> int:
+        n = 0
+        for record in iter_records(recorder):
+            fh.write(json.dumps(record, default=_json_default) + "\n")
+            n += 1
+        fh.write(json.dumps({"kind": "summary", **summary(recorder)},
+                            default=_json_default) + "\n")
+        return n + 1
+
+    if hasattr(target, "write"):
+        return _write(target)
+    with open(target, "w", encoding="utf-8") as fh:
+        return _write(fh)
+
+
+def from_jsonl(source: Union[str, os.PathLike, IO[str]]) -> list[dict]:
+    """Parse a trace back into records, validating each line's schema."""
+    def _read(fh: IO[str]) -> list[dict]:
+        records = []
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            validate_record(record)
+            records.append(record)
+        return records
+
+    if hasattr(source, "read"):
+        return _read(source)
+    with open(source, "r", encoding="utf-8") as fh:
+        return _read(fh)
+
+
+def _metric_name(name: str) -> str:
+    """Dotted internal name -> Prometheus-legal metric name."""
+    cleaned = "".join(ch if ch.isalnum() or ch == "_" else "_"
+                      for ch in name)
+    return f"repro_{cleaned}"
+
+
+def _label_text(labels: tuple) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+def to_prometheus_text(recorder: TraceRecorder) -> str:
+    """Counters (and event counts) in Prometheus text exposition format."""
+    lines: list[str] = []
+    by_name: dict[str, list[tuple[tuple, float]]] = {}
+    for (name, labels), value in recorder.counters.items():
+        by_name.setdefault(name, []).append((labels, value))
+    for name in sorted(by_name):
+        metric = _metric_name(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        for labels, value in sorted(by_name[name]):
+            lines.append(f"{metric}{_label_text(labels)} {value:g}")
+    event_counts: dict[str, int] = {}
+    for record in recorder.records:
+        if record["kind"] == "event":
+            event_counts[record["name"]] = \
+                event_counts.get(record["name"], 0) + 1
+    if event_counts:
+        lines.append("# TYPE repro_events_total counter")
+        for name in sorted(event_counts):
+            lines.append(f'repro_events_total{{name="{name}"}} '
+                         f"{event_counts[name]}")
+    return "\n".join(lines) + "\n"
+
+
+def summary(recorder: TraceRecorder) -> dict:
+    """Aggregate view of one capture (what ``--trace`` prints).
+
+    Keys:
+
+    - ``counters``: flattened ``name{label=value}`` -> total
+    - ``events``: event name -> occurrence count
+    - ``solves``: in-process solver runs (count, iterations, converged)
+    - ``sessions``: distributed solve sessions (count, iterations,
+      simulated seconds, exact message/byte totals)
+    - ``warm_start``: hits, misses, hit_rate, invalidations
+    - ``net``: transport-level message/MB totals
+    - ``aggregation``: class counts seen by runtime batches (min/max)
+    """
+    counters: dict[str, float] = {}
+    for (name, labels) in sorted(recorder.counters):
+        key = name + _label_text(labels)
+        counters[key] = recorder.counters[(name, labels)]
+    events: dict[str, int] = {}
+    for record in recorder.records:
+        if record["kind"] == "event":
+            events[record["name"]] = events.get(record["name"], 0) + 1
+
+    solves = recorder.events_named("solver.solve")
+    sessions = recorder.events_named("session.solve")
+    batches = recorder.events_named("runtime.batch")
+    hits = recorder.counter_total("warmstart.hit")
+    misses = recorder.counter_total("warmstart.miss")
+    classes = [b["n_classes"] for b in batches
+               if b.get("n_classes") is not None]
+    out = {
+        "counters": counters,
+        "events": dict(sorted(events.items())),
+        "solves": {
+            "count": len(solves),
+            "iterations": int(sum(s["iterations"] for s in solves)),
+            "converged": int(sum(bool(s["converged"]) for s in solves)),
+        },
+        "sessions": {
+            "count": len(sessions),
+            "iterations": int(sum(s["iterations"] for s in sessions)),
+            "sim_s": float(sum(s["sim_duration"] for s in sessions)),
+            "messages": int(sum(s["messages"] for s in sessions)),
+            "mb": float(sum(s["mb"] for s in sessions)),
+        },
+        "warm_start": {
+            "hits": int(hits),
+            "misses": int(misses),
+            "hit_rate": (hits / (hits + misses)) if hits + misses else None,
+            "invalidations":
+                int(recorder.counter_total("warmstart.invalidation")),
+        },
+        "net": {
+            "messages": int(recorder.counter_total("net.messages")),
+            "mb": float(recorder.counter_total("net.mb")),
+        },
+    }
+    if classes:
+        out["aggregation"] = {"min_classes": int(min(classes)),
+                              "max_classes": int(max(classes)),
+                              "batches": len(classes)}
+    return out

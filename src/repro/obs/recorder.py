@@ -1,0 +1,160 @@
+"""Recorder protocol, the no-op default, and the in-memory tracer."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Protocol, runtime_checkable
+
+__all__ = ["Recorder", "NullRecorder", "TraceRecorder", "NULL_RECORDER"]
+
+
+@runtime_checkable
+class Recorder(Protocol):
+    """What instrumented components require of a ``recorder=``.
+
+    Hot loops gate their recording on :attr:`enabled` so the disabled
+    path costs one attribute check — never a dict or string build::
+
+        rec = self.recorder
+        ...
+        if rec.enabled:
+            rec.event("lddm.iteration", k=k, residual=res, ...)
+    """
+
+    #: False on the no-op recorder; instrumentation skips work when unset.
+    enabled: bool
+
+    def count(self, name: str, value: float = 1.0, **labels) -> None:
+        """Increment the aggregated counter ``name`` (labels form series)."""
+        ...
+
+    def sample(self, name: str, value: float, **labels) -> None:
+        """Record one point-in-time measurement."""
+        ...
+
+    def event(self, name: str, **fields) -> None:
+        """Record one typed discrete event (see :mod:`repro.obs.events`)."""
+        ...
+
+    def span(self, name: str, **labels):
+        """Context manager timing a block; records a ``span`` on exit."""
+        ...
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """The default recorder: records nothing, costs (almost) nothing."""
+
+    __slots__ = ()
+    enabled = False
+
+    def count(self, name: str, value: float = 1.0, **labels) -> None:
+        pass
+
+    def sample(self, name: str, value: float, **labels) -> None:
+        pass
+
+    def event(self, name: str, **fields) -> None:
+        pass
+
+    def span(self, name: str, **labels) -> _NullSpan:
+        return _NULL_SPAN
+
+
+#: Shared no-op instance — components normalize ``recorder=None`` to this.
+NULL_RECORDER = NullRecorder()
+
+
+class _TraceSpan:
+    __slots__ = ("_recorder", "_name", "_labels", "_start")
+
+    def __init__(self, recorder: "TraceRecorder", name: str,
+                 labels: dict) -> None:
+        self._recorder = recorder
+        self._name = name
+        self._labels = labels
+        self._start = 0.0
+
+    def __enter__(self) -> "_TraceSpan":
+        self._start = self._recorder._now()
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        rec = self._recorder
+        rec.records.append({
+            "kind": "span", "t": self._start, "name": self._name,
+            "duration": rec._now() - self._start, **self._labels})
+        return False
+
+
+class TraceRecorder:
+    """In-memory capture of typed events, samples, spans, and counters.
+
+    Timestamps are seconds since construction on ``clock`` (default
+    ``time.perf_counter``; monotonic, so orderings survive system clock
+    jumps).  Simulated-time instrumentation additionally carries explicit
+    ``sim_time``/``sim_start`` fields — the recorder itself never reads
+    the simulation clock.
+
+    Counters aggregate in place (one cell per ``(name, labels)`` series)
+    rather than appending a record per increment, so per-message counting
+    in the transport stays cheap.  Everything else appends one flat dict
+    to :attr:`records`, ready for :func:`repro.obs.export.to_jsonl`.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._t0 = clock()
+        #: Timestamped records, in capture order.
+        self.records: list[dict] = []
+        #: ``(name, sorted labels tuple) -> running total``.
+        self.counters: dict[tuple, float] = {}
+
+    def _now(self) -> float:
+        return self._clock() - self._t0
+
+    # -- Recorder protocol ---------------------------------------------------
+    def count(self, name: str, value: float = 1.0, **labels) -> None:
+        key = (name, tuple(sorted(labels.items())))
+        self.counters[key] = self.counters.get(key, 0.0) + value
+
+    def sample(self, name: str, value: float, **labels) -> None:
+        self.records.append({"kind": "sample", "t": self._now(),
+                             "name": name, "value": float(value), **labels})
+
+    def event(self, name: str, **fields) -> None:
+        self.records.append({"kind": "event", "t": self._now(),
+                             "name": name, **fields})
+
+    def span(self, name: str, **labels) -> _TraceSpan:
+        return _TraceSpan(self, name, labels)
+
+    # -- views ---------------------------------------------------------------
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter across all label series."""
+        return sum(v for (n, _labels), v in self.counters.items()
+                   if n == name)
+
+    def counter_series(self, name: str) -> dict[tuple, float]:
+        """``labels tuple -> value`` for one counter name."""
+        return {labels: v for (n, labels), v in self.counters.items()
+                if n == name}
+
+    def events_named(self, name: str) -> list[dict]:
+        """All ``event`` records with the given name, in capture order."""
+        return [r for r in self.records
+                if r["kind"] == "event" and r["name"] == name]

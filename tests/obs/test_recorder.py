@@ -1,0 +1,216 @@
+"""Recorder protocol, trace capture, and exporter round-trips."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    TraceRecorder,
+    from_jsonl,
+    iter_records,
+    summary,
+    to_jsonl,
+    to_prometheus_text,
+    validate_record,
+)
+
+
+class FakeClock:
+    """Deterministic clock: advances one second per call."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        t, self.t = self.t, self.t + 1.0
+        return t
+
+
+class TestNullRecorder:
+    def test_satisfies_protocol(self):
+        assert isinstance(NullRecorder(), Recorder)
+        assert isinstance(TraceRecorder(), Recorder)
+
+    def test_disabled(self):
+        assert NULL_RECORDER.enabled is False
+
+    def test_all_operations_are_noops(self):
+        rec = NullRecorder()
+        rec.count("net.messages")
+        rec.count("net.mb", 0.5, kind="X")
+        rec.sample("solver.objective", 1.0, k=0)
+        rec.event("membership", change="dead", member="r1")
+        with rec.span("solve", algo="lddm"):
+            pass
+        # Nothing to flush: the null recorder holds no state at all.
+        assert not hasattr(rec, "records")
+
+    def test_span_is_reentrant(self):
+        rec = NullRecorder()
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+
+
+class TestTraceRecorder:
+    def test_event_capture_order_and_timestamps(self):
+        rec = TraceRecorder(clock=FakeClock())
+        rec.event("membership", change="dead", member="r2")
+        rec.sample("solver.objective", 42.0, k=3)
+        assert [r["kind"] for r in rec.records] == ["event", "sample"]
+        assert rec.records[0]["t"] == 1.0  # one tick after construction
+        assert rec.records[1] == {"kind": "sample", "t": 2.0,
+                                  "name": "solver.objective",
+                                  "value": 42.0, "k": 3}
+
+    def test_counters_aggregate_per_label_series(self):
+        rec = TraceRecorder()
+        rec.count("net.messages", kind="HEARTBEAT")
+        rec.count("net.messages", kind="HEARTBEAT")
+        rec.count("net.messages", kind="SOLVE_SYNC")
+        rec.count("net.mb", 0.25, kind="SOLVE_SYNC")
+        assert rec.records == []  # counters never append records
+        assert rec.counter_total("net.messages") == 3
+        assert rec.counter_series("net.messages") == {
+            (("kind", "HEARTBEAT"),): 2.0,
+            (("kind", "SOLVE_SYNC"),): 1.0}
+        assert rec.counter_total("net.mb") == pytest.approx(0.25)
+
+    def test_span_records_duration(self):
+        rec = TraceRecorder(clock=FakeClock())
+        with rec.span("solve", algo="lddm"):
+            pass
+        (span,) = rec.records
+        assert span["kind"] == "span"
+        assert span["name"] == "solve"
+        assert span["algo"] == "lddm"
+        assert span["duration"] == 1.0
+
+    def test_events_named(self):
+        rec = TraceRecorder()
+        rec.event("membership", change="dead", member="a")
+        rec.event("experiment.figure", figure="fig9")
+        rec.event("membership", change="alive", member="a")
+        assert [e["change"] for e in rec.events_named("membership")] \
+            == ["dead", "alive"]
+
+
+def populated_recorder() -> TraceRecorder:
+    """A recorder holding one record of every kind/schema family."""
+    rec = TraceRecorder(clock=FakeClock())
+    rec.event("lddm.iteration", k=0, residual=1.5, step=0.1, mu_max=2.0)
+    rec.event("cdpsm.iteration", k=0, change=0.3, step=0.05)
+    rec.event("solver.solve", method="lddm", iterations=10, converged=True,
+              objective=123.4, solve_time_s=0.01, warm_started=False)
+    rec.event("session.solve", algorithm="lddm", rows=4, n_clients=4,
+              n_replicas=3, iterations=7, converged=True, sim_start=0.0,
+              sim_duration=0.2, messages=126, mb=0.001,
+              msgs_per_round=18, mb_per_round=0.0001)
+    rec.event("runtime.batch", sim_time=0.1, algorithm="lddm",
+              n_requests=8, n_clients=4, n_classes=2, iterations=7,
+              converged=True, warm_started=True, solve_sim_s=0.2)
+    rec.event("membership", change="dead", member="replica2")
+    rec.event("experiment.figure", figure="fig9")
+    rec.sample("solver.objective", 123.4, k=9)
+    with rec.span("batch", algo="lddm"):
+        pass
+    rec.count("net.messages", kind="HEARTBEAT")
+    rec.count("net.mb", 0.5, kind="HEARTBEAT")
+    rec.count("warmstart.hit")
+    rec.count("warmstart.miss")
+    rec.count("runtime.batches")
+    return rec
+
+
+class TestExportRoundTrip:
+    def test_every_record_validates(self):
+        for record in iter_records(populated_recorder()):
+            validate_record(record)
+
+    def test_jsonl_round_trip(self, tmp_path):
+        rec = populated_recorder()
+        path = tmp_path / "trace.jsonl"
+        n = to_jsonl(rec, path)
+        lines = path.read_text().strip().split("\n")
+        assert len(lines) == n
+        records = from_jsonl(path)  # validates every line
+        assert len(records) == n
+        # records + 5 counter series + trailing summary
+        assert n == len(rec.records) + 5 + 1
+        assert records[-1]["kind"] == "summary"
+
+    def test_jsonl_accepts_file_handles(self):
+        rec = populated_recorder()
+        buf = io.StringIO()
+        n = to_jsonl(rec, buf)
+        buf.seek(0)
+        assert len(from_jsonl(buf)) == n
+
+    def test_summary_survives_round_trip(self, tmp_path):
+        rec = populated_recorder()
+        path = tmp_path / "trace.jsonl"
+        to_jsonl(rec, path)
+        tail = json.loads(path.read_text().strip().split("\n")[-1])
+        s = summary(rec)
+        assert tail["solves"] == s["solves"]
+        assert tail["sessions"] == s["sessions"]
+        assert tail["warm_start"] == s["warm_start"]
+        assert tail["net"] == s["net"]
+
+    def test_summary_contents(self):
+        s = summary(populated_recorder())
+        assert s["solves"] == {"count": 1, "iterations": 10, "converged": 1}
+        assert s["sessions"]["messages"] == 126
+        assert s["warm_start"]["hits"] == 1
+        assert s["warm_start"]["hit_rate"] == pytest.approx(0.5)
+        assert s["net"] == {"messages": 1, "mb": 0.5}
+        assert s["aggregation"] == {"min_classes": 2, "max_classes": 2,
+                                    "batches": 1}
+        assert s["events"]["membership"] == 1
+
+    def test_prometheus_text(self):
+        text = to_prometheus_text(populated_recorder())
+        assert '# TYPE repro_net_messages_total counter' in text
+        assert 'repro_net_messages_total{kind="HEARTBEAT"} 1' in text
+        assert 'repro_warmstart_hit_total 1' in text
+        assert 'repro_events_total{name="membership"} 1' in text
+        assert text.endswith("\n")
+
+
+class TestValidateRecord:
+    def test_rejects_non_dict(self):
+        with pytest.raises(ValueError):
+            validate_record(["not", "a", "dict"])
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            validate_record({"kind": "trace", "name": "x", "t": 0.0})
+
+    def test_rejects_missing_name(self):
+        with pytest.raises(ValueError, match="name"):
+            validate_record({"kind": "event", "t": 0.0})
+
+    def test_rejects_missing_timestamp(self):
+        with pytest.raises(ValueError, match="t"):
+            validate_record({"kind": "event", "name": "membership",
+                             "change": "dead", "member": "x"})
+
+    def test_rejects_missing_schema_fields(self):
+        with pytest.raises(ValueError, match="missing fields"):
+            validate_record({"kind": "event", "t": 0.0,
+                             "name": "lddm.iteration", "k": 3})
+
+    def test_rejects_counter_without_value(self):
+        with pytest.raises(ValueError, match="value"):
+            validate_record({"kind": "counter", "name": "net.messages"})
+
+    def test_rejects_span_without_duration(self):
+        with pytest.raises(ValueError, match="duration"):
+            validate_record({"kind": "span", "name": "x", "t": 0.0})
+
+    def test_unknown_event_names_allowed(self):
+        validate_record({"kind": "event", "t": 0.0, "name": "custom.thing"})
