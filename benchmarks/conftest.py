@@ -66,13 +66,19 @@ def fig9_trajectory():
     """Appends one summary record per fig9 bench run to ``BENCH_fig9.json``.
 
     The top-level trajectory file holds only the headline numbers —
-    everything else stays in the detailed ledger.
+    everything else stays in the detailed ledger.  List-of-float fields
+    (e.g. the incremental bench's per-event-latency series) are rounded
+    so the trajectory file stays compact and diffable.
     """
     rev = _git_rev()
 
     def write(**fields) -> dict:
         record = {"git_rev": rev}
-        record.update({k: v for k, v in sorted(fields.items())})
+        for k, v in sorted(fields.items()):
+            if isinstance(v, list) and v and \
+                    all(isinstance(x, float) for x in v):
+                v = [round(x, 4) for x in v]
+            record[k] = v
         try:
             history = json.loads(FIG9_TRAJECTORY.read_text())
             if not isinstance(history, list):

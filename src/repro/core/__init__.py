@@ -58,6 +58,13 @@ from repro.core.warmstart import (
     project_warm_start,
     recover_mu,
 )
+from repro.core.incremental import (
+    ClientArrival,
+    ClientDeparture,
+    DemandChange,
+    EventResult,
+    IncrementalState,
+)
 
 __all__ = [
     "ProblemData",
@@ -96,4 +103,9 @@ __all__ = [
     "WarmStartEntry",
     "project_warm_start",
     "recover_mu",
+    "ClientArrival",
+    "ClientDeparture",
+    "DemandChange",
+    "EventResult",
+    "IncrementalState",
 ]

@@ -1,0 +1,560 @@
+"""Incremental delta-event re-solve: O(K*N) updates instead of batch solves.
+
+The warm-start layer (:mod:`repro.core.warmstart`) projects a *full*
+solve across batches; this module takes the temporal-correlation exploit
+one step further for the event granularity the ROADMAP targets — a
+single client arriving, departing, or changing demand should cost
+microseconds to milliseconds, not a re-projected batch solve.  The same
+slowly-drifting-operating-point assumption grounds Adnan et al.'s
+dynamic deferral (arXiv:1204.2320) and Mathew et al.'s CDN energy
+balancing (arXiv:1109.5641): between events the converged allocation is
+*still optimal for every untouched row*, so only the affected
+eligibility class needs new work.
+
+:class:`IncrementalState` holds the converged class-space allocation
+``Q`` (one row per eligibility class, the representation
+:mod:`repro.core.aggregate` solves in), the column loads ``L = sum_k
+Q[k]``, and the recovered per-class multipliers.  An event maps to its
+class by the class's packed-mask token (the same tokens
+:attr:`~repro.core.aggregate.ClassStructure.keys` uses for warm-start
+cache rows), adjusts that class's demand, and re-solves *only that row*
+against the current column loads:
+
+    minimize  sum_n E_n(L_n^{-k} + p_n)
+    s.t.      sum_n p_n = D_k,  0 <= p_n <= B_n - L_n^{-k},  p on mask_k
+
+where ``L^{-k}`` are the loads with row k removed.  The row subproblem
+has the same KKT structure as the batched LDDM column subproblem in
+:mod:`repro.core.kernels` — at the optimum every loaded column sits at a
+common marginal-cost water level ``t`` — and is solved the same way:
+one-dimensional bisection on ``t`` (scalar Python against cost
+constants hoisted at construction — the eligible column count is single
+digits, so numpy dispatch dominated here — terminating on a demand-sum
+tolerance far inside the KKT bound), with the marginal evaluated *at
+the current operating loads* rather than from zero.  Because one row's move shifts
+the marginals other rows see, a few Gauss–Seidel sweeps over all K rows
+follow until the cross-row KKT residual (most expensive loaded column vs
+cheapest column with headroom, per class) is below tolerance — K is
+single digits in practice, so a full sweep costs O(K*N) with tiny
+constants.
+
+The state *monitors its own validity* and requests a full (warm) solve
+instead of silently degrading.  Fallback triggers:
+
+* **capacity** — a class's demand no longer fits the eligible headroom,
+  or refinement would need mass swaps through saturated columns;
+* **drift** — accumulated |demand delta| since the last full solve
+  exceeds ``drift_limit`` of the baseline total (the proxy for
+  accumulated objective gap);
+* **convergence** — the Gauss–Seidel sweeps did not reach the KKT
+  residual bound within the sweep budget.
+
+Membership changes and price rotations are detected by the runtime (the
+state is keyed to one (live replica set, price vector), exactly like a
+warm-start cache entry) and rebuild the state from the next full solve.
+
+Multipliers are recovered at the new operating point exactly as
+:func:`repro.core.warmstart.recover_mu` does — ``mu_k`` equals minus the
+cheapest eligible marginal at the current loads — so a fallback solve
+can warm-start from the incremental state's ``rows``/``mu``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.params import ProblemData
+from repro.core.subproblem import _BISECT_ITERS
+from repro.errors import ValidationError
+
+__all__ = ["ClientArrival", "ClientDeparture", "DemandChange",
+           "EventResult", "IncrementalState"]
+
+#: Relative share of a row below which an entry counts as unloaded when
+#: measuring the cross-row KKT residual.
+_ACTIVE_EPS = 1e-12
+
+
+# -- events -------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ClientArrival:
+    """A new client with ``demand`` and an eligibility row over replicas."""
+
+    client: str
+    demand: float
+    eligibility: np.ndarray    # (N,) bool
+
+
+@dataclass(frozen=True)
+class ClientDeparture:
+    """A registered client leaves; its demand drains from its class."""
+
+    client: str
+
+
+@dataclass(frozen=True)
+class DemandChange:
+    """A registered client's demand becomes ``demand`` (absolute)."""
+
+    client: str
+    demand: float
+
+
+@dataclass(frozen=True)
+class EventResult:
+    """Outcome of one :meth:`IncrementalState.apply_event` (or retarget).
+
+    ``ok`` is False when the state declined the update and a full warm
+    solve should run instead; ``reason`` then names the fallback trigger
+    (``"capacity"``, ``"drift"``, ``"convergence"``, or ``"stale"``).
+    ``events`` counts the class-demand changes applied, ``sweeps`` the
+    Gauss–Seidel refinement sweeps the update needed.
+    """
+
+    ok: bool
+    reason: str | None = None
+    events: int = 0
+    sweeps: int = 0
+
+
+class IncrementalState:
+    """Converged class-space allocation, updatable one event at a time."""
+
+    def __init__(self, data: ProblemData, tokens: Sequence[bytes],
+                 allocation: np.ndarray, *,
+                 clients: dict[str, tuple[bytes, float]] | None = None,
+                 drift_limit: float = 0.5, kkt_rtol: float = 1e-8,
+                 max_sweeps: int = 64) -> None:
+        """Build from a solved *class-space* instance.
+
+        ``data`` is the reduced (K-row) instance — one row per
+        eligibility class — and ``allocation`` its converged (K, N)
+        allocation; ``tokens`` are the classes' packed-mask byte tokens
+        in row order.  ``clients`` optionally pre-registers client ->
+        (token, demand) members so client-granular events can be applied
+        without a separate registration pass.
+        """
+        Q = np.asarray(allocation, dtype=float)
+        if Q.shape != data.shape:
+            raise ValidationError("allocation shape mismatch")
+        if len(tokens) != data.n_clients:
+            raise ValidationError("need one token per class row")
+        if len(set(tokens)) != len(tokens):
+            raise ValidationError("class tokens must be unique")
+        if drift_limit <= 0:
+            raise ValidationError("drift_limit must be positive")
+        if max_sweeps < 1:
+            raise ValidationError("max_sweeps must be >= 1")
+        self.B = data.B.copy()
+        self.u = data.u.copy()
+        self.alpha = data.alpha.copy()
+        self.beta = data.beta.copy()
+        self.gamma = data.gamma.copy()
+        self.masks = data.mask.copy()
+        self.D = data.R.copy()
+        self.Q = np.where(self.masks, np.maximum(Q, 0.0), 0.0)
+        self.tokens: list[bytes] = list(tokens)
+        self._index = {t: k for k, t in enumerate(self.tokens)}
+        self.loads = self.Q.sum(axis=0)
+        self._clients: dict[str, tuple[bytes, float]] = \
+            dict(clients) if clients else {}
+        self.drift_limit = float(drift_limit)
+        self.kkt_rtol = float(kkt_rtol)
+        self.max_sweeps = int(max_sweeps)
+        self._baseline_total = max(float(self.D.sum()), 1e-9)
+        self._drift = 0.0
+        self.stale = False
+        self.events_applied = 0
+        self.fallbacks = 0
+        self._hoist_cost_scalars()
+
+    def _hoist_cost_scalars(self) -> None:
+        """Python-float views of the per-replica cost constants.
+
+        The row subproblem's bisection runs in scalar Python (the
+        eligible column count is single digits, so numpy dispatch on
+        3-element temporaries dominated the loop); the cost constants
+        are fixed for the state's lifetime — a price rotation rebuilds
+        the whole state — so they are hoisted once here.
+        """
+        n = self.B.shape[0]
+        u, a, b, g = self.u, self.alpha, self.beta, self.gamma
+        self._uf = [float(u[j]) for j in range(n)]
+        self._af = [float(a[j]) for j in range(n)]
+        self._bgf = [float(b[j] * g[j]) for j in range(n)]
+        self._em1f = [float(g[j]) - 1.0 for j in range(n)]
+        # Constant-marginal columns (gamma == 1 or beta == 0) step from
+        # 0 to full headroom as t crosses their level.
+        self._constf = [bool(g[j] == 1.0 or b[j] == 0.0) for j in range(n)]
+        self._levelf = [
+            float(u[j] * (a[j] + (b[j] * g[j] if g[j] == 1.0 else 0.0)))
+            for j in range(n)]
+        self._expof = [1.0 / self._em1f[j] if self._em1f[j] > 0.0 else 1.0
+                       for j in range(n)]
+
+    # -- views ---------------------------------------------------------------
+    @property
+    def n_classes(self) -> int:
+        """K, the number of class rows currently tracked."""
+        return len(self.tokens)
+
+    @property
+    def n_replicas(self) -> int:
+        """N, the replica count the state is keyed to."""
+        return self.B.shape[0]
+
+    def row(self, token: bytes) -> np.ndarray:
+        """The current allocation row of class ``token`` (copy)."""
+        k = self._index.get(token)
+        if k is None:
+            raise ValidationError("unknown class token")
+        return self.Q[k].copy()
+
+    def rows_for(self, tokens: Sequence[bytes]) -> np.ndarray:
+        """Class rows for ``tokens`` stacked in the given order."""
+        return np.stack([self.row(t) for t in tokens]) \
+            if tokens else np.zeros((0, self.n_replicas))
+
+    def mu(self) -> np.ndarray:
+        """Per-class multipliers recovered at the current operating point.
+
+        Same convention as :func:`repro.core.warmstart.recover_mu`:
+        ``mu_k = -min`` eligible marginal at the current column loads.
+        """
+        marg = self._marginal(self.loads)
+        best = np.where(self.masks, marg[None, :], np.inf).min(
+            axis=1, initial=np.inf)
+        return np.where(np.isfinite(best), -best, 0.0)
+
+    def mu_for(self, tokens: Sequence[bytes]) -> np.ndarray:
+        """Recovered multipliers for ``tokens`` in the given order."""
+        mu = self.mu()
+        return np.array([mu[self._index[t]] for t in tokens]) \
+            if tokens else np.zeros(0)
+
+    def objective(self) -> float:
+        """``E_g`` at the current column loads (Eq. 1)."""
+        L = np.maximum(self.loads, 0.0)
+        return float(np.sum(self.u * (self.alpha * L
+                                      + self.beta * L ** self.gamma)))
+
+    def class_data(self) -> ProblemData:
+        """The current class-space instance as a :class:`ProblemData`."""
+        return ProblemData(demands=self.D, capacities=self.B, prices=self.u,
+                           alpha=self.alpha, beta=self.beta,
+                           gamma=self.gamma, mask=self.masks)
+
+    # -- the row subproblem --------------------------------------------------
+    def _marginal(self, loads: np.ndarray) -> np.ndarray:
+        """Marginal energy cost per replica at column loads ``loads``."""
+        L = np.maximum(loads, 0.0)
+        return self.u * (self.alpha
+                         + self.beta * self.gamma * L ** (self.gamma - 1.0))
+
+    def _rebalance_row(self, k: int) -> bool:
+        """Re-solve row ``k`` against the other rows' loads (KKT/bisection).
+
+        Water-fills the class's demand over its eligible headroom so
+        every loaded column sits at a common marginal level ``t`` —
+        bisected with the kernels' iteration/tolerance constants.
+        Returns False when the demand does not fit the eligible headroom
+        (the caller falls back to a full solve).
+        """
+        m = self.masks[k]
+        other = np.maximum(self.loads - self.Q[k], 0.0)
+        D = float(self.D[k])
+        if D <= 0.0:
+            self.Q[k] = 0.0
+            self.loads = other
+            return True
+        head = np.where(m, np.maximum(self.B - other, 0.0), 0.0)
+        total_head = float(head.sum())
+        if total_head < D * (1.0 - 1e-9):
+            return False
+        cols = np.nonzero(head > 0.0)[0]
+        # Scalar bisection over the hoisted constants: inverting the
+        # marginal m(L) = u*(alpha + beta*gamma*L^(g-1)) per eligible
+        # column costs a handful of float ops, so Python floats beat
+        # numpy temporaries by an order of magnitude at this size.
+        uf, af, bgf = self._uf, self._af, self._bgf
+        constf, levelf = self._constf, self._levelf
+        expof, em1f = self._expof, self._em1f
+        idx = [int(j) for j in cols]
+        nc = len(idx)
+        h = [float(head[j]) for j in idx]
+        base = [float(other[j]) for j in idx]
+
+        def fill_sum(t: float) -> float:
+            """Total load admitted at water level ``t`` (clipped)."""
+            s = 0.0
+            for i in range(nc):
+                j = idx[i]
+                if constf[j]:
+                    if t >= levelf[j]:
+                        s += h[i]
+                else:
+                    r = (t / uf[j] - af[j]) / bgf[j]
+                    if r > 0.0:
+                        x = r ** expof[j] - base[i]
+                        if x > 0.0:
+                            s += x if x < h[i] else h[i]
+            return s
+
+        lo, hi = float("inf"), 0.0
+        for i in range(nc):
+            j = idx[i]
+            if constf[j]:
+                mlo = mhi = levelf[j]
+            else:
+                mlo = uf[j] * (af[j] + bgf[j] * base[i] ** em1f[j])
+                mhi = uf[j] * (af[j] + bgf[j] * (base[i] + h[i]) ** em1f[j])
+            lo = mlo if mlo < lo else lo
+            hi = mhi if mhi > hi else hi
+        hi = max(hi, lo) + 1e-12
+        tol_t = 1e-13 * max(abs(hi), 1.0)
+        d_tol = 1e-12 * D
+        # Invariant: fill_sum(hi) >= D (all headroom admitted at hi),
+        # fill_sum(lo) <= D; bisect t to the demand equality, stopping
+        # early once the admitted total overshoots by <= d_tol — far
+        # inside the kkt_rtol the refine loop certifies against.
+        for _ in range(_BISECT_ITERS):
+            mid = 0.5 * (lo + hi)
+            s = fill_sum(mid)
+            if s < D:
+                lo = mid
+            else:
+                hi = mid
+                if s - D <= d_tol:
+                    break
+            if hi - lo < tol_t:
+                break
+        p = [0.0] * nc
+        S = 0.0
+        for i in range(nc):
+            j = idx[i]
+            if constf[j]:
+                x = h[i] if hi >= levelf[j] else 0.0
+            else:
+                r = (hi / uf[j] - af[j]) / bgf[j]
+                x = r ** expof[j] - base[i] if r > 0.0 else 0.0
+                x = 0.0 if x < 0.0 else (x if x < h[i] else h[i])
+            p[i] = x
+            S += x
+        if S <= 0.0:  # numerical corner: demand fits but level collapsed
+            scale = D / total_head
+            p = [hj * scale for hj in h]
+        elif S != D:
+            # fill(hi) admits >= D, so scaling down lands exactly on the
+            # demand while staying inside every column's headroom.
+            scale = D / S
+            p = [x * scale for x in p]
+        row = np.zeros(self.n_replicas)
+        row[idx] = p
+        self.Q[k] = row
+        self.loads = other + row
+        return True
+
+    def _kkt_gaps(self) -> np.ndarray:
+        """Per-class relative KKT gap at the current column loads.
+
+        A class row is optimal when no mass can move from a loaded column
+        to a cheaper column with headroom; its gap is that marginal
+        difference divided by the marginal magnitude (one vectorized pass
+        over the (K, N) state — no per-class numpy dispatch).
+        """
+        marg = self._marginal(self.loads)
+        # A column is receivable only with meaningful headroom — counting
+        # 1e-12 slivers would chase moves the rebalance cannot realize.
+        headroom = self.B - self.loads > 1e-9 * np.maximum(self.B, 1.0)
+        scale = float(np.max(marg, initial=0.0)) or 1.0
+        loaded = self.masks & (self.Q > _ACTIVE_EPS * self.D[:, None])
+        room = self.masks & headroom[None, :]
+        worst_loaded = np.where(loaded, marg[None, :], -np.inf).max(axis=1)
+        best_room = np.where(room, marg[None, :], np.inf).min(axis=1)
+        with np.errstate(invalid="ignore"):
+            gaps = (worst_loaded - best_room) / scale
+        skip = (self.D <= 0.0) | ~loaded.any(axis=1) | ~room.any(axis=1)
+        gaps[skip] = 0.0
+        return np.maximum(gaps, 0.0)
+
+    def _kkt_residual(self) -> float:
+        """Worst cross-row KKT violation, relative to the marginal scale."""
+        return float(np.max(self._kkt_gaps(), initial=0.0))
+
+    def refine(self) -> tuple[bool, int]:
+        """Gauss–Seidel sweeps over violating rows to the KKT residual bound.
+
+        Each sweep rebalances only the rows whose KKT gap exceeds the
+        tolerance — a row with zero gap is already optimal against the
+        current loads, so re-solving it would be a no-op.  Returns
+        ``(converged, sweeps_used)``; a False first element means the
+        caller should fall back to a full solve (the state is left
+        feasible — every row still sums to its demand — just not
+        optimal to tolerance).
+        """
+        for sweep in range(self.max_sweeps):
+            bad = np.flatnonzero(self._kkt_gaps() > self.kkt_rtol)
+            if bad.size == 0:
+                # Re-derive the loads from the rows: the incremental
+                # `other + row` updates accumulate float drift over long
+                # event streams.
+                self.loads = self.Q.sum(axis=0)
+                return True, sweep
+            for k in bad:
+                if not self._rebalance_row(int(k)):
+                    return False, sweep + 1
+        self.loads = self.Q.sum(axis=0)
+        return self._kkt_residual() <= self.kkt_rtol, self.max_sweeps
+
+    # -- class bookkeeping ---------------------------------------------------
+    def _ensure_class(self, token: bytes,
+                      eligibility: np.ndarray | None) -> int:
+        """Row index of ``token``, appending a fresh class if unseen."""
+        k = self._index.get(token)
+        if k is not None:
+            return k
+        if eligibility is None:
+            raise ValidationError("unknown class token needs an eligibility "
+                                  "row to be added")
+        row = np.asarray(eligibility, dtype=bool)
+        if row.shape != (self.n_replicas,):
+            raise ValidationError("eligibility row has wrong length")
+        if row.tobytes() != token:
+            raise ValidationError("eligibility row does not match its token")
+        self.masks = np.vstack([self.masks, row[None, :]])
+        self.D = np.append(self.D, 0.0)
+        self.Q = np.vstack([self.Q, np.zeros((1, self.n_replicas))])
+        self.tokens.append(token)
+        k = len(self.tokens) - 1
+        self._index[token] = k
+        return k
+
+    def _fallback(self, reason: str) -> EventResult:
+        self.stale = True
+        self.fallbacks += 1
+        return EventResult(ok=False, reason=reason)
+
+    def _apply_class_delta(self, k: int, new_demand: float,
+                           delta_abs: float) -> EventResult:
+        self._drift += delta_abs
+        if self._drift > self.drift_limit * self._baseline_total:
+            return self._fallback("drift")
+        self.D[k] = max(float(new_demand), 0.0)
+        if not self._rebalance_row(k):
+            return self._fallback("capacity")
+        converged, sweeps = self.refine()
+        if not converged:
+            return self._fallback("convergence")
+        self.events_applied += 1
+        return EventResult(ok=True, events=1, sweeps=sweeps)
+
+    # -- the event API --------------------------------------------------------
+    def apply_event(
+            self, event: "ClientArrival | ClientDeparture | DemandChange"
+    ) -> EventResult:
+        """Apply one client-granular event; O(sweeps * K * N).
+
+        Maps the event to its eligibility class, adjusts only that class
+        row (plus refinement sweeps), and recovers the operating point.
+        A returned ``ok=False`` marks the state stale — run a full warm
+        solve and rebuild.
+        """
+        if self.stale:
+            return EventResult(ok=False, reason="stale")
+        if isinstance(event, ClientArrival):
+            if event.client in self._clients:
+                raise ValidationError(
+                    f"client {event.client!r} already registered")
+            if event.demand < 0:
+                raise ValidationError("demand must be nonnegative")
+            row = np.asarray(event.eligibility, dtype=bool)
+            token = row.tobytes()
+            k = self._ensure_class(token, row)
+            result = self._apply_class_delta(
+                k, float(self.D[k]) + float(event.demand),
+                float(event.demand))
+            if result.ok:
+                self._clients[event.client] = (token, float(event.demand))
+            return result
+        if isinstance(event, ClientDeparture):
+            reg = self._clients.get(event.client)
+            if reg is None:
+                raise ValidationError(f"unknown client {event.client!r}")
+            token, demand = reg
+            k = self._index[token]
+            result = self._apply_class_delta(
+                k, float(self.D[k]) - demand, demand)
+            if result.ok:
+                del self._clients[event.client]
+            return result
+        if isinstance(event, DemandChange):
+            reg = self._clients.get(event.client)
+            if reg is None:
+                raise ValidationError(f"unknown client {event.client!r}")
+            if event.demand < 0:
+                raise ValidationError("demand must be nonnegative")
+            token, demand = reg
+            k = self._index[token]
+            result = self._apply_class_delta(
+                k, float(self.D[k]) + float(event.demand) - demand,
+                abs(float(event.demand) - demand))
+            if result.ok:
+                self._clients[event.client] = (token, float(event.demand))
+            return result
+        raise ValidationError(f"unknown event type {type(event).__name__}")
+
+    def retarget(self, tokens: Sequence[bytes], masks: np.ndarray,
+                 demands: np.ndarray) -> EventResult:
+        """Move the state to a new per-class demand target in one call.
+
+        The runtime's chunk-to-chunk transition: ``tokens``/``masks``/
+        ``demands`` describe the next sub-batch's classes (a
+        :class:`~repro.core.aggregate.ClassStructure` row-for-row).
+        Classes absent from the target drain to zero; unseen classes are
+        added.  Only classes whose demand actually changed are re-solved,
+        so a single-client sub-batch touches one row.
+        """
+        if self.stale:
+            return EventResult(ok=False, reason="stale")
+        masks = np.asarray(masks, dtype=bool)
+        demands = np.asarray(demands, dtype=float)
+        if masks.shape != (len(tokens), self.n_replicas) \
+                or demands.shape != (len(tokens),):
+            raise ValidationError("retarget shapes do not match tokens")
+        target = {t: float(demands[i]) for i, t in enumerate(tokens)}
+        for i, t in enumerate(tokens):
+            self._ensure_class(t, masks[i])
+        changed = [k for k, t in enumerate(self.tokens)
+                   if abs(target.get(t, 0.0) - float(self.D[k])) > 0.0]
+        if not changed:
+            return EventResult(ok=True, events=0, sweeps=0)
+        delta = sum(abs(target.get(self.tokens[k], 0.0) - float(self.D[k]))
+                    for k in changed)
+        self._drift += delta
+        if self._drift > self.drift_limit * self._baseline_total:
+            return self._fallback("drift")
+        # Drain shrinking classes first so growing ones see the headroom.
+        changed.sort(key=lambda k: target.get(self.tokens[k], 0.0)
+                     - float(self.D[k]))
+        for k in changed:
+            self.D[k] = target.get(self.tokens[k], 0.0)
+            if not self._rebalance_row(k):
+                return self._fallback("capacity")
+        converged, sweeps = self.refine()
+        if not converged:
+            return self._fallback("convergence")
+        # A converged refine certifies the state is at the target's
+        # optimum (KKT residual within tolerance) — equivalent to a fresh
+        # full solve — so the drift baseline restarts here.  The guard
+        # above therefore bounds a *single* transition's magnitude; note
+        # an ordinary chunk turnover (old classes drain, new ones fill)
+        # costs about old+new total, so runtime callers need a limit
+        # budgeting for >= 1x turnover.
+        self._drift = 0.0
+        self._baseline_total = max(float(self.D.sum()), 1e-9)
+        self.events_applied += len(changed)
+        return EventResult(ok=True, events=len(changed), sweeps=sweeps)

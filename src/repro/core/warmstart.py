@@ -159,7 +159,7 @@ class WarmStartCache:
 def project_warm_start(entry: WarmStartEntry,
                        problem: ReplicaSelectionProblem,
                        clients: Sequence[str],
-                       repair_sweeps: int = 50) -> np.ndarray:
+                       repair_sweeps: int | None = None) -> np.ndarray:
     """Map a cached allocation onto a new batch's feasible set.
 
     Returning clients whose eligibility row is unchanged keep their
@@ -172,6 +172,12 @@ def project_warm_start(entry: WarmStartEntry,
     demand projection) so the returned point has exact demand rows,
     respects the latency mask, and fits capacity up to the repair
     tolerance.
+
+    ``repair_sweeps=None`` (the default) uses
+    :meth:`~repro.core.problem.ReplicaSelectionProblem.repair`'s own
+    sweep budget, which is sized so tight masked instances meet the
+    capacity-residual bound — a smaller pinned override here can hand
+    the solver a capacity-violating start.
     """
     data = problem.data
     if len(clients) != data.n_clients:
@@ -199,6 +205,8 @@ def project_warm_start(entry: WarmStartEntry,
     # Off-mask mass (a cached row whose support shrank) is dropped before
     # the repair so the demand projection redistributes it feasibly.
     P0[~data.mask] = 0.0
+    if repair_sweeps is None:
+        return problem.repair(P0)
     return problem.repair(P0, sweeps=repair_sweeps)
 
 

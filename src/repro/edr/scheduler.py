@@ -109,6 +109,9 @@ class SolveTimingModel:
     base: float = 2e-4            # fixed per-iteration overhead (s)
     per_client: float = 2e-5      # s per client per iteration
     cdpsm_factor: float = 3.0     # CDPSM's extra local work multiplier
+    event_base: float = 1e-5      # fixed per-event-update overhead (s)
+    per_event: float = 5e-6       # s per class-demand change applied
+    per_sweep: float = 5e-6       # s per Gauss-Seidel refinement sweep
 
     def iteration_time(self, n_clients: int, algorithm: str) -> float:
         """Local computation seconds for one iteration."""
@@ -116,6 +119,16 @@ class SolveTimingModel:
         if algorithm == "cdpsm":
             t *= self.cdpsm_factor
         return t
+
+    def event_time(self, events: int, sweeps: int) -> float:
+        """Local computation seconds for one incremental event update.
+
+        The update is O(sweeps * K * N) on the lead replica — no
+        per-iteration network rounds, which is why the event path's
+        decision latency sits orders of magnitude under a batch solve's.
+        """
+        return self.event_base + self.per_event * events \
+            + self.per_sweep * sweeps
 
 
 class DistributedSolveSession:

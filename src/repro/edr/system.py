@@ -37,6 +37,7 @@ from repro.core.params import (
     ProblemData,
 )
 from repro.core.problem import ReplicaSelectionProblem
+from repro.core.incremental import IncrementalState
 from repro.core.warmstart import (
     AdaptiveBudget,
     WarmStartCache,
@@ -105,6 +106,26 @@ class RuntimeConfig:
     adaptive_budget: bool = True
     #: Floor of the adaptive warm-start iteration budget.
     warm_budget_floor: int = 16
+    #: Event-driven incremental path (see :mod:`repro.core.incremental`):
+    #: small sub-batches are absorbed by updating the last converged
+    #: class-space allocation one class-demand delta at a time on the
+    #: lead replica — no per-iteration network rounds — falling back to
+    #: the batch solve when the state declines (capacity, drift,
+    #: convergence) or is keyed to different live replicas / prices.
+    #: Requires ``aggregate=True`` (the state lives in class space).
+    incremental: bool = False
+    #: Sub-batches with at most this many distinct clients route through
+    #: the incremental path; larger ones take the batch solve (their
+    #: demand shift is no longer a small perturbation).
+    incremental_max_clients: int = 4
+    #: |class-demand delta| of one chunk transition, as a fraction of the
+    #: previous chunk's total demand, beyond which the state requests a
+    #: full solve (the drift fallback).  Consecutive sub-batches have
+    #: disjoint clients, so an ordinary turnover (old classes drain, new
+    #: ones fill) costs about old+new total — the default budgets for
+    #: full turnover plus a growing batch; a sudden much-larger batch
+    #: takes the batch solver.
+    incremental_drift_limit: float = 2.5
     #: Drop per-request shares below this fraction of the request size and
     #: redistribute them over the kept replicas.  Slivers of a few MB keep
     #: a replica's execution window open for an entire download at almost
@@ -150,6 +171,12 @@ class RuntimeConfig:
                 raise ValidationError("weights must be nonnegative, not all 0")
         if not 0 < self.batch_capacity_fraction <= 1:
             raise ValidationError("batch_capacity_fraction must be in (0, 1]")
+        if self.incremental and not self.aggregate:
+            raise ValidationError(
+                "incremental=True requires aggregate=True (the event "
+                "state lives in eligibility-class space)")
+        if self.incremental and self.incremental_max_clients < 1:
+            raise ValidationError("incremental_max_clients must be >= 1")
         if self.price_schedule is not None \
                 and self.price_schedule.n_replicas != len(self.prices):
             raise ValidationError(
@@ -283,6 +310,14 @@ class EDRSystem:
         self._warm_live: tuple[str, ...] = tuple(self.ring.live)
         self._warm_solves = 0
         self._cold_solves = 0
+        # Incremental event path: the converged class-space state from the
+        # last batch solve, keyed to (live replicas, prices) like a warm
+        # cache entry; rebuilt after every batch solve, dropped on decline.
+        self._inc_state: "IncrementalState | None" = None
+        self._inc_key: tuple | None = None
+        self._inc_events = 0
+        self._inc_chunks = 0
+        self._inc_fallbacks = 0
         if cfg.standby_after is not None:
             if cfg.standby_after <= 0:
                 raise ValidationError("standby_after must be positive")
@@ -450,6 +485,16 @@ class EDRSystem:
                               for r in live]) * elig
                 if w.sum() <= 0:
                     w = elig.astype(float)
+                if w.sum() <= 0:
+                    # No eligible live replica at all (every replica
+                    # within the latency bound is dead): fail over to the
+                    # nearest live one rather than divide by zero into
+                    # NaN shares that corrupt transfer accounting.
+                    nearest = int(np.argmin([
+                        self.topology.latency(item["client"], r)
+                        for r in live]))
+                    w = np.zeros(len(live))
+                    w[nearest] = 1.0
                 w = w / w.sum()
                 assignments[item["uid"]] = {
                     "client": item["client"],
@@ -490,6 +535,57 @@ class EDRSystem:
             # per client; cache entries are keyed by the classes' packed
             # mask tokens, which outlive any particular client set.
             agg = problem.aggregated() if cfg.aggregate else None
+            # Incremental event path: a small sub-batch is a per-class
+            # demand delta on the last converged state — apply it on the
+            # lead (one RTT + O(K*N) compute) instead of a batch solve.
+            # The state is keyed to (live, prices) exactly like a warm
+            # cache entry; any decline drops it and takes the batch path.
+            inc_key = (tuple(live), problem.data.u.tobytes())
+            if (cfg.incremental and agg is not None
+                    and len(clients) <= cfg.incremental_max_clients
+                    and self._inc_state is not None
+                    and self._inc_key == inc_key):
+                result = self._inc_state.retarget(
+                    list(agg.structure.keys), agg.structure.masks,
+                    agg.structure.demands)
+                if result.ok:
+                    # One RTT to the lead plus the O(K*N) update — no
+                    # per-iteration solve rounds over the network.
+                    delay = 2 * cfg.lan_latency + cfg.timing.event_time(
+                        result.events, result.sweeps)
+                    yield self.sim.timeout(delay)
+                    tokens = list(agg.structure.keys)
+                    rows = self._inc_state.rows_for(tokens)
+                    self._inc_chunks += 1
+                    self._inc_events += result.events
+                    if cfg.warm_start:
+                        # Keep the warm layer coherent: the next *batch*
+                        # solve warm-starts from the updated allocation.
+                        self._warm_cache.store(
+                            live, problem.data.u, tokens, rows,
+                            agg.structure.masks,
+                            mu=self._inc_state.mu_for(tokens),
+                            iterations=0, converged=True)
+                    lead = live[0]
+                    self._busy_end[lead] = max(self._busy_end[lead],
+                                               self.sim.now)
+                    rec = self.recorder
+                    if rec.enabled:
+                        rec.count("incremental.event", result.events)
+                        rec.event(
+                            "runtime.incremental", sim_time=self.sim.now,
+                            n_requests=len(chunk), n_clients=len(clients),
+                            events=result.events, sweeps=result.sweeps,
+                            solve_sim_s=delay)
+                    self._announce(self._shares_per_request(
+                        chunk, clients, demands,
+                        agg.structure.expand_rows(rows), live))
+                    return
+                self._inc_fallbacks += 1
+                self._inc_state = None
+                if self.recorder.enabled:
+                    self.recorder.count("incremental.fallback",
+                                        reason=result.reason)
             solve_problem = problem if agg is None else agg.problem
             warm_tokens = clients if agg is None else list(agg.structure.keys)
             warm_mask = solve_problem.data.mask
@@ -550,6 +646,19 @@ class EDRSystem:
                 self._busy_end[r] = max(self._busy_end[r], self.sim.now)
             assignments = self._shares_per_request(
                 chunk, clients, demands, session.allocation, live)
+            if cfg.incremental and agg is not None:
+                # Rebuild the event state from the converged class-space
+                # allocation; subsequent small sub-batches at the same
+                # (live, prices) key are absorbed as events.
+                self._inc_state = IncrementalState(
+                    solve_problem.data, list(agg.structure.keys),
+                    session.solver_allocation,
+                    drift_limit=cfg.incremental_drift_limit)
+                self._inc_key = inc_key
+        self._announce(assignments)
+
+    def _announce(self, assignments: dict) -> None:
+        """Send a chunk's ASSIGN decisions from the lead replica."""
         self._batches_solved += 1
         if self.recorder.enabled:
             self.recorder.count("runtime.batches")
@@ -639,6 +748,9 @@ class EDRSystem:
                 "solve_iterations": self._solve_iterations,
                 "warm_solves": self._warm_solves,
                 "cold_solves": self._cold_solves,
+                "incremental_chunks": self._inc_chunks,
+                "incremental_events": self._inc_events,
+                "incremental_fallbacks": self._inc_fallbacks,
                 "warm_cache_invalidations":
                     self._warm_cache.invalidations,
                 "retries": sum(c.retries for c in self.clients.values()),

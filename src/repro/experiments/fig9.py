@@ -36,7 +36,8 @@ from repro.workload.apps import FILE_SERVICE
 
 __all__ = ["Fig9Result", "run", "run_point", "DEFAULT_REQUEST_COUNTS",
            "SolverScalingResult", "scaling_problem", "run_scaling_point",
-           "run_solver_scaling", "DEFAULT_SCALING_CLIENTS"]
+           "run_solver_scaling", "DEFAULT_SCALING_CLIENTS",
+           "IncrementalEventResult", "run_incremental_events"]
 
 DEFAULT_REQUEST_COUNTS = (24, 48, 72, 96, 120, 144, 168, 192)
 
@@ -260,6 +261,182 @@ def run_scaling_point(point: int | tuple) -> dict:
         out["direct_objective"] = direct_sol.objective
         out["direct_iterations"] = direct_sol.iterations
     return out
+
+
+# -- per-event incremental updates (the delta-event regime) -------------------
+
+@dataclass
+class IncrementalEventResult:
+    """Per-event incremental update cost vs the warm full re-solve.
+
+    One :func:`run_incremental_events` run applies a churn stream —
+    client arrivals, departures and demand changes — to an
+    :class:`~repro.core.incremental.IncrementalState` built from a
+    converged fig9-style instance, timing every ``apply_event`` and,
+    at every compared event, the warm full LDDM re-solve of the *same*
+    post-event instance (warm-started from the incremental state's rows
+    and recovered multipliers, at the runtime's solver budget) plus the
+    relative objective gap between the two answers.
+    """
+
+    n_clients: int
+    n_classes: int
+    event_ms: list[float]            # per-event apply_event wall time
+    resolve_ms: list[float]          # warm full re-solve wall time
+    rel_gaps: list[float]            # |obj_inc - obj_solve| / |obj_solve|
+    fallbacks: int                   # events the state declined
+    arrivals: int
+    departures: int
+    demand_changes: int
+
+    @property
+    def n_events(self) -> int:
+        return len(self.event_ms)
+
+    def event_p(self, q: float) -> float:
+        """``q``-th percentile of the per-event latency, in ms."""
+        return float(np.percentile(self.event_ms, q))
+
+    def mean_event_ms(self) -> float:
+        return float(np.mean(self.event_ms))
+
+    def mean_resolve_ms(self) -> float:
+        return float(np.mean(self.resolve_ms))
+
+    def speedup(self) -> float:
+        """Warm-full-re-solve mean cost over per-event mean cost."""
+        return self.mean_resolve_ms() / max(self.mean_event_ms(), 1e-12)
+
+    def worst_gap(self) -> float:
+        return max(self.rel_gaps, default=0.0)
+
+    def render(self) -> str:
+        lines = [
+            ("Fig. 9 extension — per-event incremental update vs warm "
+             "full re-solve"),
+            (f"clients {self.n_clients}  classes {self.n_classes}  "
+             f"events {self.n_events} "
+             f"(arrive {self.arrivals} / depart {self.departures} / "
+             f"demand {self.demand_changes})"),
+            (f"event   mean {self.mean_event_ms():.3f} ms   "
+             f"p50 {self.event_p(50):.3f} ms   "
+             f"p99 {self.event_p(99):.3f} ms"),
+            (f"resolve mean {self.mean_resolve_ms():.3f} ms   "
+             f"speedup {self.speedup():.1f}x   "
+             f"worst gap {self.worst_gap():.2e}   "
+             f"fallbacks {self.fallbacks}"),
+        ]
+        return "\n".join(lines)
+
+
+def run_incremental_events(n_clients: int = 10_000, n_events: int = 200,
+                           seed: int = 2013, event_seed: int = 7,
+                           compare_every: int = 1,
+                           drift_limit: float = 10.0
+                           ) -> IncrementalEventResult:
+    """Apply a churn stream to an incremental state and time every event.
+
+    Builds the fig9-style instance at ``n_clients``, solves it in class
+    space at the runtime's LDDM budget, seeds an
+    :class:`~repro.core.incremental.IncrementalState` with every client
+    registered, then applies ``n_events`` drawn from a fixed-seed mix —
+    half demand changes, a quarter arrivals (fresh clients on random
+    eligibility patterns), a quarter departures.  Every
+    ``compare_every``-th event also runs the warm full re-solve of the
+    post-event instance for the latency baseline and the objective-gap
+    check.  A declined event (fallback) runs the full solve and rebuilds
+    the state from it, exactly as the runtime would.
+    """
+    from repro.core.aggregate import ClassStructure
+    from repro.core.incremental import (
+        ClientArrival, ClientDeparture, DemandChange, IncrementalState)
+    import time
+
+    if n_events < 1:
+        raise ValidationError("n_events must be positive")
+    if compare_every < 1:
+        raise ValidationError("compare_every must be >= 1")
+    problem = scaling_problem(int(n_clients), seed=int(seed))
+    data = problem.data
+    structure = ClassStructure.from_mask(data.mask, data.R)
+    reduced = structure.reduce_data(data)
+    base = solve_lddm(ReplicaSelectionProblem(reduced),
+                      **_RUNTIME_LDDM_KWARGS)
+    tokens = list(structure.keys)
+    clients = {f"c{i}": (tokens[structure.class_of_client[i]],
+                         float(data.R[i]))
+               for i in range(data.n_clients)}
+    state = IncrementalState(reduced, tokens, base.allocation,
+                             clients=clients, drift_limit=drift_limit)
+    rng = make_rng(int(event_seed))
+    names = list(clients)
+    patterns = np.array([[1, 1, 1], [1, 1, 0], [0, 1, 1], [1, 0, 1]],
+                        dtype=bool)
+    sigma = FILE_SERVICE.size_sigma
+    mu = float(np.log(FILE_SERVICE.mean_size_mb)) - sigma ** 2 / 2.0
+
+    registry = dict(clients)   # mirror of the state's client registry
+    event_ms, resolve_ms, gaps = [], [], []
+    fallbacks = arrivals = departures = demand_changes = 0
+    for i in range(int(n_events)):
+        kind = rng.random()
+        if kind < 0.25 and names:
+            departures += 1
+            victim = names.pop(int(rng.integers(len(names))))
+            event = ClientDeparture(victim)
+        elif kind < 0.5:
+            arrivals += 1
+            fresh = f"x{i}"
+            event = ClientArrival(
+                fresh, float(rng.lognormal(mean=mu, sigma=sigma)),
+                patterns[int(rng.integers(len(patterns)))])
+        else:
+            demand_changes += 1
+            event = DemandChange(
+                names[int(rng.integers(len(names)))],
+                float(rng.lognormal(mean=mu, sigma=sigma)))
+        t0 = time.perf_counter()
+        result = state.apply_event(event)
+        event_ms.append(1e3 * (time.perf_counter() - t0))
+        if result.ok:
+            # apply_event registers only on success; mirror it.
+            if isinstance(event, ClientArrival):
+                names.append(event.client)
+                registry[event.client] = (
+                    np.asarray(event.eligibility,
+                               dtype=bool).tobytes(),
+                    float(event.demand))
+            elif isinstance(event, ClientDeparture):
+                del registry[event.client]
+            else:
+                token, _ = registry[event.client]
+                registry[event.client] = (token, float(event.demand))
+        else:
+            fallbacks += 1
+            if isinstance(event, ClientDeparture):
+                names.append(event.client)   # still registered
+        if not result.ok or i % int(compare_every) == 0:
+            post = ReplicaSelectionProblem(state.class_data())
+            warm = state.Q.copy()
+            mu0 = state.mu()
+            t0 = time.perf_counter()
+            sol = solve_lddm(post, warm_start=warm, mu0=mu0,
+                             **_RUNTIME_LDDM_KWARGS)
+            resolve_ms.append(1e3 * (time.perf_counter() - t0))
+            if result.ok:
+                gaps.append(abs(state.objective() - sol.objective)
+                            / max(abs(sol.objective), 1e-12))
+            else:
+                # The runtime path: rebuild the state from the solve.
+                state = IncrementalState(
+                    state.class_data(), list(state.tokens),
+                    sol.allocation, clients=registry,
+                    drift_limit=drift_limit)
+    return IncrementalEventResult(
+        n_clients=int(n_clients), n_classes=state.n_classes,
+        event_ms=event_ms, resolve_ms=resolve_ms, rel_gaps=gaps,
+        fallbacks=fallbacks, arrivals=arrivals, departures=departures,
+        demand_changes=demand_changes)
 
 
 def run_solver_scaling(client_counts=DEFAULT_SCALING_CLIENTS,

@@ -18,6 +18,10 @@ Counters (aggregated in-recorder, exported once):
 ``warmstart.hit``           solves seeded from the warm-start cache
 ``warmstart.miss``          cold-started solves
 ``warmstart.invalidation``  cache flushes (membership changes)
+``incremental.event``       sub-batches absorbed by the incremental
+                            delta-event path (no batch solve)
+``incremental.fallback``    incremental updates declined (capacity /
+                            drift / convergence) -> full warm solve
 ==========================  ====================================================
 """
 
@@ -37,6 +41,8 @@ COUNTER_NAMES = (
     "warmstart.hit",
     "warmstart.miss",
     "warmstart.invalidation",
+    "incremental.event",
+    "incremental.fallback",
 )
 
 #: Known event names -> fields guaranteed to be present (beyond
@@ -59,6 +65,10 @@ EVENT_SCHEMAS: dict[str, tuple[str, ...]] = {
     "runtime.batch": ("sim_time", "algorithm", "n_requests", "n_clients",
                       "n_classes", "iterations", "converged", "warm_started",
                       "solve_sim_s"),
+    # One per sub-batch absorbed by the incremental delta-event path
+    # (class-demand changes applied + refinement sweeps, no batch solve).
+    "runtime.incremental": ("sim_time", "n_requests", "n_clients",
+                            "events", "sweeps", "solve_sim_s"),
     # Ring membership transition ("dead" or "alive").
     "membership": ("change", "member"),
     # Experiment-runner marker: everything after belongs to this figure.

@@ -1,15 +1,17 @@
 """Runtime-level warm-start behavior: reuse, invalidation, regression.
 
 The cache lives inside :class:`EDRSystem`; these tests drive it through
-real traces — including a mid-run membership change — and pin the
-headline property: warm starts never cost iterations or response time
-on the Fig. 9 workload.
+real traces — including a mid-run membership change and a mid-run tariff
+rotation — and pin the headline property: warm starts never cost
+iterations or response time on the Fig. 9 workload.
 """
 
 import pytest
 
+from repro.cluster.pricing import PriceSchedule
 from repro.edr.system import EDRSystem, RuntimeConfig
 from repro.experiments import fig9
+from repro.obs import TraceRecorder
 
 from tests.edr.conftest import burst_trace
 
@@ -84,6 +86,50 @@ class TestMembershipInvalidation:
         assert res.extras["solve_iterations"] > 0
         assert res.extras["delivered_mb"] == pytest.approx(
             trace.total_mb(), rel=1e-6)
+
+    def test_price_rotation_is_a_miss_not_an_invalidation(self):
+        # A tariff rotation changes the cache *key*: the next solve is a
+        # plain miss (cold start at the new prices), while the membership
+        # invalidation counter — which means "a replica died or rejoined,
+        # flush everything" — must stay untouched.
+        rec = TraceRecorder()
+        trace = burst_trace(count=20, n_clients=10, rate=4.0, seed=6)
+        switch_at = 2.0
+        schedule = PriceSchedule.two_phase(
+            (1.0, 8.0, 1.0, 6.0, 1.0, 5.0, 2.0, 3.0),
+            (8.0, 1.0, 6.0, 1.0, 5.0, 1.0, 3.0, 2.0), switch_at=switch_at)
+        system = EDRSystem(trace, RuntimeConfig(
+            algorithm="lddm", price_schedule=schedule, recorder=rec))
+        res = system.run(app="dfs")
+        assert res.extras["delivered_mb"] == pytest.approx(
+            trace.total_mb(), rel=1e-6)
+        # One cold solve per price phase at minimum, warm reuse within.
+        assert res.extras["cold_solves"] >= 2
+        assert res.extras["warm_solves"] >= 1
+        assert res.extras["warm_cache_invalidations"] == 0
+        assert rec.counter_total("warmstart.invalidation") == 0
+        # The first optimizing batch after the switch missed the cache.
+        post = [ev for ev in rec.events_named("runtime.batch")
+                if ev["sim_time"] > switch_at]
+        assert post and post[0]["warm_started"] is False
+        # ...and AdaptiveBudget handed it the cold default, not the cap
+        # learned from the pre-switch warm streak: it had the room to
+        # converge from scratch at the new prices.
+        assert post[0]["converged"] is True
+        assert any(ev["warm_started"] for ev in post[1:])
+
+    def test_budget_learned_from_warm_streak_not_applied_to_cold(self):
+        # Unit-level pin of the interaction: a long converged warm streak
+        # shrinks the cap toward the floor, but a cold solve (cache miss
+        # after a price rotation) still gets the full default budget.
+        from repro.core.warmstart import AdaptiveBudget
+        budget = AdaptiveBudget(floor=16, headroom=2.0)
+        for _ in range(5):
+            cap = budget.budget(150, warm=True)
+            budget.observe(iterations=8, budget=cap, converged=True,
+                           warm=True)
+        assert budget.budget(150, warm=True) == 16
+        assert budget.budget(150, warm=False) == 150
 
     def test_cdpsm_also_takes_warm_starts(self):
         trace = burst_trace(count=16, n_clients=8, rate=40.0, seed=4)
