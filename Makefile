@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: test lint bench figures quick-figures headline clean
+.PHONY: test lint bench bench-full figures quick-figures headline clean
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -15,6 +15,9 @@ lint:
 	fi
 
 bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -m "not slow"
+
+bench-full:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 figures:

@@ -1,0 +1,173 @@
+"""Benchmark — the sharded dual-price control plane at 10^6-10^7 clients.
+
+Gates for :mod:`repro.edr.coordinator` at the scale the ROADMAP's
+"millions of users" north star cares about: the 10^6-client fig9-style
+point must solve end-to-end through the sharded plane inside a fixed
+wall budget with a bounded objective gap against the tight monolithic
+aggregated solve (and bit-identical allocations across execution
+modes), and the shard-routed event stream must keep per-event cost
+independent of the total client count.  The 10^7-client point and the
+long churn soak carry the ``slow`` marker — ``make bench`` skips them,
+``make bench-full`` runs everything.
+"""
+
+import time
+
+import pytest
+
+from repro.experiments import fig9
+
+#: Relative objective gap the sharded answer must stay within.
+MAX_REL_GAP = 1e-6
+
+#: End-to-end wall budget for the 10^6-client sharded solve
+#: (aggregation + exchange rounds + expansion; measured ~4 s).
+WALL_BUDGET_1E6_S = 30.0
+
+#: End-to-end wall budget for the 10^7-client sharded solve
+#: (measured ~35 s).
+WALL_BUDGET_1E7_S = 180.0
+
+#: Tail-latency bound on a shard-routed client event.
+P99_EVENT_MS = 5.0
+
+
+def test_bench_shard_million_clients(benchmark, report_sink, bench_report,
+                                     fig9_trajectory):
+    start = time.perf_counter()
+    result = benchmark.pedantic(
+        fig9.run_sharded_scaling,
+        kwargs={"client_counts": (1_000_000,), "n_shards": 4,
+                "n_replicas": 6, "n_patterns": 24,
+                "check_mode": "thread"},
+        rounds=1, iterations=1)
+    wall_s = time.perf_counter() - start
+    report_sink("shard_scaling", result.render())
+    bench_report("shard_scaling", wall_s=wall_s,
+                 iterations=sum(result.rounds),
+                 n_clients=result.client_counts[-1],
+                 n_shards=result.n_shards,
+                 n_classes=result.n_classes[-1],
+                 sharded_s=round(result.sharded_solve_s[-1], 4),
+                 monolithic_s=round(result.monolithic_solve_s[-1], 4),
+                 worst_gap=float(f"{result.worst_gap():.3e}"))
+    fig9_trajectory(
+        shard_clients=result.client_counts[-1],
+        shard_count=result.n_shards,
+        shard_classes=result.n_classes[-1],
+        shard_solve_s=round(result.sharded_solve_s[-1], 4),
+        shard_monolithic_s=round(result.monolithic_solve_s[-1], 4),
+        shard_rounds=result.rounds[-1],
+        shard_worst_gap=float(f"{result.worst_gap():.3e}"),
+        shard_modes_identical=all(result.modes_identical),
+        wall_s=round(wall_s, 3))
+    # The acceptance gate: the 10^6-client point solves end-to-end
+    # inside the wall budget...
+    assert result.sharded_solve_s[-1] <= WALL_BUDGET_1E6_S
+    # ...lands within the gap bound of the tight monolithic solve...
+    assert result.worst_gap() <= MAX_REL_GAP
+    # ...and a second execution mode reproduces the serial allocation
+    # bit-for-bit (deterministic exchange rounds).
+    assert all(result.modes_identical)
+    benchmark.extra_info["sharded_s"] = round(result.sharded_solve_s[-1], 4)
+    benchmark.extra_info["worst_gap"] = float(f"{result.worst_gap():.3e}")
+
+
+def test_bench_shard_event_stream_scale_free(benchmark, report_sink,
+                                             bench_report, fig9_trajectory):
+    # Same churn stream routed through planes built at 10^5 and 10^6
+    # clients: events touch only the owning shard's class rows, so the
+    # per-event cost must not grow with the client count.
+    small = fig9.run_sharded_events(n_clients=100_000, n_events=200)
+    start = time.perf_counter()
+    large = benchmark.pedantic(
+        fig9.run_sharded_events,
+        kwargs={"n_clients": 1_000_000, "n_events": 200},
+        rounds=1, iterations=1)
+    wall_s = time.perf_counter() - start
+    report_sink("shard_events", small.render() + "\n\n" + large.render())
+    bench_report("shard_events", wall_s=wall_s,
+                 iterations=large.n_events,
+                 n_clients=large.n_clients,
+                 n_shards=large.n_shards,
+                 mean_event_ms=round(large.mean_event_ms(), 4),
+                 p99_event_ms=round(large.event_p(99), 4),
+                 small_mean_event_ms=round(small.mean_event_ms(), 4),
+                 refreshes=large.refreshes,
+                 fallbacks=large.fallbacks)
+    fig9_trajectory(
+        shard_event_clients=large.n_clients,
+        shard_event_count=large.n_events,
+        shard_event_mean_ms=round(large.mean_event_ms(), 4),
+        shard_event_p99_ms=round(large.event_p(99), 4),
+        shard_event_small_mean_ms=round(small.mean_event_ms(), 4),
+        shard_event_refreshes=large.refreshes,
+        shard_event_fallbacks=large.fallbacks,
+        wall_s=round(wall_s, 3))
+    # Tail latency stays bounded at both scales...
+    assert small.event_p(99) <= P99_EVENT_MS
+    assert large.event_p(99) <= P99_EVENT_MS
+    # ...and 10x the clients does not mean costlier events (generous
+    # 3x margin over the small plane's mean absorbs timer noise).
+    assert large.mean_event_ms() <= 3.0 * max(small.mean_event_ms(), 0.05)
+    benchmark.extra_info["p99_event_ms"] = round(large.event_p(99), 4)
+
+
+@pytest.mark.slow
+def test_bench_shard_ten_million_clients(benchmark, report_sink,
+                                         bench_report, fig9_trajectory):
+    start = time.perf_counter()
+    result = benchmark.pedantic(
+        fig9.run_sharded_scaling,
+        kwargs={"client_counts": (10_000_000,), "n_shards": 4,
+                "n_replicas": 6, "n_patterns": 24,
+                "check_mode": "thread"},
+        rounds=1, iterations=1)
+    wall_s = time.perf_counter() - start
+    report_sink("shard_scaling_1e7", result.render())
+    bench_report("shard_scaling_1e7", wall_s=wall_s,
+                 iterations=sum(result.rounds),
+                 n_clients=result.client_counts[-1],
+                 n_shards=result.n_shards,
+                 sharded_s=round(result.sharded_solve_s[-1], 4),
+                 monolithic_s=round(result.monolithic_solve_s[-1], 4),
+                 worst_gap=float(f"{result.worst_gap():.3e}"))
+    fig9_trajectory(
+        shard_clients=result.client_counts[-1],
+        shard_count=result.n_shards,
+        shard_solve_s=round(result.sharded_solve_s[-1], 4),
+        shard_monolithic_s=round(result.monolithic_solve_s[-1], 4),
+        shard_rounds=result.rounds[-1],
+        shard_worst_gap=float(f"{result.worst_gap():.3e}"),
+        shard_modes_identical=all(result.modes_identical),
+        wall_s=round(wall_s, 3))
+    assert result.sharded_solve_s[-1] <= WALL_BUDGET_1E7_S
+    assert result.worst_gap() <= MAX_REL_GAP
+    assert all(result.modes_identical)
+    benchmark.extra_info["sharded_s"] = round(result.sharded_solve_s[-1], 4)
+
+
+@pytest.mark.slow
+def test_bench_shard_churn_soak(benchmark, report_sink, bench_report):
+    # Sustained churn against a 10^6-client plane: 1000 mixed events,
+    # declines and residual drift recovered inside the coordinator.
+    start = time.perf_counter()
+    result = benchmark.pedantic(
+        fig9.run_sharded_events,
+        kwargs={"n_clients": 1_000_000, "n_events": 1000,
+                "event_seed": 11},
+        rounds=1, iterations=1)
+    wall_s = time.perf_counter() - start
+    report_sink("shard_churn_soak", result.render())
+    bench_report("shard_churn_soak", wall_s=wall_s,
+                 iterations=result.n_events,
+                 n_clients=result.n_clients,
+                 p99_event_ms=round(result.event_p(99), 4),
+                 refreshes=result.refreshes,
+                 fallbacks=result.fallbacks,
+                 final_residual=float(f"{result.final_residual:.3e}"))
+    # Tail latency stays bounded across the whole soak...
+    assert result.event_p(99) <= P99_EVENT_MS
+    # ...and the plane never drifts past the refresh threshold.
+    assert result.final_residual <= 1e-3
+    benchmark.extra_info["p99_event_ms"] = round(result.event_p(99), 4)

@@ -65,6 +65,11 @@ from repro.core.incremental import (
     EventResult,
     IncrementalState,
 )
+from repro.core.shard import (
+    ShardRound,
+    SolveShard,
+    partition_classes,
+)
 
 __all__ = [
     "ProblemData",
@@ -108,4 +113,7 @@ __all__ = [
     "DemandChange",
     "EventResult",
     "IncrementalState",
+    "ShardRound",
+    "SolveShard",
+    "partition_classes",
 ]

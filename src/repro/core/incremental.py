@@ -57,6 +57,15 @@ Multipliers are recovered at the new operating point exactly as
 :func:`repro.core.warmstart.recover_mu` does — ``mu_k`` equals minus the
 cheapest eligible marginal at the current loads — so a fallback solve
 can warm-start from the incremental state's ``rows``/``mu``.
+
+A state can carry a *background* load vector — column load contributed
+by rows it does not own.  Marginals are evaluated at ``background +
+loads`` and headroom shrinks to ``B - background - loads``, which is
+exactly the subproblem a solve shard faces inside the sharded control
+plane (:mod:`repro.core.shard`): its classes best-respond to the loads
+of every other shard, held fixed for the round.  With the default
+all-zero background the arithmetic is bit-identical to the monolithic
+behaviour (``x - 0.0 == x`` for the finite nonnegative operands here).
 """
 
 from __future__ import annotations
@@ -128,7 +137,8 @@ class IncrementalState:
                  allocation: np.ndarray, *,
                  clients: dict[str, tuple[bytes, float]] | None = None,
                  drift_limit: float = 0.5, kkt_rtol: float = 1e-8,
-                 max_sweeps: int = 64) -> None:
+                 max_sweeps: int = 64,
+                 background: np.ndarray | None = None) -> None:
         """Build from a solved *class-space* instance.
 
         ``data`` is the reduced (K-row) instance — one row per
@@ -136,7 +146,9 @@ class IncrementalState:
         allocation; ``tokens`` are the classes' packed-mask byte tokens
         in row order.  ``clients`` optionally pre-registers client ->
         (token, demand) members so client-granular events can be applied
-        without a separate registration pass.
+        without a separate registration pass.  ``background`` is column
+        load owned by rows outside this state (other shards); it offsets
+        every marginal/headroom computation and defaults to zero.
         """
         Q = np.asarray(allocation, dtype=float)
         if Q.shape != data.shape:
@@ -156,6 +168,13 @@ class IncrementalState:
         self.gamma = data.gamma.copy()
         self.masks = data.mask.copy()
         self.D = data.R.copy()
+        if background is None:
+            self.background = np.zeros(self.B.shape[0])
+        else:
+            bg = np.asarray(background, dtype=float)
+            if bg.shape != self.B.shape:
+                raise ValidationError("background has wrong length")
+            self.background = np.maximum(bg, 0.0)
         self.Q = np.where(self.masks, np.maximum(Q, 0.0), 0.0)
         self.tokens: list[bytes] = list(tokens)
         self._index = {t: k for k, t in enumerate(self.tokens)}
@@ -195,6 +214,18 @@ class IncrementalState:
             for j in range(n)]
         self._expof = [1.0 / self._em1f[j] if self._em1f[j] > 0.0 else 1.0
                        for j in range(n)]
+
+    def set_background(self, background: np.ndarray) -> None:
+        """Adopt a new background load vector (other shards' column loads).
+
+        Cheap by design — the sharded coordinator refreshes backgrounds
+        once per exchange round and before every routed event.  Does not
+        touch the allocation; the next rebalance/refine sees the offset.
+        """
+        bg = np.asarray(background, dtype=float)
+        if bg.shape != self.B.shape:
+            raise ValidationError("background has wrong length")
+        self.background = np.maximum(bg, 0.0)
 
     # -- views ---------------------------------------------------------------
     @property
@@ -250,8 +281,8 @@ class IncrementalState:
 
     # -- the row subproblem --------------------------------------------------
     def _marginal(self, loads: np.ndarray) -> np.ndarray:
-        """Marginal energy cost per replica at column loads ``loads``."""
-        L = np.maximum(loads, 0.0)
+        """Marginal energy cost per replica at ``background + loads``."""
+        L = np.maximum(loads, 0.0) + self.background
         return self.u * (self.alpha
                          + self.beta * self.gamma * L ** (self.gamma - 1.0))
 
@@ -271,7 +302,10 @@ class IncrementalState:
             self.Q[k] = 0.0
             self.loads = other
             return True
-        head = np.where(m, np.maximum(self.B - other, 0.0), 0.0)
+        # Fill starts from other rows' loads plus the background; both
+        # eat headroom and both raise the marginal the fill sees.
+        start = other + self.background
+        head = np.where(m, np.maximum(self.B - start, 0.0), 0.0)
         total_head = float(head.sum())
         if total_head < D * (1.0 - 1e-9):
             return False
@@ -286,7 +320,7 @@ class IncrementalState:
         idx = [int(j) for j in cols]
         nc = len(idx)
         h = [float(head[j]) for j in idx]
-        base = [float(other[j]) for j in idx]
+        base = [float(start[j]) for j in idx]
 
         def fill_sum(t: float) -> float:
             """Total load admitted at water level ``t`` (clipped)."""
@@ -369,7 +403,8 @@ class IncrementalState:
         marg = self._marginal(self.loads)
         # A column is receivable only with meaningful headroom — counting
         # 1e-12 slivers would chase moves the rebalance cannot realize.
-        headroom = self.B - self.loads > 1e-9 * np.maximum(self.B, 1.0)
+        headroom = self.B - self.background - self.loads \
+            > 1e-9 * np.maximum(self.B, 1.0)
         scale = float(np.max(marg, initial=0.0)) or 1.0
         loaded = self.masks & (self.Q > _ACTIVE_EPS * self.D[:, None])
         room = self.masks & headroom[None, :]
@@ -384,6 +419,15 @@ class IncrementalState:
     def _kkt_residual(self) -> float:
         """Worst cross-row KKT violation, relative to the marginal scale."""
         return float(np.max(self._kkt_gaps(), initial=0.0))
+
+    def kkt_residual(self) -> float:
+        """Public view of the worst cross-row KKT gap (relative).
+
+        The sharded coordinator folds this — evaluated against each
+        shard's current background — into its global convergence
+        residual.
+        """
+        return self._kkt_residual()
 
     def refine(self) -> tuple[bool, int]:
         """Gauss–Seidel sweeps over violating rows to the KKT residual bound.
@@ -409,6 +453,31 @@ class IncrementalState:
                     return False, sweep + 1
         self.loads = self.Q.sum(axis=0)
         return self._kkt_residual() <= self.kkt_rtol, self.max_sweeps
+
+    # -- client registry -----------------------------------------------------
+    def registered(self, client: str) -> tuple[bytes, float] | None:
+        """The (token, demand) registration of ``client``, or ``None``."""
+        return self._clients.get(client)
+
+    def register_client(self, client: str, token: bytes,
+                        demand: float) -> None:
+        """(Re)register ``client`` without touching demands or rows.
+
+        Recovery plumbing for the sharded coordinator: when an event is
+        absorbed through :meth:`force_target` instead of
+        :meth:`apply_event`, the registry update the declined event
+        skipped is replayed here.  ``token`` must already be a known
+        class.
+        """
+        if token not in self._index:
+            raise ValidationError("unknown class token")
+        self._clients[client] = (token, float(demand))
+
+    def deregister_client(self, client: str) -> None:
+        """Forget ``client``'s registration (see :meth:`register_client`)."""
+        if client not in self._clients:
+            raise ValidationError(f"unknown client {client!r}")
+        del self._clients[client]
 
     # -- class bookkeeping ---------------------------------------------------
     def _ensure_class(self, token: bytes,
@@ -558,3 +627,36 @@ class IncrementalState:
         self._baseline_total = max(float(self.D.sum()), 1e-9)
         self.events_applied += len(changed)
         return EventResult(ok=True, events=len(changed), sweeps=sweeps)
+
+    def force_target(self, tokens: Sequence[bytes], masks: np.ndarray,
+                     demands: np.ndarray) -> int:
+        """Adopt a demand target unconditionally, clearing fallback state.
+
+        The sharded coordinator's recovery path: when a shard declines a
+        :meth:`retarget` (capacity/drift/convergence), the coordinator
+        force-targets every shard and re-fills all rows with full
+        dual-price exchange rounds instead of tearing the plane down.
+        Unlike :meth:`retarget` this does **not** re-solve anything —
+        rows may no longer sum to their demands afterwards, so the
+        caller must run a full rebalance pass (a shard solve round)
+        before reading the allocation.  Returns the number of class
+        demands that changed.
+        """
+        masks = np.asarray(masks, dtype=bool)
+        demands = np.asarray(demands, dtype=float)
+        if masks.shape != (len(tokens), self.n_replicas) \
+                or demands.shape != (len(tokens),):
+            raise ValidationError("force_target shapes do not match tokens")
+        target = {t: float(demands[i]) for i, t in enumerate(tokens)}
+        for i, t in enumerate(tokens):
+            self._ensure_class(t, masks[i])
+        changed = 0
+        for k, t in enumerate(self.tokens):
+            new = max(target.get(t, 0.0), 0.0)
+            if new != float(self.D[k]):
+                changed += 1
+            self.D[k] = new
+        self.stale = False
+        self._drift = 0.0
+        self._baseline_total = max(float(self.D.sum()), 1e-9)
+        return changed

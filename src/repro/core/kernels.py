@@ -45,6 +45,7 @@ __all__ = [
     "repair_stack",
     "objective_stack",
     "objective_history",
+    "waterfill_rows",
 ]
 
 
@@ -323,6 +324,119 @@ def lddm_solve_columns(data: ProblemData, mu: np.ndarray, prev: np.ndarray,
     if epsilon == 0.0:
         return _exact_columns(data, mu)
     return _proximal_columns(data, mu, prev, epsilon)
+
+
+# -- batched row water-fill (sharded Jacobi pass) -----------------------------
+
+def waterfill_rows(u: np.ndarray, alpha: np.ndarray, beta: np.ndarray,
+                   gamma: np.ndarray, demands: np.ndarray, base: np.ndarray,
+                   head: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Water-fill every class row against fixed per-row base loads, batched.
+
+    The Jacobi companion of
+    :meth:`repro.core.incremental.IncrementalState._rebalance_row`: row
+    ``k`` spreads ``demands[k]`` over the columns with ``head[k] > 0`` so
+    every loaded column sits at a common marginal level ``t_k``, the
+    marginal ``m(x) = u*(alpha + beta*gamma*x^(gamma-1))`` evaluated at
+    ``base[k] + fill`` — but *all* rows solve simultaneously against the
+    base loads they were handed, instead of Gauss–Seidel one at a time.
+    This is the opening pass of a shard solve round: ``base`` carries the
+    other rows' (and other shards') loads from the previous round, and a
+    scalar Gauss–Seidel refine polishes the intra-shard interactions the
+    simultaneous fill ignores.
+
+    Each row bisects its own level with the kernels' iteration budget and
+    freezes at the scalar stopping rule (demand overshoot within
+    ``1e-12 * D``).  Returns ``(P, fits)`` where ``P`` is the (K, N) fill
+    (rows sum to their demands) and ``fits[k]`` is False when row ``k``'s
+    demand exceeds its total headroom — such a row grabs *all* its
+    headroom (demand left unmet) so the caller can keep iterating while
+    other shards vacate capacity.
+    """
+    u = np.asarray(u, dtype=float)
+    alpha = np.asarray(alpha, dtype=float)
+    beta = np.asarray(beta, dtype=float)
+    gamma = np.asarray(gamma, dtype=float)
+    D = np.asarray(demands, dtype=float)
+    base = np.asarray(base, dtype=float)
+    head = np.asarray(head, dtype=float)
+    if base.ndim != 2:
+        raise ValidationError("base must be (K, N)")
+    K, N = base.shape
+    if head.shape != (K, N) or D.shape != (K,):
+        raise ValidationError("shape mismatch in waterfill_rows")
+    if u.shape != (N,) or alpha.shape != (N,) or beta.shape != (N,) \
+            or gamma.shape != (N,):
+        raise ValidationError("cost vectors must have one entry per replica")
+
+    # Constant-marginal columns (gamma == 1 or beta == 0) step from 0 to
+    # full headroom as t crosses their level — same hoisting as the
+    # scalar path's _constf/_levelf.
+    const = (gamma == 1.0) | (beta == 0.0)
+    level = u * (alpha + np.where(gamma == 1.0, beta * gamma, 0.0))
+    bg = np.where(const, 1.0, beta * gamma)
+    em1 = gamma - 1.0
+    expo = np.where(em1 > 0.0, 1.0 / np.where(em1 > 0.0, em1, 1.0), 1.0)
+    pos = D > 0.0
+    total_head = head.sum(axis=1)
+    fits = (total_head >= D * (1.0 - 1e-9)) | ~pos
+    elig = head > 0.0
+
+    with np.errstate(invalid="ignore", over="ignore"):
+        m_lo = np.where(const[None, :], level[None, :],
+                        u * (alpha + bg * base ** em1))
+        m_hi = np.where(const[None, :], level[None, :],
+                        u * (alpha + bg * (base + head) ** em1))
+    lo = np.where(elig, m_lo, np.inf).min(axis=1, initial=np.inf)
+    lo = np.where(np.isfinite(lo), lo, 0.0)
+    hi = np.where(elig, m_hi, -np.inf).max(axis=1, initial=-np.inf)
+    hi = np.maximum(np.where(np.isfinite(hi), hi, 0.0), lo) + 1e-12
+    tol_t = 1e-13 * np.maximum(np.abs(hi), 1.0)
+    d_tol = 1e-12 * D
+
+    def fill(t: np.ndarray) -> np.ndarray:
+        """Per-row load admitted at water levels ``t`` (clipped to head)."""
+        with np.errstate(invalid="ignore", over="ignore"):
+            r = (t[:, None] / u - alpha) / bg
+            x = np.where(r > 0.0, r ** expo - base, 0.0)
+        x = np.clip(np.where(np.isnan(x), 0.0, x), 0.0, head)
+        step = np.where(t[:, None] >= level[None, :], head, 0.0)
+        return np.where(const[None, :], step, x)
+
+    # Invariant: fill(hi) sums >= D for every fitting row (all headroom
+    # admitted at the top bracket), fill(lo) <= D; each row bisects its
+    # level to the demand equality and freezes once the overshoot is
+    # inside d_tol — exactly the scalar _rebalance_row stopping rule.
+    act = pos & fits
+    for _ in range(_BISECT_ITERS):
+        if not act.any():
+            break
+        mid = np.where(act, 0.5 * (lo + hi), hi)
+        s = fill(mid).sum(axis=1)
+        below = s < D
+        lo = np.where(act & below, mid, lo)
+        hi = np.where(act & ~below, mid, hi)
+        done = (~below & (s - D <= d_tol)) | (hi - lo < tol_t)
+        act = act & ~done
+    P = fill(hi)
+    S = P.sum(axis=1)
+
+    # Scaling down (fill(hi) >= D) lands exactly on the demand while
+    # staying inside every column's headroom; a collapsed level (S == 0)
+    # falls back to a proportional spread, the scalar corner case.
+    scale = np.ones(K)
+    norm = pos & fits & (S > 0.0)
+    scale[norm] = D[norm] / S[norm]
+    prop = pos & fits & (S <= 0.0)
+    P = P * scale[:, None]
+    if prop.any():
+        pscale = D[prop] / np.maximum(total_head[prop], 1e-300)
+        P[prop] = head[prop] * pscale[:, None]
+    unfit = pos & ~fits
+    if unfit.any():
+        P[unfit] = head[unfit]
+    P[~pos] = 0.0
+    return P, fits
 
 
 # -- batched repair / objective history --------------------------------------

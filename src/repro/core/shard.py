@@ -1,0 +1,305 @@
+"""Solve shards: independent class-slice states for the sharded plane.
+
+The sharded control plane splits the class-space instance (the K-row
+reduction :mod:`repro.core.aggregate` produces) across independent
+:class:`SolveShard`\\ s.  Each shard owns a slice of the classes — its
+rows of the allocation, its own :class:`~repro.core.incremental.
+IncrementalState` (carrying the slice's drift/fallback accounting and
+client registry) and its own warm-start cache — and best-responds to the
+*background*: the column loads every other shard contributes, held fixed
+for one exchange round.  The coordinator that broadcasts backgrounds and
+declares convergence lives in :mod:`repro.edr.coordinator`; this module
+is deliberately runtime-free so the shard math can be tested and
+process-shipped on its own.
+
+A solve round is Jacobi with an inner Gauss–Seidel polish:
+
+1. every row of the shard re-water-fills simultaneously against the
+   round's base loads (:func:`repro.core.kernels.waterfill_rows` — the
+   batched form of the incremental row subproblem),
+2. the state's Gauss–Seidel refine fixes the intra-shard interactions
+   the simultaneous fill ignored (rows of the *same* shard see each
+   other exactly, not one round late), and
+3. the new rows are damped against the previous round's rows, which
+   breaks the ping-pong oscillation undamped parallel best-response is
+   known for when two shards chase the same cheap column.
+
+Because every shard responds to the *same* broadcast state, the round's
+outcome is independent of the order — or the process — shards run in:
+serial, threaded and process execution are bit-identical by
+construction, which is what lets the runtime pick concurrency per
+deployment without forfeiting reproducibility.
+
+:func:`run_shard_round` is the process-pool entry point: a round's
+payload is a dict of small ``(K_s, N)`` arrays (classes, not clients —
+shipping it is cheap at any client count), the worker rebuilds the shard
+from the arrays and runs the identical ``solve_round`` code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import SimpleNamespace
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.incremental import IncrementalState
+from repro.core.kernels import waterfill_rows
+from repro.core.warmstart import WarmStartCache
+from repro.errors import ValidationError
+
+__all__ = ["ShardRound", "SolveShard", "partition_classes",
+           "run_shard_round"]
+
+
+def partition_classes(demands: np.ndarray, n_shards: int) -> np.ndarray:
+    """Demand-balanced class -> shard assignment (deterministic greedy LPT).
+
+    Classes are taken in decreasing demand order (ties by class index)
+    and each lands on the currently lightest shard (ties by shard id) —
+    the classic longest-processing-time heuristic, which keeps per-shard
+    demand within 4/3 of balanced and, more importantly here, is a pure
+    function of the demand vector so rebuilt planes repartition the same
+    way.
+    """
+    D = np.asarray(demands, dtype=float)
+    if D.ndim != 1:
+        raise ValidationError("demands must be one-dimensional")
+    S = int(n_shards)
+    if S < 1:
+        raise ValidationError("n_shards must be >= 1")
+    shard_of = np.zeros(D.shape[0], dtype=int)
+    totals = [0.0] * S
+    for k in np.argsort(-D, kind="stable"):
+        s = min(range(S), key=lambda i: (totals[i], i))
+        shard_of[int(k)] = s
+        totals[s] += float(D[k])
+    return shard_of
+
+
+def _class_slice(demands: np.ndarray, capacities: np.ndarray,
+                 prices: np.ndarray, alpha: np.ndarray, beta: np.ndarray,
+                 gamma: np.ndarray, mask: np.ndarray) -> SimpleNamespace:
+    """A class-space instance slice, duck-typed for IncrementalState.
+
+    Deliberately *not* a :class:`~repro.core.params.ProblemData`: a
+    shard slice is routinely degenerate in ways the full-instance
+    validators reject — drained classes with zero demand and no load,
+    zero-capacity columns after a replica death — and the incremental
+    state only reads the array attributes.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    return SimpleNamespace(
+        R=np.asarray(demands, dtype=float),
+        B=np.asarray(capacities, dtype=float),
+        u=np.asarray(prices, dtype=float),
+        alpha=np.asarray(alpha, dtype=float),
+        beta=np.asarray(beta, dtype=float),
+        gamma=np.asarray(gamma, dtype=float),
+        mask=mask, shape=mask.shape, n_clients=mask.shape[0])
+
+
+@dataclass(frozen=True)
+class ShardRound:
+    """Outcome of one :meth:`SolveShard.solve_round`.
+
+    ``loads`` are the shard's own column loads after the round;
+    ``fit`` is False when some class demand exceeded its headroom (the
+    shard grabbed all of it and left demand unmet — the coordinator
+    keeps iterating while other shards vacate capacity); ``converged``
+    folds ``fit`` with the inner refine's KKT convergence.
+    """
+
+    shard: int
+    loads: np.ndarray
+    sweeps: int
+    converged: bool
+    fit: bool
+
+
+class SolveShard:
+    """One shard of the sharded plane: a class slice plus its solve state."""
+
+    def __init__(self, shard_id: int, *, tokens: Sequence[bytes],
+                 demands: np.ndarray, capacities: np.ndarray,
+                 prices: np.ndarray, alpha: np.ndarray, beta: np.ndarray,
+                 gamma: np.ndarray, mask: np.ndarray,
+                 allocation: np.ndarray | None = None,
+                 clients: dict[str, tuple[bytes, float]] | None = None,
+                 warm_cache: WarmStartCache | None = None,
+                 kkt_rtol: float = 1e-9, max_sweeps: int = 64,
+                 drift_limit: float = 2.5) -> None:
+        data = _class_slice(demands, capacities, prices, alpha, beta,
+                            gamma, mask)
+        Q0 = np.zeros(data.shape) if allocation is None \
+            else np.asarray(allocation, dtype=float)
+        self.shard_id = int(shard_id)
+        self.state = IncrementalState(
+            data, tokens, Q0, clients=clients, drift_limit=drift_limit,
+            kkt_rtol=kkt_rtol, max_sweeps=max_sweeps)
+        self.warm_cache = warm_cache
+        self.rounds_run = 0
+
+    # -- views ---------------------------------------------------------------
+    @property
+    def tokens(self) -> list[bytes]:
+        """The shard's class tokens, in row order."""
+        return self.state.tokens
+
+    @property
+    def loads(self) -> np.ndarray:
+        """The shard's own column loads (background excluded)."""
+        return self.state.loads
+
+    @property
+    def n_rows(self) -> int:
+        """Class rows this shard currently owns."""
+        return self.state.n_classes
+
+    def demand(self) -> float:
+        """Total demand currently assigned to the shard."""
+        return float(self.state.D.sum())
+
+    def kkt_gap(self, background: np.ndarray) -> float:
+        """Worst cross-row KKT gap against ``background`` (relative)."""
+        self.state.set_background(background)
+        return self.state.kkt_residual()
+
+    def demand_error(self) -> float:
+        """Worst relative row-sum-vs-demand mismatch (0 when feasible)."""
+        st = self.state
+        if st.n_classes == 0:
+            return 0.0
+        err = np.abs(st.Q.sum(axis=1) - st.D)
+        return float(np.max(err / np.maximum(st.D, 1.0), initial=0.0))
+
+    # -- the exchange-round step ---------------------------------------------
+    def solve_round(self, background: np.ndarray,
+                    damping: float = 1.0) -> ShardRound:
+        """Best-respond to ``background``: Jacobi fill, GS polish, damping.
+
+        ``background`` is the other shards' column loads, held fixed for
+        the round.  ``damping`` in (0, 1] blends the new rows with the
+        previous round's (1.0 = undamped full step); rows whose demand
+        changed since the previous round always take the full step, so
+        damping never breaks row-sum feasibility.
+        """
+        st = self.state
+        st.set_background(background)
+        Q_prev = st.Q.copy()
+        if st.n_classes == 0:
+            self.rounds_run += 1
+            return ShardRound(self.shard_id, st.loads.copy(), 0, True, True)
+        other = np.maximum(st.loads[None, :] - st.Q, 0.0)
+        base = other + st.background[None, :]
+        head = np.where(st.masks,
+                        np.maximum(st.B[None, :] - base, 0.0), 0.0)
+        P, fits = waterfill_rows(st.u, st.alpha, st.beta, st.gamma,
+                                 st.D, base, head)
+        st.Q = P
+        st.loads = P.sum(axis=0)
+        converged, sweeps = st.refine()
+        if damping < 1.0:
+            ok_rows = np.abs(Q_prev.sum(axis=1) - st.D) \
+                <= 1e-9 * np.maximum(st.D, 1.0)
+            lam = np.where(ok_rows, float(damping), 1.0)[:, None]
+            st.Q = (1.0 - lam) * Q_prev + lam * st.Q
+            st.loads = st.Q.sum(axis=0)
+        self.rounds_run += 1
+        return ShardRound(self.shard_id, st.loads.copy(), sweeps,
+                          bool(converged) and bool(fits.all()),
+                          bool(fits.all()))
+
+    def adopt(self, allocation: np.ndarray) -> None:
+        """Install rows computed elsewhere (a process worker's round)."""
+        st = self.state
+        Q = np.asarray(allocation, dtype=float)
+        if Q.shape != st.Q.shape:
+            raise ValidationError("adopted allocation shape mismatch")
+        st.Q = Q.copy()
+        st.loads = st.Q.sum(axis=0)
+        self.rounds_run += 1
+
+    def drop_replica(self, index: int) -> None:
+        """Remove a dead replica's column from the shard's feasible set."""
+        st = self.state
+        j = int(index)
+        st.B[j] = 0.0
+        st.masks[:, j] = False
+        st.Q[:, j] = 0.0
+        st.loads = st.Q.sum(axis=0)
+
+    # -- warm-start plumbing -------------------------------------------------
+    def warm_seed(self, replicas: Sequence[str], prices: np.ndarray) -> bool:
+        """Seed rows from the shard-local cache; True when anything hit."""
+        if self.warm_cache is None:
+            return False
+        entry = self.warm_cache.lookup(replicas, prices)
+        if entry is None:
+            return False
+        st = self.state
+        hit = False
+        for k, t in enumerate(st.tokens):
+            row = entry.rows.get(t)
+            cached = entry.demands.get(t, 0.0)
+            D = float(st.D[k])
+            if row is None or row.shape != (st.n_replicas,) \
+                    or cached <= 0.0 or D <= 0.0:
+                continue
+            st.Q[k] = np.where(st.masks[k], np.maximum(row, 0.0), 0.0) \
+                * (D / cached)
+            hit = True
+        if hit:
+            st.loads = st.Q.sum(axis=0)
+        return hit
+
+    def store_warm(self, replicas: Sequence[str], prices: np.ndarray,
+                   rounds: int, converged: bool) -> None:
+        """Record the shard's converged rows in its local cache."""
+        if self.warm_cache is None:
+            return
+        st = self.state
+        self.warm_cache.store(replicas, prices, list(st.tokens), st.Q,
+                              st.masks, mu=st.mu(), iterations=rounds,
+                              converged=converged)
+
+    # -- process shipping ----------------------------------------------------
+    def round_payload(self, background: np.ndarray,
+                      damping: float) -> dict:
+        """A picklable snapshot for :func:`run_shard_round`.
+
+        Class-space arrays only — ``(K_s, N)`` floats plus the tokens —
+        so payload size is independent of the client count.
+        """
+        st = self.state
+        return {
+            "shard": self.shard_id, "tokens": list(st.tokens),
+            "demands": st.D.copy(), "capacities": st.B.copy(),
+            "prices": st.u.copy(), "alpha": st.alpha.copy(),
+            "beta": st.beta.copy(), "gamma": st.gamma.copy(),
+            "mask": st.masks.copy(), "allocation": st.Q.copy(),
+            "background": np.asarray(background, dtype=float).copy(),
+            "damping": float(damping), "kkt_rtol": st.kkt_rtol,
+            "max_sweeps": st.max_sweeps,
+        }
+
+
+def run_shard_round(payload: dict) -> tuple[int, np.ndarray, int, bool, bool]:
+    """Process-pool worker: rebuild the shard, run one round, return rows.
+
+    Reconstructing :class:`SolveShard` from the payload arrays and
+    calling the same :meth:`~SolveShard.solve_round` guarantees the
+    arithmetic is identical to the in-process path — the parent adopts
+    the returned rows verbatim.
+    """
+    shard = SolveShard(
+        payload["shard"], tokens=payload["tokens"],
+        demands=payload["demands"], capacities=payload["capacities"],
+        prices=payload["prices"], alpha=payload["alpha"],
+        beta=payload["beta"], gamma=payload["gamma"], mask=payload["mask"],
+        allocation=payload["allocation"], kkt_rtol=payload["kkt_rtol"],
+        max_sweeps=payload["max_sweeps"])
+    result = shard.solve_round(payload["background"], payload["damping"])
+    return (payload["shard"], shard.state.Q, result.sweeps,
+            result.converged, result.fit)

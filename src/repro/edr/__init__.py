@@ -9,6 +9,11 @@ returns an :class:`~repro.metrics.report.ExperimentResult`.
 from repro.edr.messages import Ports, MsgKind
 from repro.edr.membership import MembershipRing
 from repro.edr.scheduler import SolveTimingModel, DistributedSolveSession
+from repro.edr.coordinator import (
+    ShardCoordinator,
+    ShardingConfig,
+    solve_sharded,
+)
 from repro.edr.system import EDRSystem, RuntimeConfig
 from repro.edr.donar_runtime import DonarRuntime
 from repro.edr.agents import AgentBasedLddm, AgentBasedCdpsm
@@ -21,6 +26,9 @@ __all__ = [
     "DistributedSolveSession",
     "EDRSystem",
     "RuntimeConfig",
+    "ShardCoordinator",
+    "ShardingConfig",
+    "solve_sharded",
     "DonarRuntime",
     "AgentBasedLddm",
     "AgentBasedCdpsm",

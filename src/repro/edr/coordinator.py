@@ -1,0 +1,619 @@
+"""Sharded dual-price control plane: coordinator over solve shards.
+
+The runtime's remaining monolith is the solve itself: even with class
+aggregation and incremental events, one ``EDRSystem`` re-touches the
+whole class space in lockstep.  This module splits the plane into
+independent :class:`~repro.core.shard.SolveShard`\\ s and reconciles the
+*shared* resource — replica capacity — with a small number of dual-price
+exchange rounds, the decomposition-by-prices structure Mathew et al.'s
+energy-aware CDN balancing (arXiv:1109.5641) exploits across clusters
+and Lučanin's geo-distributed pricing work (arXiv:1809.05853) uses
+across data centers.
+
+The exchange protocol (one :meth:`ShardCoordinator.solve` round):
+
+1. the coordinator snapshots the aggregate column loads ``L`` and
+   broadcasts to shard ``s`` its *background* ``L - L_s`` — together
+   with the energy curve this fixes the marginal-price field
+   ``mu = E'(L)`` every shard prices against;
+2. every shard best-responds simultaneously (Jacobi): a batched
+   water-fill of all its rows against the background
+   (:func:`repro.core.kernels.waterfill_rows`), an intra-shard
+   Gauss–Seidel polish, and damping against its previous rows;
+3. the coordinator gathers the new loads and re-evaluates the global
+   residual — the worst of relative capacity overshoot, cross-shard KKT
+   gap, and per-row demand shortfall — and stops when it is within
+   tolerance.
+
+Because each round's inputs are a single broadcast snapshot, the round
+outcome is independent of shard execution order: ``serial``, ``thread``
+and ``process`` modes are bit-identical (the process worker rebuilds the
+shard from the round payload and runs the same code path).  Events
+route to exactly one shard (:meth:`ShardCoordinator.apply_event` /
+:meth:`ShardCoordinator.retarget`) and stay incremental inside it; full
+exchange rounds re-run only when the global residual drifts past the
+refresh threshold, so per-event cost is O(K_s * N) — independent of the
+client count and of the other shards.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Sequence
+
+import numpy as np
+
+from repro.core import model
+from repro.core.aggregate import aggregate_problem, solve_aggregated
+from repro.core.incremental import (
+    ClientArrival,
+    ClientDeparture,
+    DemandChange,
+)
+from repro.core.shard import SolveShard, partition_classes, run_shard_round
+from repro.core.solution import Solution
+from repro.core.warmstart import WarmStartCache
+from repro.errors import InfeasibleProblemError, ValidationError
+from repro.obs.recorder import NULL_RECORDER, Recorder
+
+__all__ = ["ShardingConfig", "CoordinatorResult", "RoutedResult",
+           "ShardCoordinator", "solve_sharded"]
+
+_MODES = ("serial", "thread", "process")
+
+#: Fallback reasons after which the declined event's demand delta has
+#: already been written into the state's class demands (see
+#: ``IncrementalState._apply_class_delta``): capacity and convergence
+#: declines happen *after* ``D[k]`` is updated, drift/stale before.
+_DELTA_APPLIED = frozenset({"capacity", "convergence"})
+
+
+@dataclass(frozen=True)
+class ShardingConfig:
+    """Tuning for the sharded control plane.
+
+    ``mode`` picks shard execution: ``serial`` (deterministic reference,
+    zero concurrency overhead), ``thread`` (shares the numpy kernels
+    across cores) or ``process`` (a ``concurrent.futures`` pool for
+    large K) — all three produce bit-identical allocations.  ``tol`` is
+    the global residual bound a solve converges to;
+    ``refresh_residual`` is the looser bound a routed event may leave
+    behind before the coordinator schedules full exchange rounds.
+    ``warm_cache_entries`` sizes each *shard-local* warm cache (``None``
+    derives a fair share of the runtime's global budget).
+    """
+
+    n_shards: int = 4
+    mode: str = "serial"
+    max_rounds: int = 64
+    tol: float = 1e-8
+    damping: float = 0.5
+    refresh_residual: float = 1e-3
+    warm_cache_entries: int | None = None
+    kkt_rtol: float = 1e-9
+    max_sweeps: int = 64
+    drift_limit: float = 2.5
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValidationError("n_shards must be >= 1")
+        if self.mode not in _MODES:
+            raise ValidationError(f"mode must be one of {_MODES}")
+        if self.max_rounds < 1:
+            raise ValidationError("max_rounds must be >= 1")
+        if not 0.0 < self.damping <= 1.0:
+            raise ValidationError("damping must be in (0, 1]")
+        if self.tol <= 0.0:
+            raise ValidationError("tol must be positive")
+        if self.refresh_residual < self.tol:
+            raise ValidationError("refresh_residual must be >= tol")
+        if self.warm_cache_entries is not None \
+                and self.warm_cache_entries < 1:
+            raise ValidationError("warm_cache_entries must be >= 1")
+
+
+@dataclass(frozen=True)
+class CoordinatorResult:
+    """Outcome of one :meth:`ShardCoordinator.solve` call."""
+
+    rounds: int
+    sweeps: int
+    residual: float
+    converged: bool
+    wall_s: float
+
+
+@dataclass(frozen=True)
+class RoutedResult:
+    """Outcome of a routed event or chunk retarget.
+
+    ``rounds`` counts the exchange rounds a residual-triggered refresh
+    (or a fallback recovery) ran — zero for the common absorbed-in-shard
+    case.  ``fallback_reason`` names the shard's decline when the
+    coordinator had to recover through force-target + full rounds.
+    """
+
+    ok: bool
+    events: int = 0
+    sweeps: int = 0
+    rounds: int = 0
+    refreshed: bool = False
+    residual: float = 0.0
+    fallback_reason: str | None = None
+
+
+class ShardCoordinator:
+    """Owns the shard set, the aggregate loads, and the exchange rounds.
+
+    ``data`` is the *class-space* instance (the K-row reduction from
+    :mod:`repro.core.aggregate` — a :class:`~repro.core.params.
+    ProblemData` or anything with its array attributes) and ``tokens``
+    the classes' packed-mask byte tokens in row order.  Classes are
+    partitioned across ``config.n_shards`` shards by demand-balanced
+    greedy assignment; ``clients`` optionally pre-registers client ->
+    (token, demand) members, routed to their class's shard.
+    """
+
+    def __init__(self, data, tokens: Sequence[bytes],
+                 config: ShardingConfig | None = None, *,
+                 clients: dict[str, tuple[bytes, float]] | None = None,
+                 warm_caches: Sequence[WarmStartCache | None] | None = None,
+                 recorder: Recorder | None = None) -> None:
+        cfg = config if config is not None else ShardingConfig()
+        tokens = list(tokens)
+        mask = np.asarray(data.mask, dtype=bool)
+        if len(tokens) != mask.shape[0]:
+            raise ValidationError("need one token per class row")
+        if warm_caches is not None and len(warm_caches) != cfg.n_shards:
+            raise ValidationError("need one warm cache per shard")
+        self.config = cfg
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.B = np.asarray(data.B, dtype=float).copy()
+        self.u = np.asarray(data.u, dtype=float).copy()
+        self.alpha = np.asarray(data.alpha, dtype=float).copy()
+        self.beta = np.asarray(data.beta, dtype=float).copy()
+        self.gamma = np.asarray(data.gamma, dtype=float).copy()
+        shard_of = partition_classes(data.R, cfg.n_shards)
+        self._token_shard = {t: int(shard_of[i])
+                             for i, t in enumerate(tokens)}
+        registry = dict(clients) if clients else {}
+        self._client_shard = {}
+        for c, (t, _) in registry.items():
+            if t not in self._token_shard:
+                raise ValidationError(
+                    f"client {c!r} registered to an unknown class")
+            self._client_shard[c] = self._token_shard[t]
+        self.shards: list[SolveShard] = []
+        demands = np.asarray(data.R, dtype=float)
+        for s in range(cfg.n_shards):
+            idx = np.flatnonzero(shard_of == s)
+            stokens = [tokens[int(i)] for i in idx]
+            own = set(stokens)
+            self.shards.append(SolveShard(
+                s, tokens=stokens, demands=demands[idx],
+                capacities=self.B, prices=self.u, alpha=self.alpha,
+                beta=self.beta, gamma=self.gamma, mask=mask[idx],
+                clients={c: r for c, r in registry.items() if r[0] in own},
+                warm_cache=warm_caches[s] if warm_caches else None,
+                kkt_rtol=cfg.kkt_rtol, max_sweeps=cfg.max_sweeps,
+                drift_limit=cfg.drift_limit))
+        self.loads = np.zeros(self.B.shape[0])
+        self.refresh_loads()
+        self.rounds_total = 0
+        self.refreshes = 0
+        self.fallbacks = 0
+        self.events_applied = 0
+
+    # -- views ---------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        """Shard count (fixed at construction)."""
+        return len(self.shards)
+
+    @property
+    def n_replicas(self) -> int:
+        """N, the replica count the plane is keyed to."""
+        return self.B.shape[0]
+
+    @property
+    def n_classes(self) -> int:
+        """Total class rows across all shards."""
+        return sum(sh.n_rows for sh in self.shards)
+
+    @property
+    def max_shard_rows(self) -> int:
+        """The widest shard's row count — the per-round critical path."""
+        return max((sh.n_rows for sh in self.shards), default=0)
+
+    def refresh_loads(self) -> None:
+        """Re-derive the aggregate column loads from the shards."""
+        loads = np.zeros(self.B.shape[0])
+        for sh in self.shards:
+            loads += sh.loads
+        self.loads = loads
+
+    def background(self, shard_id: int) -> np.ndarray:
+        """Column loads every shard *except* ``shard_id`` contributes."""
+        return np.maximum(self.loads - self.shards[shard_id].loads, 0.0)
+
+    def mu(self) -> np.ndarray:
+        """The broadcast dual-price vector: marginal energy cost at ``L``.
+
+        This is the shared price field the exchange rounds implicitly
+        fix — each shard's background plus the cost curve evaluates to
+        exactly these marginals at the aggregate operating point.
+        """
+        L = np.maximum(self.loads, 0.0)
+        return self.u * (self.alpha
+                         + self.beta * self.gamma * L ** (self.gamma - 1.0))
+
+    def objective(self) -> float:
+        """``E_g`` at the aggregate column loads (Eq. 1)."""
+        L = np.maximum(self.loads, 0.0)
+        return float(np.sum(self.u * (self.alpha * L
+                                      + self.beta * L ** self.gamma)))
+
+    def rows_for(self, tokens: Sequence[bytes]) -> np.ndarray:
+        """Class allocation rows for ``tokens``, whichever shard owns them."""
+        rows = np.zeros((len(tokens), self.n_replicas))
+        for i, t in enumerate(tokens):
+            s = self._token_shard.get(t)
+            if s is None:
+                raise ValidationError("unknown class token")
+            rows[i] = self.shards[s].state.row(t)
+        return rows
+
+    def residual(self) -> float:
+        """The global convergence residual (relative, 0 = converged).
+
+        The worst of: capacity overshoot relative to the column's
+        capacity, cross-shard KKT gap (each shard checked against its
+        current background), and per-row demand shortfall.
+        """
+        self.refresh_loads()
+        over = (self.loads - self.B) / np.maximum(self.B, 1e-9)
+        resid = float(np.max(over, initial=0.0))
+        for sh in self.shards:
+            if sh.n_rows:
+                resid = max(resid, sh.kkt_gap(self.background(sh.shard_id)),
+                            sh.demand_error())
+        return max(resid, 0.0)
+
+    # -- exchange rounds ------------------------------------------------------
+    def solve(self, *, max_rounds: int | None = None,
+              tol: float | None = None) -> CoordinatorResult:
+        """Run dual-price exchange rounds until the residual is within tol."""
+        cfg = self.config
+        max_rounds = cfg.max_rounds if max_rounds is None else int(max_rounds)
+        tol = cfg.tol if tol is None else float(tol)
+        t0 = perf_counter()
+        rounds = 0
+        sweeps = 0
+        resid = self.residual()
+        # Adaptive damping: a fixed factor can stall in a small limit
+        # cycle (simultaneous best responses overshooting each other);
+        # when the residual stops contracting for a few rounds, halve
+        # the damping.  The decision uses only the gathered residual,
+        # so it is identical across execution modes.
+        damping = cfg.damping
+        best = resid
+        stall = 0
+        executor = None
+        try:
+            if len(self.shards) > 1:
+                if cfg.mode == "thread":
+                    executor = ThreadPoolExecutor(
+                        max_workers=len(self.shards))
+                elif cfg.mode == "process":
+                    executor = ProcessPoolExecutor(
+                        max_workers=min(len(self.shards),
+                                        os.cpu_count() or 1))
+            while resid > tol and rounds < max_rounds:
+                results = self._run_round(executor, damping)
+                rounds += 1
+                self.rounds_total += 1
+                sweeps += sum(r.sweeps for r in results)
+                resid = self.residual()
+                if resid <= 0.9 * best:
+                    stall = 0
+                else:
+                    stall += 1
+                    if stall >= 3:
+                        damping = max(0.5 * damping, 0.05)
+                        stall = 0
+                best = min(best, resid)
+                if self.recorder.enabled:
+                    self.recorder.event(
+                        "coordinator.round", round=self.rounds_total,
+                        residual=resid, n_shards=self.n_shards)
+                    self.recorder.sample("coordinator.residual", resid)
+                    for r in results:
+                        self.recorder.event(
+                            "shard.solve", shard=r.shard,
+                            rows=self.shards[r.shard].n_rows,
+                            sweeps=r.sweeps, converged=r.converged)
+        finally:
+            if executor is not None:
+                executor.shutdown()
+        converged = resid <= tol
+        if self.recorder.enabled:
+            self.recorder.event(
+                "coordinator.solve", rounds=rounds, residual=resid,
+                converged=converged, n_shards=self.n_shards,
+                n_classes=self.n_classes)
+        return CoordinatorResult(rounds=rounds, sweeps=sweeps,
+                                 residual=resid, converged=converged,
+                                 wall_s=perf_counter() - t0)
+
+    def _run_round(self, executor, damping: float) -> list:
+        """One Jacobi round: broadcast backgrounds, gather shard responses.
+
+        Backgrounds all come from the same pre-round load snapshot, so
+        the round is order-independent — the three execution modes only
+        differ in where the identical arithmetic runs.
+        """
+        cfg = self.config
+        bgs = [self.background(s) for s in range(len(self.shards))]
+        if executor is None:
+            return [sh.solve_round(bgs[i], damping)
+                    for i, sh in enumerate(self.shards)]
+        if cfg.mode == "thread":
+            return list(executor.map(
+                lambda pair: pair[0].solve_round(pair[1], damping),
+                zip(self.shards, bgs)))
+        payloads = [sh.round_payload(bgs[i], damping)
+                    for i, sh in enumerate(self.shards)]
+        from repro.core.shard import ShardRound
+        results = []
+        for sid, Q, swp, conv, fit in executor.map(run_shard_round,
+                                                   payloads):
+            self.shards[sid].adopt(Q)
+            results.append(ShardRound(sid, self.shards[sid].loads.copy(),
+                                      swp, conv, fit))
+        return results
+
+    # -- event / chunk routing ------------------------------------------------
+    def _split_target(self, tokens: Sequence[bytes], masks: np.ndarray,
+                      demands: np.ndarray) -> list:
+        """Split a class target by owning shard; new tokens go lightest."""
+        per: list[tuple[list, list, list]] = \
+            [([], [], []) for _ in self.shards]
+        totals = [sh.demand() for sh in self.shards]
+        for i, t in enumerate(tokens):
+            s = self._token_shard.get(t)
+            if s is None:
+                s = min(range(len(self.shards)),
+                        key=lambda j: (totals[j], j))
+                self._token_shard[t] = s
+            totals[s] += float(demands[i])
+            per[s][0].append(t)
+            per[s][1].append(masks[i])
+            per[s][2].append(float(demands[i]))
+        out = []
+        for tk, mk, dm in per:
+            out.append((tk,
+                        np.asarray(mk, dtype=bool).reshape(
+                            len(tk), self.n_replicas),
+                        np.asarray(dm, dtype=float)))
+        return out
+
+    def retarget(self, tokens: Sequence[bytes], masks: np.ndarray,
+                 demands: np.ndarray) -> RoutedResult:
+        """Move the plane to a new per-class demand target (chunk turnover).
+
+        Each shard retargets its own slice incrementally against the
+        other shards' loads; classes a shard owns that are absent from
+        the target drain to zero inside that shard.  Full exchange
+        rounds run only if the resulting global residual exceeds the
+        refresh threshold, or as recovery when a shard declines.
+        """
+        masks = np.asarray(masks, dtype=bool)
+        demands = np.asarray(demands, dtype=float)
+        if masks.shape != (len(tokens), self.n_replicas) \
+                or demands.shape != (len(tokens),):
+            raise ValidationError("retarget shapes do not match tokens")
+        split = self._split_target(tokens, masks, demands)
+        events = 0
+        sweeps = 0
+        for s, sh in enumerate(self.shards):
+            self.refresh_loads()
+            sh.state.set_background(self.background(s))
+            r = sh.state.retarget(*split[s])
+            if not r.ok:
+                return self._recover(split, r.reason)
+            events += r.events
+            sweeps += r.sweeps
+        return self._maybe_refresh(events, sweeps)
+
+    def _recover(self, split: list, reason: str) -> RoutedResult:
+        """A shard declined: force-target everything, re-fill with rounds."""
+        self.fallbacks += 1
+        if self.recorder.enabled:
+            self.recorder.count("shard.fallback", reason=reason)
+        for s, sh in enumerate(self.shards):
+            sh.state.force_target(*split[s])
+        res = self.solve()
+        self.refreshes += 1
+        return RoutedResult(ok=True, events=0, sweeps=res.sweeps,
+                            rounds=res.rounds, refreshed=True,
+                            residual=res.residual, fallback_reason=reason)
+
+    def _maybe_refresh(self, events: int, sweeps: int) -> RoutedResult:
+        """Schedule exchange rounds only when the residual drifted."""
+        resid = self.residual()
+        rounds = 0
+        refreshed = False
+        if resid > self.config.refresh_residual:
+            res = self.solve()
+            resid = res.residual
+            rounds = res.rounds
+            sweeps += res.sweeps
+            refreshed = True
+            self.refreshes += 1
+            if self.recorder.enabled:
+                self.recorder.count("coordinator.refresh")
+        self.events_applied += events
+        return RoutedResult(ok=True, events=events, sweeps=sweeps,
+                            rounds=rounds, refreshed=refreshed,
+                            residual=resid)
+
+    def apply_event(
+            self, event: "ClientArrival | ClientDeparture | DemandChange"
+    ) -> RoutedResult:
+        """Route one client event to its owning shard; O(K_s * N).
+
+        Arrivals go to their class's shard (new classes to the lightest
+        shard); departures and demand changes follow the client's
+        registration.  The shard absorbs the event incrementally against
+        the other shards' loads; a decline is recovered in place with
+        force-target + exchange rounds, so the plane never goes stale.
+        """
+        if isinstance(event, ClientArrival):
+            token = np.asarray(event.eligibility, dtype=bool).tobytes()
+            s = self._token_shard.get(token)
+            if s is None:
+                totals = [sh.demand() for sh in self.shards]
+                s = min(range(len(self.shards)),
+                        key=lambda j: (totals[j], j))
+                self._token_shard[token] = s
+        else:
+            s = self._client_shard.get(event.client)
+            if s is None:
+                raise ValidationError(f"unknown client {event.client!r}")
+        self.refresh_loads()
+        sh = self.shards[s]
+        sh.state.set_background(self.background(s))
+        r = sh.state.apply_event(event)
+        if r.ok:
+            if isinstance(event, ClientArrival):
+                self._client_shard[event.client] = s
+            elif isinstance(event, ClientDeparture):
+                self._client_shard.pop(event.client, None)
+            if self.recorder.enabled:
+                self.recorder.count("shard.event", shard=s)
+            return self._maybe_refresh(r.events, r.sweeps)
+        return self._recover_event(sh, event, r.reason)
+
+    def _recover_event(self, sh: SolveShard, event,
+                       reason: str) -> RoutedResult:
+        """Absorb a declined event through force-target + full rounds.
+
+        Capacity/convergence declines happen after the class demand was
+        updated; drift/stale declines before — so the event's delta is
+        folded into the forced target only in the latter case, and the
+        registry update the decline skipped is replayed explicitly.
+        """
+        self.fallbacks += 1
+        if self.recorder.enabled:
+            self.recorder.count("shard.fallback", reason=reason)
+        st = sh.state
+        target = {t: float(st.D[k]) for k, t in enumerate(st.tokens)}
+        if isinstance(event, ClientArrival):
+            token = np.asarray(event.eligibility, dtype=bool).tobytes()
+            if reason not in _DELTA_APPLIED:
+                target[token] = target.get(token, 0.0) + float(event.demand)
+        else:
+            reg = st.registered(event.client)
+            if reg is None:
+                raise ValidationError(f"unknown client {event.client!r}")
+            token, old = reg
+            if reason not in _DELTA_APPLIED:
+                if isinstance(event, ClientDeparture):
+                    target[token] = max(target.get(token, 0.0) - old, 0.0)
+                else:
+                    target[token] = max(
+                        target.get(token, 0.0) - old + float(event.demand),
+                        0.0)
+        toks = list(st.tokens)
+        st.force_target(toks, st.masks,
+                        np.array([target.get(t, 0.0) for t in toks]))
+        if isinstance(event, ClientArrival):
+            st.register_client(event.client, token, float(event.demand))
+            self._client_shard[event.client] = sh.shard_id
+        elif isinstance(event, ClientDeparture):
+            st.deregister_client(event.client)
+            self._client_shard.pop(event.client, None)
+        else:
+            st.register_client(event.client, token, float(event.demand))
+        res = self.solve()
+        self.refreshes += 1
+        return RoutedResult(ok=True, events=1, sweeps=res.sweeps,
+                            rounds=res.rounds, refreshed=True,
+                            residual=res.residual, fallback_reason=reason)
+
+    # -- membership -----------------------------------------------------------
+    def fail_replica(self, index: int) -> None:
+        """Drop a dead replica's column across every shard, mid-flight.
+
+        Shard-local warm caches are invalidated (membership change) and
+        a class left with positive demand but no eligible replica raises
+        :class:`~repro.errors.InfeasibleProblemError` — the same
+        contract the monolithic runtime enforces via its feasibility
+        checks.  Call :meth:`solve` afterwards to re-spread the dead
+        column's load.
+        """
+        j = int(index)
+        if not 0 <= j < self.n_replicas:
+            raise ValidationError("replica index out of range")
+        self.B[j] = 0.0
+        for sh in self.shards:
+            sh.drop_replica(j)
+            if sh.warm_cache is not None:
+                sh.warm_cache.invalidate()
+            st = sh.state
+            orphaned = (st.D > 0.0) & ~st.masks.any(axis=1)
+            if orphaned.any():
+                raise InfeasibleProblemError(
+                    "a class has positive demand but no eligible replica "
+                    "after the replica failure")
+        self.refresh_loads()
+
+    # -- warm-start plumbing ---------------------------------------------------
+    def warm_seed(self, replicas: Sequence[str], prices: np.ndarray) -> bool:
+        """Seed every shard from its local cache; True if anything hit."""
+        hits = [sh.warm_seed(replicas, prices) for sh in self.shards]
+        if any(hits):
+            self.refresh_loads()
+        return any(hits)
+
+    def store_warm(self, replicas: Sequence[str], prices: np.ndarray,
+                   rounds: int, converged: bool) -> None:
+        """Record every shard's rows in its local cache."""
+        for sh in self.shards:
+            sh.store_warm(replicas, prices, rounds, converged)
+
+
+def solve_sharded(problem, n_shards: int = 4, *, mode: str = "serial",
+                  config: ShardingConfig | None = None,
+                  recorder: Recorder | None = None) -> Solution:
+    """Solve one instance end-to-end through the sharded plane.
+
+    Aggregates ``problem`` to class space, partitions the classes across
+    shards, runs exchange rounds to the configured tolerance and expands
+    the class rows back to a client-space :class:`Solution`.  With
+    ``n_shards=1`` the plane degenerates and this delegates *literally*
+    to :func:`repro.core.aggregate.solve_aggregated` — bit-identical to
+    the monolithic aggregated solve by construction.
+    """
+    cfg = config if config is not None \
+        else ShardingConfig(n_shards=n_shards, mode=mode)
+    if cfg.n_shards == 1:
+        return solve_aggregated(problem, "lddm")
+    t0 = perf_counter()
+    agg = aggregate_problem(problem)
+    coord = ShardCoordinator(agg.problem.data, list(agg.structure.keys),
+                             cfg, recorder=recorder)
+    res = coord.solve()
+    rows = coord.rows_for(list(agg.structure.keys))
+    P = agg.structure.expand_rows(rows)
+    return Solution(
+        allocation=P,
+        objective=model.total_energy(problem.data, P),
+        iterations=res.rounds,
+        converged=res.converged,
+        method="sharded",
+        solve_time_s=perf_counter() - t0,
+        n_classes=agg.n_classes)

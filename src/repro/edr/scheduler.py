@@ -130,6 +130,17 @@ class SolveTimingModel:
         return self.event_base + self.per_event * events \
             + self.per_sweep * sweeps
 
+    def round_time(self, max_shard_rows: int, lan_latency: float) -> float:
+        """Wall seconds one sharded dual-price exchange round charges.
+
+        Shards best-respond concurrently, so a round's compute cost is
+        the *widest* shard's batched water-fill and polish — charged at
+        the per-client iteration rate over that shard's class rows —
+        plus one broadcast/gather round trip to the coordinator.
+        """
+        return 2.0 * lan_latency + self.base \
+            + self.per_client * max(int(max_shard_rows), 0)
+
 
 class DistributedSolveSession:
     """One batched replica-selection solve executed over the network.

@@ -45,6 +45,7 @@ from repro.core.warmstart import (
     recover_mu,
 )
 from repro.edr.client import ClientAgent
+from repro.edr.coordinator import ShardCoordinator, ShardingConfig
 from repro.edr.membership import HeartbeatProtocol, MembershipRing
 from repro.edr.scheduler import DistributedSolveSession, SolveTimingModel
 from repro.edr.server import ReplicaServer
@@ -126,6 +127,20 @@ class RuntimeConfig:
     #: full turnover plus a growing batch; a sudden much-larger batch
     #: takes the batch solver.
     incremental_drift_limit: float = 2.5
+    #: Sharded control plane (see :mod:`repro.edr.coordinator`): classes
+    #: partition across independent solve shards and a coordinator
+    #: reconciles replica capacity with dual-price exchange rounds.
+    #: Chunks retarget shard-locally (each shard re-solves only its own
+    #: rows against the others' loads) and full rounds run only when the
+    #: global residual drifts.  Supersedes the ``incremental`` path when
+    #: set; requires ``aggregate=True`` and ``algorithm="lddm"``.
+    sharding: "ShardingConfig | None" = None
+    #: Capacity of the global warm-start cache; shard-local caches (one
+    #: per shard when ``sharding`` is set) each get a fair share
+    #: ``max(1, warm_cache_entries // n_shards)`` unless the
+    #: :class:`~repro.edr.coordinator.ShardingConfig` overrides it — so
+    #: K shards never multiply the cache memory K-fold silently.
+    warm_cache_entries: int = 32
     #: Drop per-request shares below this fraction of the request size and
     #: redistribute them over the kept replicas.  Slivers of a few MB keep
     #: a replica's execution window open for an entire download at almost
@@ -177,6 +192,17 @@ class RuntimeConfig:
                 "state lives in eligibility-class space)")
         if self.incremental and self.incremental_max_clients < 1:
             raise ValidationError("incremental_max_clients must be >= 1")
+        if self.warm_cache_entries < 1:
+            raise ValidationError("warm_cache_entries must be >= 1")
+        if self.sharding is not None:
+            if not self.aggregate:
+                raise ValidationError(
+                    "sharding requires aggregate=True (shards own "
+                    "eligibility-class slices)")
+            if self.algorithm != "lddm":
+                raise ValidationError(
+                    "sharding currently implements the LDDM-style "
+                    "dual-price plane only")
         if self.price_schedule is not None \
                 and self.price_schedule.n_replicas != len(self.prices):
             raise ValidationError(
@@ -305,7 +331,7 @@ class EDRSystem:
         # Cross-batch warm-start state (LDDM/CDPSM): cache of converged
         # allocations + duals, the adaptive iteration budget, and the live
         # set the cache was built against (membership change -> flush).
-        self._warm_cache = WarmStartCache()
+        self._warm_cache = WarmStartCache(max_entries=cfg.warm_cache_entries)
         self._warm_budget = AdaptiveBudget(floor=cfg.warm_budget_floor)
         self._warm_live: tuple[str, ...] = tuple(self.ring.live)
         self._warm_solves = 0
@@ -318,6 +344,24 @@ class EDRSystem:
         self._inc_events = 0
         self._inc_chunks = 0
         self._inc_fallbacks = 0
+        # Sharded control plane: a persistent coordinator keyed to (live
+        # replicas, prices) like the incremental state, plus one
+        # shard-local warm cache per shard (sized from the global
+        # warm_cache_entries budget so shards don't multiply memory).
+        self._shard_coord: "ShardCoordinator | None" = None
+        self._shard_key: tuple | None = None
+        self._shard_chunks = 0
+        self._shard_events = 0
+        self._shard_rounds = 0
+        self._shard_refreshes = 0
+        self._shard_fallbacks = 0
+        self._shard_caches: list[WarmStartCache] | None = None
+        if cfg.sharding is not None:
+            per_shard = cfg.sharding.warm_cache_entries \
+                if cfg.sharding.warm_cache_entries is not None \
+                else max(1, cfg.warm_cache_entries // cfg.sharding.n_shards)
+            self._shard_caches = [WarmStartCache(max_entries=per_shard)
+                                  for _ in range(cfg.sharding.n_shards)]
         if cfg.standby_after is not None:
             if cfg.standby_after <= 0:
                 raise ValidationError("standby_after must be positive")
@@ -535,6 +579,14 @@ class EDRSystem:
             # per client; cache entries are keyed by the classes' packed
             # mask tokens, which outlive any particular client set.
             agg = problem.aggregated() if cfg.aggregate else None
+            # Sharded control plane: the chunk retargets each shard's
+            # own class rows against the other shards' loads; full
+            # dual-price exchange rounds run only when the plane is
+            # (re)built or the global residual drifts.
+            if cfg.sharding is not None and agg is not None:
+                yield from self._schedule_chunk_sharded(
+                    chunk, clients, demands, problem, agg, live)
+                return
             # Incremental event path: a small sub-batch is a per-class
             # demand delta on the last converged state — apply it on the
             # lead (one RTT + O(K*N) compute) instead of a batch solve.
@@ -657,6 +709,88 @@ class EDRSystem:
                 self._inc_key = inc_key
         self._announce(assignments)
 
+    def _schedule_chunk_sharded(self, chunk: list[dict], clients: list[str],
+                                demands: dict, problem, agg, live):
+        """Route one chunk through the sharded dual-price control plane.
+
+        The coordinator persists across chunks under one (live replicas,
+        prices) key — membership or price changes rebuild it (shard
+        caches survive price rotations but not membership changes,
+        mirroring the warm-start invalidation rules).  Decision latency
+        charges one lead RTT plus the shard-local event work, plus one
+        broadcast/gather RTT and the widest shard's compute per exchange
+        round actually run.
+        """
+        cfg = self.config
+        rec = self.recorder
+        key = (tuple(live), problem.data.u.tobytes())
+        tokens = list(agg.structure.keys)
+        fallback_reason = None
+        if self._shard_coord is None or self._shard_key != key:
+            if self._shard_key is not None and self._shard_caches \
+                    and self._shard_key[0] != key[0]:
+                for cache in self._shard_caches:
+                    cache.invalidate()
+            coord = ShardCoordinator(
+                agg.problem.data, tokens, cfg.sharding,
+                warm_caches=self._shard_caches, recorder=rec)
+            warm = cfg.warm_start and coord.warm_seed(live, problem.data.u)
+            res = coord.solve()
+            self._shard_coord = coord
+            self._shard_key = key
+            if cfg.warm_start:
+                coord.store_warm(live, problem.data.u, res.rounds,
+                                 res.converged)
+            if warm:
+                self._warm_solves += 1
+            else:
+                self._cold_solves += 1
+            events, sweeps = coord.n_classes, res.sweeps
+            rounds, refreshed = res.rounds, True
+        else:
+            coord = self._shard_coord
+            out = coord.retarget(tokens, agg.structure.masks,
+                                 agg.structure.demands)
+            events, sweeps = out.events, out.sweeps
+            rounds, refreshed = out.rounds, out.refreshed
+            fallback_reason = out.fallback_reason
+            if fallback_reason is not None:
+                self._shard_fallbacks += 1
+            if cfg.warm_start and refreshed:
+                coord.store_warm(live, problem.data.u, rounds, True)
+        delay = 2 * cfg.lan_latency \
+            + cfg.timing.event_time(events, sweeps) \
+            + rounds * cfg.timing.round_time(coord.max_shard_rows,
+                                             cfg.lan_latency)
+        yield self.sim.timeout(delay)
+        self._shard_chunks += 1
+        self._shard_events += events
+        self._shard_rounds += rounds
+        if refreshed:
+            self._shard_refreshes += 1
+        self._solve_time_total += delay
+        self._solve_iterations += rounds
+        if rounds:
+            # Exchange rounds involve every live replica (price
+            # broadcast/gather); a shard-absorbed chunk only the lead.
+            for r in live:
+                self._busy_end[r] = max(self._busy_end[r], self.sim.now)
+        else:
+            lead = live[0]
+            self._busy_end[lead] = max(self._busy_end[lead], self.sim.now)
+        if rec.enabled:
+            rec.count("shard.event", events)
+            rec.event(
+                "runtime.shard", sim_time=self.sim.now,
+                n_requests=len(chunk), n_clients=len(clients),
+                events=events, sweeps=sweeps, rounds=rounds,
+                refreshed=refreshed, fallback=fallback_reason,
+                solve_sim_s=delay)
+        rows = coord.rows_for(tokens)
+        self._announce(self._shares_per_request(
+            chunk, clients, demands,
+            agg.structure.expand_rows(rows), live))
+
     def _announce(self, assignments: dict) -> None:
         """Send a chunk's ASSIGN decisions from the lead replica."""
         self._batches_solved += 1
@@ -751,6 +885,11 @@ class EDRSystem:
                 "incremental_chunks": self._inc_chunks,
                 "incremental_events": self._inc_events,
                 "incremental_fallbacks": self._inc_fallbacks,
+                "shard_chunks": self._shard_chunks,
+                "shard_events": self._shard_events,
+                "shard_rounds": self._shard_rounds,
+                "shard_refreshes": self._shard_refreshes,
+                "shard_fallbacks": self._shard_fallbacks,
                 "warm_cache_invalidations":
                     self._warm_cache.invalidations,
                 "retries": sum(c.retries for c in self.clients.values()),

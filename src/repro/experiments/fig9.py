@@ -22,9 +22,12 @@ from functools import partial
 
 import numpy as np
 
+from repro.core.aggregate import ClassStructure, solve_aggregated
 from repro.core.lddm import solve_lddm
 from repro.core.params import ProblemData
 from repro.core.problem import ReplicaSelectionProblem
+from repro.edr.coordinator import ShardCoordinator, ShardingConfig, \
+    solve_sharded
 from repro.edr.donar_runtime import DonarRuntime, DonarRuntimeConfig
 from repro.edr.system import EDRSystem, RuntimeConfig
 from repro.errors import ValidationError
@@ -37,7 +40,10 @@ from repro.workload.apps import FILE_SERVICE
 __all__ = ["Fig9Result", "run", "run_point", "DEFAULT_REQUEST_COUNTS",
            "SolverScalingResult", "scaling_problem", "run_scaling_point",
            "run_solver_scaling", "DEFAULT_SCALING_CLIENTS",
-           "IncrementalEventResult", "run_incremental_events"]
+           "IncrementalEventResult", "run_incremental_events",
+           "ShardScalingResult", "run_sharded_point",
+           "run_sharded_scaling", "ShardEventResult",
+           "run_sharded_events", "DEFAULT_SHARD_CLIENTS"]
 
 DEFAULT_REQUEST_COUNTS = (24, 48, 72, 96, 120, 144, 168, 192)
 
@@ -94,16 +100,24 @@ def run_point(point: int | tuple, recorder=None) -> dict:
     """One sweep point: both systems at one request count.
 
     Module-level and driven entirely by its argument — a count, or a
-    ``(count, warm_start[, aggregate[, max_clients]])`` tuple — so it
-    pickles cleanly into worker processes and gives bit-identical results
-    at any ``--jobs`` level (every random draw derives from the
-    scenario's fixed seed).  ``recorder`` threads a
-    :class:`~repro.obs.Recorder` through the EDR runtime (serial sweeps
-    only — events captured in worker processes would be lost).
+    ``(count, warm_start[, aggregate[, max_clients[, sharding]]])``
+    tuple — so it pickles cleanly into worker processes and gives
+    bit-identical results at any ``--jobs`` level (every random draw
+    derives from the scenario's fixed seed).  ``sharding`` routes EDR's
+    scheduling through the sharded control plane: a shard count or a
+    :class:`~repro.edr.coordinator.ShardingConfig`.  ``recorder``
+    threads a :class:`~repro.obs.Recorder` through the EDR runtime
+    (serial sweeps only — events captured in worker processes would be
+    lost).
     """
-    count, warm, aggregate, max_clients = \
-        ((point, True, True, 24) if isinstance(point, int)
-         else (tuple(point) + (True, True, 24))[:4])
+    defaults = (True, True, 24, None)
+    vals = (point,) if isinstance(point, int) else tuple(point)
+    count, warm, aggregate, max_clients, sharding = \
+        (vals + defaults[len(vals) - 1:])[:5]
+    shard_cfg = None
+    if sharding:
+        shard_cfg = sharding if isinstance(sharding, ShardingConfig) \
+            else ShardingConfig(n_shards=int(sharding))
     scenario = _scenario(int(count), max_clients=int(max_clients))
     trace = make_trace(scenario)
     if recorder is not None and recorder.enabled:
@@ -112,7 +126,8 @@ def run_point(point: int | tuple, recorder=None) -> dict:
     edr = EDRSystem(trace, RuntimeConfig(
         algorithm="lddm", prices=_PRICES_3,
         batch_capacity_fraction=0.35, warm_start=warm,
-        aggregate=aggregate, recorder=recorder)).run(app="dfs")
+        aggregate=aggregate, sharding=shard_cfg,
+        recorder=recorder)).run(app="dfs")
     donar = DonarRuntime(trace, DonarRuntimeConfig(
         n_replicas=3, n_mapping_nodes=3)).run(app="dfs")
     return {
@@ -128,7 +143,7 @@ def run_point(point: int | tuple, recorder=None) -> dict:
 
 def run(request_counts=DEFAULT_REQUEST_COUNTS, jobs: int = 1,
         warm_start: bool = True, aggregate: bool = True,
-        max_clients: int = 24, recorder=None) -> Fig9Result:
+        max_clients: int = 24, sharding=None, recorder=None) -> Fig9Result:
     """Sweep the request count for both systems.
 
     ``jobs > 1`` spreads the (independent) sweep points over worker
@@ -136,8 +151,11 @@ def run(request_counts=DEFAULT_REQUEST_COUNTS, jobs: int = 1,
     for the warm-vs-cold regression and benchmarks; ``aggregate=False``
     disables the class-space solve; ``max_clients`` lifts the paper's
     24-client population cap so the sweep can grow the client count with
-    the request count.  An enabled ``recorder`` forces ``jobs=1`` —
-    events captured inside worker processes would be lost.
+    the request count; ``sharding`` (a shard count or a
+    :class:`~repro.edr.coordinator.ShardingConfig`) routes EDR through
+    the sharded dual-price control plane.  An enabled ``recorder``
+    forces ``jobs=1`` — events captured inside worker processes would
+    be lost.
     """
     counts = [int(c) for c in request_counts]
     if not counts or min(counts) < 1:
@@ -148,7 +166,8 @@ def run(request_counts=DEFAULT_REQUEST_COUNTS, jobs: int = 1,
         point_fn = partial(run_point, recorder=recorder)
     points = parallel_map(
         point_fn,
-        [(c, warm_start, aggregate, int(max_clients)) for c in counts],
+        [(c, warm_start, aggregate, int(max_clients), sharding)
+         for c in counts],
         jobs=jobs)
     return Fig9Result(
         request_counts=counts,
@@ -211,28 +230,49 @@ class SolverScalingResult:
         return table + tail
 
 
-def scaling_problem(n_clients: int, seed: int = 2013
+def scaling_problem(n_clients: int, seed: int = 2013, *,
+                    n_replicas: int = 3, n_patterns: int = 4
                     ) -> ReplicaSelectionProblem:
     """A fig9-style batch instance with ``n_clients`` clients.
 
-    Three replicas at the sweep's prices, per-client demands drawn from
-    the DFS profile's lognormal size distribution (drawn vectorized —
-    same distribution as ``FILE_SERVICE.sample_size``), and four
-    latency-eligibility patterns standing in for client regions; replica
-    capacities scale with total demand so every count stays feasible.
+    By default three replicas at the sweep's prices, per-client demands
+    drawn from the DFS profile's lognormal size distribution (drawn
+    vectorized — same distribution as ``FILE_SERVICE.sample_size``),
+    and four latency-eligibility patterns standing in for client
+    regions; replica capacities scale with total demand so every count
+    stays feasible.  ``n_replicas`` / ``n_patterns`` widen the instance
+    for the sharded sweeps (more class rows to partition); the default
+    ``(3, 4)`` instance is byte-identical to what this function has
+    always produced.
     """
     if n_clients < 1:
         raise ValidationError("n_clients must be positive")
+    if n_replicas < 1 or n_patterns < 1:
+        raise ValidationError("n_replicas and n_patterns must be positive")
     rng = make_rng(seed)
     sigma = FILE_SERVICE.size_sigma
     mu = float(np.log(FILE_SERVICE.mean_size_mb)) - sigma ** 2 / 2.0
     demands = rng.lognormal(mean=mu, sigma=sigma, size=n_clients)
-    patterns = np.array([[1, 1, 1], [1, 1, 0], [0, 1, 1], [1, 0, 1]],
-                        dtype=bool)
+    if (n_replicas, n_patterns) == (3, 4):
+        patterns = np.array([[1, 1, 1], [1, 1, 0], [0, 1, 1], [1, 0, 1]],
+                            dtype=bool)
+        prices = _PRICES_3
+    else:
+        # All-ones first, then random patterns with >= 2 eligible
+        # replicas each (>= 2 keeps every demand split feasible under
+        # the 0.6*total per-column capacity, by Hall's condition).
+        patterns = np.ones((n_patterns, n_replicas), dtype=bool)
+        lo = min(2, n_replicas)
+        for p in range(1, n_patterns):
+            k = int(rng.integers(lo, n_replicas + 1))
+            off = rng.choice(n_replicas, size=n_replicas - k, replace=False)
+            patterns[p, off] = False
+        prices = tuple(np.resize(np.asarray(_PRICES_3, dtype=float),
+                                 n_replicas))
     mask = patterns[rng.integers(0, len(patterns), size=n_clients)]
     total = float(demands.sum())
     data = ProblemData.paper_defaults(
-        demands=demands, prices=_PRICES_3, bandwidth=0.6 * total, mask=mask)
+        demands=demands, prices=prices, bandwidth=0.6 * total, mask=mask)
     return ReplicaSelectionProblem(data)
 
 
@@ -288,6 +328,9 @@ class IncrementalEventResult:
     arrivals: int
     departures: int
     demand_changes: int
+    #: Open side-channel; ``extras["fallback_reasons"]`` histograms the
+    #: decline triggers (capacity / drift / convergence / stale).
+    extras: dict = field(default_factory=dict)
 
     @property
     def n_events(self) -> int:
@@ -324,9 +367,16 @@ class IncrementalEventResult:
             (f"resolve mean {self.mean_resolve_ms():.3f} ms   "
              f"speedup {self.speedup():.1f}x   "
              f"worst gap {self.worst_gap():.2e}   "
-             f"fallbacks {self.fallbacks}"),
+             f"fallbacks {self.fallbacks}{self._reasons_suffix()}"),
         ]
         return "\n".join(lines)
+
+    def _reasons_suffix(self) -> str:
+        reasons = self.extras.get("fallback_reasons") or {}
+        if not reasons:
+            return ""
+        inner = ", ".join(f"{k} {v}" for k, v in sorted(reasons.items()))
+        return f" ({inner})"
 
 
 def run_incremental_events(n_clients: int = 10_000, n_events: int = 200,
@@ -378,6 +428,7 @@ def run_incremental_events(n_clients: int = 10_000, n_events: int = 200,
     registry = dict(clients)   # mirror of the state's client registry
     event_ms, resolve_ms, gaps = [], [], []
     fallbacks = arrivals = departures = demand_changes = 0
+    fallback_reasons: dict[str, int] = {}
     for i in range(int(n_events)):
         kind = rng.random()
         if kind < 0.25 and names:
@@ -413,6 +464,8 @@ def run_incremental_events(n_clients: int = 10_000, n_events: int = 200,
                 registry[event.client] = (token, float(event.demand))
         else:
             fallbacks += 1
+            reason = result.reason or "unknown"
+            fallback_reasons[reason] = fallback_reasons.get(reason, 0) + 1
             if isinstance(event, ClientDeparture):
                 names.append(event.client)   # still registered
         if not result.ok or i % int(compare_every) == 0:
@@ -436,7 +489,8 @@ def run_incremental_events(n_clients: int = 10_000, n_events: int = 200,
         n_clients=int(n_clients), n_classes=state.n_classes,
         event_ms=event_ms, resolve_ms=resolve_ms, rel_gaps=gaps,
         fallbacks=fallbacks, arrivals=arrivals, departures=departures,
-        demand_changes=demand_changes)
+        demand_changes=demand_changes,
+        extras={"fallback_reasons": fallback_reasons})
 
 
 def run_solver_scaling(client_counts=DEFAULT_SCALING_CLIENTS,
@@ -466,3 +520,257 @@ def run_solver_scaling(client_counts=DEFAULT_SCALING_CLIENTS,
         direct_solve_s=[p["direct_s"] for p in points],
         direct_objective=[p["direct_objective"] for p in points],
         direct_iterations=[p["direct_iterations"] for p in points])
+
+
+# -- sharded control plane (the 10^6-10^7-client regime) ----------------------
+
+#: Client counts for the sharded scaling sweep.
+DEFAULT_SHARD_CLIENTS = (100_000, 1_000_000)
+
+#: A tight monolithic baseline: the aggregated LDDM pushed well past
+#: the runtime budget, the reference the sharded gap is measured against.
+_TIGHT_LDDM_KWARGS = {"max_iter": 5000, "tol": 1e-10,
+                      "track_objective": False}
+
+
+@dataclass
+class ShardScalingResult:
+    """Sharded dual-price solve vs tight monolithic aggregated LDDM.
+
+    One row per client count: end-to-end wall time of
+    :func:`~repro.edr.coordinator.solve_sharded` (aggregation +
+    exchange rounds + expansion), the tight monolithic baseline's wall
+    time, the relative objective gap between the two, the exchange
+    rounds used, and whether a second execution mode reproduced the
+    serial allocation bit-for-bit.
+    """
+
+    client_counts: list[int]
+    n_shards: int
+    n_classes: list[int]
+    sharded_solve_s: list[float]
+    monolithic_solve_s: list[float]
+    rel_gaps: list[float]
+    rounds: list[int]
+    modes_identical: list[bool]
+
+    def worst_gap(self) -> float:
+        return max(self.rel_gaps, default=0.0)
+
+    def render(self) -> str:
+        table = render_series(
+            {"K": self.n_classes,
+             "shard_ms": [1000 * v for v in self.sharded_solve_s],
+             "mono_ms": [1000 * v for v in self.monolithic_solve_s],
+             "rounds": self.rounds,
+             "gap": self.rel_gaps},
+            x=self.client_counts, x_label="clients",
+            title=(f"Fig. 9 extension — sharded plane ({self.n_shards} "
+                   "shards) vs tight monolithic aggregated LDDM"))
+        modes = "yes" if all(self.modes_identical) else "NO"
+        return (table + f"\nworst objective gap: {self.worst_gap():.2e}   "
+                f"execution modes bit-identical: {modes}")
+
+
+def run_sharded_point(point: int | tuple) -> dict:
+    """One sharded scaling point (module-level: pickles into workers).
+
+    ``point`` is a count or a ``(count, n_shards[, seed[, n_replicas[,
+    n_patterns[, check_mode]]]])`` tuple.  ``check_mode`` names a second
+    execution mode whose allocation is compared bit-for-bit against the
+    serial one (empty string skips the check).
+    """
+    defaults = (4, 2013, 6, 24, "thread")
+    vals = (point,) if isinstance(point, int) else tuple(point)
+    count, n_shards, seed, n_replicas, n_patterns, check_mode = \
+        (vals + defaults[len(vals) - 1:])[:6]
+    problem = scaling_problem(int(count), seed=int(seed),
+                              n_replicas=int(n_replicas),
+                              n_patterns=int(n_patterns))
+    import time
+    t0 = time.perf_counter()
+    sharded = solve_sharded(problem, int(n_shards))
+    shard_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    mono = solve_aggregated(problem, "lddm", **_TIGHT_LDDM_KWARGS)
+    mono_s = time.perf_counter() - t0
+    gap = abs(sharded.objective - mono.objective) \
+        / max(abs(mono.objective), 1e-12)
+    identical = True
+    if check_mode:
+        other = solve_sharded(problem, int(n_shards), mode=str(check_mode))
+        identical = bool(np.array_equal(sharded.allocation,
+                                        other.allocation))
+    return {
+        "count": int(count),
+        "n_classes": sharded.n_classes,
+        "shard_s": shard_s,
+        "mono_s": mono_s,
+        "gap": float(gap),
+        "rounds": int(sharded.iterations),
+        "identical": identical,
+    }
+
+
+def run_sharded_scaling(client_counts=DEFAULT_SHARD_CLIENTS,
+                        n_shards: int = 4, seed: int = 2013,
+                        n_replicas: int = 6, n_patterns: int = 24,
+                        check_mode: str = "thread",
+                        jobs: int = 1) -> ShardScalingResult:
+    """Compare the sharded plane against the tight monolithic solve.
+
+    Every point builds the widened fig9-style instance (``n_replicas``
+    replicas, ``n_patterns`` eligibility patterns, so the class space is
+    worth partitioning), solves it through
+    :func:`~repro.edr.coordinator.solve_sharded` and through the tight
+    monolithic aggregated LDDM, and records walls, the relative
+    objective gap and the ``check_mode`` bit-identity verdict.
+    """
+    counts = [int(c) for c in client_counts]
+    if not counts or min(counts) < 1:
+        raise ValidationError("client_counts must be positive")
+    if n_shards < 1:
+        raise ValidationError("n_shards must be >= 1")
+    points = parallel_map(
+        run_sharded_point,
+        [(c, int(n_shards), int(seed), int(n_replicas), int(n_patterns),
+          str(check_mode)) for c in counts],
+        jobs=jobs)
+    return ShardScalingResult(
+        client_counts=counts,
+        n_shards=int(n_shards),
+        n_classes=[p["n_classes"] for p in points],
+        sharded_solve_s=[p["shard_s"] for p in points],
+        monolithic_solve_s=[p["mono_s"] for p in points],
+        rel_gaps=[p["gap"] for p in points],
+        rounds=[p["rounds"] for p in points],
+        modes_identical=[p["identical"] for p in points])
+
+
+@dataclass
+class ShardEventResult:
+    """Per-event cost of the shard-routed churn stream.
+
+    Events route to exactly one shard and are absorbed incrementally
+    against the other shards' (fixed) loads, so the per-event wall time
+    depends on the owning shard's class rows — *not* on the total client
+    count.  :func:`run_sharded_events` at two counts demonstrates that
+    independence; the bench gate pins it.
+    """
+
+    n_clients: int
+    n_classes: int
+    n_shards: int
+    event_ms: list[float]            # per-event apply_event wall time
+    refreshes: int                   # residual-triggered exchange refreshes
+    fallbacks: int                   # shard declines recovered in place
+    rounds: int                      # exchange rounds across all refreshes
+    arrivals: int
+    departures: int
+    demand_changes: int
+    final_residual: float
+
+    @property
+    def n_events(self) -> int:
+        return len(self.event_ms)
+
+    def event_p(self, q: float) -> float:
+        """``q``-th percentile of the per-event latency, in ms."""
+        return float(np.percentile(self.event_ms, q))
+
+    def mean_event_ms(self) -> float:
+        return float(np.mean(self.event_ms))
+
+    def render(self) -> str:
+        lines = [
+            ("Fig. 9 extension — shard-routed per-event updates "
+             f"({self.n_shards} shards)"),
+            (f"clients {self.n_clients}  classes {self.n_classes}  "
+             f"events {self.n_events} "
+             f"(arrive {self.arrivals} / depart {self.departures} / "
+             f"demand {self.demand_changes})"),
+            (f"event mean {self.mean_event_ms():.3f} ms   "
+             f"p50 {self.event_p(50):.3f} ms   "
+             f"p99 {self.event_p(99):.3f} ms"),
+            (f"refreshes {self.refreshes}   fallbacks {self.fallbacks}   "
+             f"rounds {self.rounds}   "
+             f"final residual {self.final_residual:.2e}"),
+        ]
+        return "\n".join(lines)
+
+
+def run_sharded_events(n_clients: int = 100_000, n_events: int = 200,
+                       n_shards: int = 4, seed: int = 2013,
+                       event_seed: int = 7, n_replicas: int = 3,
+                       n_patterns: int = 4) -> ShardEventResult:
+    """Apply a churn stream through the sharded plane and time every event.
+
+    Builds the fig9-style instance, aggregates it, stands up a
+    :class:`~repro.edr.coordinator.ShardCoordinator` with every client
+    registered, converges it, then applies ``n_events`` drawn from the
+    same fixed-seed mix as :func:`run_incremental_events` — half demand
+    changes, a quarter arrivals, a quarter departures — via
+    :meth:`~repro.edr.coordinator.ShardCoordinator.apply_event`.
+    Declines and residual drift are recovered inside the coordinator
+    (counted, not special-cased here), so the timing is the cost the
+    runtime would actually pay per event.
+    """
+    import time
+
+    if n_events < 1:
+        raise ValidationError("n_events must be positive")
+    problem = scaling_problem(int(n_clients), seed=int(seed),
+                              n_replicas=int(n_replicas),
+                              n_patterns=int(n_patterns))
+    data = problem.data
+    structure = ClassStructure.from_mask(data.mask, data.R)
+    reduced = structure.reduce_data(data)
+    tokens = list(structure.keys)
+    clients = {f"c{i}": (tokens[structure.class_of_client[i]],
+                         float(data.R[i]))
+               for i in range(data.n_clients)}
+    coord = ShardCoordinator(reduced, tokens,
+                             ShardingConfig(n_shards=int(n_shards)),
+                             clients=clients)
+    coord.solve()
+
+    from repro.core.incremental import (
+        ClientArrival, ClientDeparture, DemandChange)
+    rng = make_rng(int(event_seed))
+    names = list(clients)
+    patterns = np.asarray(data.mask[
+        np.unique(structure.class_of_client,
+                  return_index=True)[1]], dtype=bool)
+    sigma = FILE_SERVICE.size_sigma
+    mu = float(np.log(FILE_SERVICE.mean_size_mb)) - sigma ** 2 / 2.0
+
+    event_ms = []
+    arrivals = departures = demand_changes = 0
+    for i in range(int(n_events)):
+        kind = rng.random()
+        if kind < 0.25 and names:
+            departures += 1
+            victim = names.pop(int(rng.integers(len(names))))
+            event = ClientDeparture(victim)
+        elif kind < 0.5:
+            arrivals += 1
+            fresh = f"x{i}"
+            event = ClientArrival(
+                fresh, float(rng.lognormal(mean=mu, sigma=sigma)),
+                patterns[int(rng.integers(len(patterns)))])
+            names.append(fresh)
+        else:
+            demand_changes += 1
+            event = DemandChange(
+                names[int(rng.integers(len(names)))],
+                float(rng.lognormal(mean=mu, sigma=sigma)))
+        t0 = time.perf_counter()
+        coord.apply_event(event)
+        event_ms.append(1e3 * (time.perf_counter() - t0))
+    return ShardEventResult(
+        n_clients=int(n_clients), n_classes=coord.n_classes,
+        n_shards=coord.n_shards, event_ms=event_ms,
+        refreshes=coord.refreshes, fallbacks=coord.fallbacks,
+        rounds=coord.rounds_total, arrivals=arrivals,
+        departures=departures, demand_changes=demand_changes,
+        final_residual=coord.residual())

@@ -22,6 +22,12 @@ Counters (aggregated in-recorder, exported once):
                             delta-event path (no batch solve)
 ``incremental.fallback``    incremental updates declined (capacity /
                             drift / convergence) -> full warm solve
+``shard.event``             events/chunk deltas absorbed inside one
+                            solve shard (label ``shard``)
+``shard.fallback``          shard declines recovered by force-target +
+                            exchange rounds (label ``reason``)
+``coordinator.refresh``     residual-triggered full exchange-round
+                            refreshes of the sharded plane
 ==========================  ====================================================
 """
 
@@ -43,6 +49,9 @@ COUNTER_NAMES = (
     "warmstart.invalidation",
     "incremental.event",
     "incremental.fallback",
+    "shard.event",
+    "shard.fallback",
+    "coordinator.refresh",
 )
 
 #: Known event names -> fields guaranteed to be present (beyond
@@ -69,6 +78,16 @@ EVENT_SCHEMAS: dict[str, tuple[str, ...]] = {
     # (class-demand changes applied + refinement sweeps, no batch solve).
     "runtime.incremental": ("sim_time", "n_requests", "n_clients",
                             "events", "sweeps", "solve_sim_s"),
+    # One per shard best-response inside a dual-price exchange round.
+    "shard.solve": ("shard", "rows", "sweeps", "converged"),
+    # One per dual-price exchange round (global residual after gather).
+    "coordinator.round": ("round", "residual", "n_shards"),
+    # One per ShardCoordinator.solve() call.
+    "coordinator.solve": ("rounds", "residual", "converged", "n_shards",
+                          "n_classes"),
+    # One per EDR runtime chunk routed through the sharded plane.
+    "runtime.shard": ("sim_time", "n_requests", "n_clients", "events",
+                      "sweeps", "rounds", "refreshed", "solve_sim_s"),
     # Ring membership transition ("dead" or "alive").
     "membership": ("change", "member"),
     # Experiment-runner marker: everything after belongs to this figure.

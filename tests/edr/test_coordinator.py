@@ -1,0 +1,274 @@
+"""Coordinator-level contracts for the sharded dual-price plane.
+
+What the runtime leans on: exchange rounds land on the centralized
+optimum, ``n_shards=1`` degenerates bit-identically to the monolithic
+aggregated solve, all three execution modes produce the same bits, a
+shard holding essentially all the load still converges, a replica dying
+mid-exchange is recovered in place, and routed events keep the plane
+within the refresh residual — including the force-target fallback when
+a shard declines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregate import aggregate_problem, solve_aggregated
+from repro.core.incremental import (
+    ClientArrival,
+    ClientDeparture,
+    DemandChange,
+)
+from repro.core.model import total_energy
+from repro.core.params import ProblemData
+from repro.core.problem import ReplicaSelectionProblem
+from repro.core.reference import solve_reference
+from repro.edr.coordinator import (
+    ShardCoordinator,
+    ShardingConfig,
+    solve_sharded,
+)
+from repro.errors import InfeasibleProblemError, ValidationError
+from repro.experiments import fig9
+from tests.core.conftest import random_instance
+
+#: Acceptance bound: sharded objective within this relative gap of the
+#: centralized reference / tight monolithic solve.
+REL_GAP = 1e-6
+
+
+def _class_space(demands, prices=(1.0, 8.0, 1.0), mask=None,
+                 bandwidth=None):
+    """A tiny instance used *directly* as class space (row = class)."""
+    demands = np.asarray(demands, dtype=float)
+    kwargs = {} if bandwidth is None else {"bandwidth": bandwidth}
+    data = ProblemData.paper_defaults(
+        demands=demands, prices=list(prices), mask=mask, **kwargs)
+    tokens = [data.mask[i].tobytes() + bytes([i])
+              for i in range(data.n_clients)]
+    return data, tokens
+
+
+def _make_coord(n_clients=400, n_shards=3, seed=2013, **cfg_kwargs):
+    problem = fig9.scaling_problem(n_clients, seed=seed)
+    agg = aggregate_problem(problem)
+    coord = ShardCoordinator(
+        agg.problem.data, list(agg.structure.keys),
+        ShardingConfig(n_shards=n_shards, **cfg_kwargs))
+    return problem, agg, coord
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ShardingConfig(n_shards=0)
+        with pytest.raises(ValidationError):
+            ShardingConfig(mode="fork")
+        with pytest.raises(ValidationError):
+            ShardingConfig(damping=0.0)
+        with pytest.raises(ValidationError):
+            ShardingConfig(damping=1.5)
+        with pytest.raises(ValidationError):
+            ShardingConfig(tol=1e-3, refresh_residual=1e-6)
+        with pytest.raises(ValidationError):
+            ShardingConfig(warm_cache_entries=0)
+
+    def test_token_count_checked(self):
+        data, tokens = _class_space([10.0, 20.0])
+        with pytest.raises(ValidationError):
+            ShardCoordinator(data, tokens[:1])
+
+    def test_unknown_client_class_rejected(self):
+        data, tokens = _class_space([10.0, 20.0])
+        with pytest.raises(ValidationError):
+            ShardCoordinator(data, tokens,
+                             clients={"c0": (b"nope", 10.0)})
+
+
+class TestConvergence:
+    def test_lands_on_reference(self):
+        problem, agg, coord = _make_coord(n_clients=400, n_shards=3)
+        res = coord.solve()
+        assert res.converged
+        rows = coord.rows_for(list(agg.structure.keys))
+        P = agg.structure.expand_rows(rows)
+        ref = solve_reference(problem)
+        assert total_energy(problem.data, P) \
+            <= ref.objective * (1 + REL_GAP)
+        assert problem.violation(P) < 1e-6 * float(problem.data.R.max())
+
+    def test_solve_sharded_gap_and_feasibility(self):
+        problem = fig9.scaling_problem(600, seed=7)
+        sol = solve_sharded(problem, 3)
+        mono = solve_aggregated(problem, "lddm", max_iter=5000, tol=1e-10,
+                                track_objective=False)
+        gap = abs(sol.objective - mono.objective) \
+            / max(abs(mono.objective), 1e-12)
+        assert sol.converged
+        assert gap <= REL_GAP
+        assert sol.method == "sharded"
+
+    def test_single_shard_bit_identical_to_monolithic(self):
+        problem = fig9.scaling_problem(300, seed=5)
+        one = solve_sharded(problem, 1)
+        mono = solve_aggregated(problem, "lddm")
+        assert np.array_equal(one.allocation, mono.allocation)
+        assert one.objective == mono.objective
+
+    @pytest.mark.parametrize("mode", ["thread", "process"])
+    def test_modes_bit_identical(self, mode):
+        problem = fig9.scaling_problem(500, seed=3)
+        serial = solve_sharded(problem, 3, mode="serial")
+        other = solve_sharded(problem, 3, mode=mode)
+        assert np.array_equal(serial.allocation, other.allocation)
+
+    def test_one_shard_holds_all_load(self):
+        # One class carries ~99% of the demand: LPT isolates it on its
+        # own shard, which then fights the (near-empty) others for the
+        # cheap columns.  The exchange must still land on the optimum.
+        data, tokens = _class_space([500.0, 2.0, 3.0], bandwidth=250.0)
+        coord = ShardCoordinator(data, tokens, ShardingConfig(n_shards=3))
+        heavy = coord._token_shard[tokens[0]]
+        assert coord.shards[heavy].demand() == pytest.approx(500.0)
+        res = coord.solve()
+        assert res.converged
+        ref = solve_reference(
+            ReplicaSelectionProblem(ProblemData.paper_defaults(
+                demands=[500.0, 2.0, 3.0], prices=[1.0, 8.0, 1.0],
+                bandwidth=250.0)))
+        assert coord.objective() <= ref.objective * (1 + REL_GAP)
+
+    def test_more_shards_than_classes(self):
+        data, tokens = _class_space([40.0, 60.0])
+        coord = ShardCoordinator(data, tokens, ShardingConfig(n_shards=4))
+        res = coord.solve()
+        assert res.converged
+        ref = solve_reference(
+            ReplicaSelectionProblem(ProblemData.paper_defaults(
+                demands=[40.0, 60.0], prices=[1.0, 8.0, 1.0])))
+        assert coord.objective() <= ref.objective * (1 + REL_GAP)
+
+
+class TestReplicaDeath:
+    def test_dead_replica_mid_exchange_recovers(self):
+        # Converge partially, kill a column mid-flight, finish: the dead
+        # column drains everywhere and the plane re-converges on the
+        # survivor set's optimum.
+        problem, agg, coord = _make_coord(n_clients=300, n_shards=3)
+        coord.solve(max_rounds=2)
+        coord.fail_replica(1)
+        res = coord.solve()
+        assert res.converged
+        assert coord.loads[1] == pytest.approx(0.0, abs=1e-12)
+        masked = problem.data.mask.copy()
+        masked[:, 1] = False
+        survivors = ReplicaSelectionProblem(ProblemData(
+            demands=problem.data.R, capacities=problem.data.B,
+            prices=problem.data.u, alpha=problem.data.alpha[0],
+            beta=problem.data.beta[0], gamma=problem.data.gamma[0],
+            mask=masked))
+        ref = solve_reference(survivors)
+        assert coord.objective() <= ref.objective * (1 + REL_GAP)
+
+    def test_orphaned_class_raises(self):
+        # A class eligible only to the dying replica cannot be placed.
+        mask = np.array([[True, True, True], [False, True, False]])
+        data, tokens = _class_space([30.0, 20.0], mask=mask)
+        coord = ShardCoordinator(data, tokens, ShardingConfig(n_shards=2))
+        coord.solve()
+        with pytest.raises(InfeasibleProblemError):
+            coord.fail_replica(1)
+
+    def test_index_validated(self):
+        data, tokens = _class_space([10.0, 20.0])
+        coord = ShardCoordinator(data, tokens)
+        with pytest.raises(ValidationError):
+            coord.fail_replica(7)
+
+
+class TestEventRouting:
+    def _converged_coord(self, n_clients=300, n_shards=3, **cfg_kwargs):
+        problem = fig9.scaling_problem(n_clients, seed=2013)
+        agg = aggregate_problem(problem)
+        tokens = list(agg.structure.keys)
+        clients = {
+            f"c{i}": (tokens[agg.structure.class_of_client[i]],
+                      float(problem.data.R[i]))
+            for i in range(problem.data.n_clients)}
+        coord = ShardCoordinator(
+            agg.problem.data, tokens,
+            ShardingConfig(n_shards=n_shards, **cfg_kwargs),
+            clients=clients)
+        coord.solve()
+        return problem, coord
+
+    def test_events_stay_within_refresh_residual(self):
+        problem, coord = self._converged_coord()
+        eligibility = problem.data.mask[0]
+        events = [
+            ClientArrival("fresh1", 5.0, eligibility),
+            DemandChange("c0", 9.0),
+            ClientDeparture("c1"),
+            ClientDeparture("fresh1"),
+        ]
+        for event in events:
+            r = coord.apply_event(event)
+            assert r.ok
+            assert coord.residual() \
+                <= coord.config.refresh_residual + 1e-12
+        assert coord.events_applied >= 2
+
+    def test_routing_follows_registration(self):
+        problem, coord = self._converged_coord()
+        eligibility = problem.data.mask[0]
+        coord.apply_event(ClientArrival("fresh1", 4.0, eligibility))
+        token = np.asarray(eligibility, dtype=bool).tobytes()
+        assert coord._client_shard["fresh1"] == coord._token_shard[token]
+        coord.apply_event(ClientDeparture("fresh1"))
+        assert "fresh1" not in coord._client_shard
+
+    def test_unknown_client_raises(self):
+        _, coord = self._converged_coord()
+        with pytest.raises(ValidationError):
+            coord.apply_event(DemandChange("ghost", 5.0))
+
+    def test_new_class_routes_to_lightest_shard(self):
+        _, coord = self._converged_coord()
+        fresh_mask = np.array([False, True, False])
+        token = fresh_mask.tobytes()
+        assert token not in coord._token_shard
+        lightest = min(range(coord.n_shards),
+                       key=lambda s: (coord.shards[s].demand(), s))
+        r = coord.apply_event(ClientArrival("newpat", 3.0, fresh_mask))
+        assert r.ok
+        assert coord._token_shard[token] == lightest
+
+    def test_fallback_recovery_in_place(self):
+        # A hair-trigger drift limit makes the owning shard decline the
+        # event; the coordinator force-targets and re-runs exchange
+        # rounds, ending converged with the event applied.
+        problem, coord = self._converged_coord(drift_limit=1e-9)
+        before = coord.fallbacks
+        r = coord.apply_event(DemandChange("c0", 50.0))
+        assert r.ok and r.refreshed
+        assert r.fallback_reason in \
+            {"capacity", "drift", "convergence", "stale"}
+        assert coord.fallbacks == before + 1
+        assert coord.residual() <= coord.config.tol * (1 + 1e-9)
+        # The demand change actually landed.
+        reg = None
+        for sh in coord.shards:
+            reg = reg or sh.state.registered("c0")
+        assert reg is not None and reg[1] == pytest.approx(50.0)
+
+    def test_retarget_moves_the_plane(self):
+        problem, coord = self._converged_coord()
+        agg = aggregate_problem(problem)
+        tokens = list(agg.structure.keys)
+        masks = agg.structure.masks
+        demands = agg.structure.demands * 1.1
+        r = coord.retarget(tokens, masks, demands)
+        assert r.ok
+        assert coord.residual() \
+            <= coord.config.refresh_residual + 1e-12
+        total = sum(sh.demand() for sh in coord.shards)
+        assert total == pytest.approx(float(demands.sum()))
