@@ -1,0 +1,90 @@
+"""Wall-time regression gate over the ``BENCH_fig9.json`` trajectory.
+
+The trajectory file is an append-only ledger: every fig9-family bench
+appends one flat record per run, and records from the same bench share
+the same field names.  This checker groups records by that signature
+(the sorted field names, minus the per-run ``git_rev``/``wall_s``),
+takes the two newest entries of each group, and fails when the newest
+wall time regressed more than the allowed margin over its predecessor.
+
+Run from the repository root (CI does, right after the shard benches
+append fresh records)::
+
+    python benchmarks/check_bench_regression.py [path/to/BENCH_fig9.json]
+
+A group with fewer than two records is reported but never fails — the
+first run of a new bench *establishes* its baseline.  The margin is
+deliberately loose (20% plus an absolute slack) because CI boxes are
+noisy; the gate exists to catch step-change regressions, not jitter.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+#: Newest wall may exceed the previous run's by this factor...
+MAX_RATIO = 1.2
+
+#: ...plus this absolute slack (seconds), so sub-second benches do not
+#: fail on scheduler noise alone.
+SLACK_S = 1.0
+
+#: Per-run fields excluded from the grouping signature.
+_VOLATILE = ("git_rev", "wall_s")
+
+
+def signature(record: dict) -> tuple[str, ...]:
+    """A record's bench identity: its sorted non-volatile field names."""
+    return tuple(sorted(k for k in record if k not in _VOLATILE))
+
+
+def check(path: pathlib.Path) -> int:
+    """Print a per-bench verdict; return the number of regressions."""
+    try:
+        history = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"bench-regression: cannot read {path}: {exc}")
+        return 1
+    if not isinstance(history, list) or not history:
+        print(f"bench-regression: {path} holds no records; nothing to gate")
+        return 0
+    groups: dict[tuple[str, ...], list[dict]] = {}
+    for record in history:
+        if isinstance(record, dict) and \
+                isinstance(record.get("wall_s"), (int, float)):
+            groups.setdefault(signature(record), []).append(record)
+    failures = 0
+    for sig, records in sorted(groups.items()):
+        label = "/".join(sig[:3]) + ("..." if len(sig) > 3 else "")
+        if len(records) < 2:
+            print(f"  baseline  {label}: first record "
+                  f"({records[-1]['wall_s']:.3f}s), nothing to compare")
+            continue
+        prev, newest = records[-2], records[-1]
+        budget = prev["wall_s"] * MAX_RATIO + SLACK_S
+        verdict = "ok" if newest["wall_s"] <= budget else "REGRESSED"
+        print(f"  {verdict:>9}  {label}: {newest['wall_s']:.3f}s vs "
+              f"{prev['wall_s']:.3f}s (budget {budget:.3f}s, "
+              f"{newest.get('git_rev', '?')} vs {prev.get('git_rev', '?')})")
+        if verdict == "REGRESSED":
+            failures += 1
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    default = pathlib.Path(__file__).parent.parent / "BENCH_fig9.json"
+    path = pathlib.Path(argv[1]) if len(argv) > 1 else default
+    print(f"bench-regression gate over {path}")
+    failures = check(path)
+    if failures:
+        print(f"bench-regression: {failures} bench(es) regressed more "
+              f"than {MAX_RATIO:.0%} + {SLACK_S}s over the previous run")
+        return 1
+    print("bench-regression: no wall-time regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

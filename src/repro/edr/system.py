@@ -18,6 +18,7 @@ messages with the paper's exact pattern and counts via
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -135,6 +136,12 @@ class RuntimeConfig:
     #: global residual drifts.  Supersedes the ``incremental`` path when
     #: set; requires ``aggregate=True`` and ``algorithm="lddm"``.
     sharding: "ShardingConfig | None" = None
+    #: Worker budget for the sharded plane's thread/process pools.
+    #: ``None`` follows the process's CPU affinity mask (not the raw
+    #: machine core count — container quotas and taskset masks are
+    #: respected).  A :class:`~repro.edr.coordinator.ShardingConfig`
+    #: with its own ``max_workers`` set wins over this knob.
+    max_workers: int | None = None
     #: Capacity of the global warm-start cache; shard-local caches (one
     #: per shard when ``sharding`` is set) each get a fair share
     #: ``max(1, warm_cache_entries // n_shards)`` unless the
@@ -194,6 +201,8 @@ class RuntimeConfig:
             raise ValidationError("incremental_max_clients must be >= 1")
         if self.warm_cache_entries < 1:
             raise ValidationError("warm_cache_entries must be >= 1")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValidationError("max_workers must be >= 1")
         if self.sharding is not None:
             if not self.aggregate:
                 raise ValidationError(
@@ -350,11 +359,13 @@ class EDRSystem:
         # warm_cache_entries budget so shards don't multiply memory).
         self._shard_coord: "ShardCoordinator | None" = None
         self._shard_key: tuple | None = None
+        self._shard_cfg: "ShardingConfig | None" = None
         self._shard_chunks = 0
         self._shard_events = 0
         self._shard_rounds = 0
         self._shard_refreshes = 0
         self._shard_fallbacks = 0
+        self._shard_migrations = 0
         self._shard_caches: list[WarmStartCache] | None = None
         if cfg.sharding is not None:
             per_shard = cfg.sharding.warm_cache_entries \
@@ -362,6 +373,13 @@ class EDRSystem:
                 else max(1, cfg.warm_cache_entries // cfg.sharding.n_shards)
             self._shard_caches = [WarmStartCache(max_entries=per_shard)
                                   for _ in range(cfg.sharding.n_shards)]
+            # The runtime-level worker budget flows into the shard
+            # config unless the latter pins its own.
+            self._shard_cfg = cfg.sharding
+            if cfg.max_workers is not None \
+                    and cfg.sharding.max_workers is None:
+                self._shard_cfg = dataclasses.replace(
+                    cfg.sharding, max_workers=cfg.max_workers)
         if cfg.standby_after is not None:
             if cfg.standby_after <= 0:
                 raise ValidationError("standby_after must be positive")
@@ -727,12 +745,17 @@ class EDRSystem:
         tokens = list(agg.structure.keys)
         fallback_reason = None
         if self._shard_coord is None or self._shard_key != key:
+            if self._shard_coord is not None:
+                # Retire the stale plane: bank its migration count and
+                # release its executors/shared memory before rebuilding.
+                self._shard_migrations += self._shard_coord.migrations
+                self._shard_coord.close()
             if self._shard_key is not None and self._shard_caches \
                     and self._shard_key[0] != key[0]:
                 for cache in self._shard_caches:
                     cache.invalidate()
             coord = ShardCoordinator(
-                agg.problem.data, tokens, cfg.sharding,
+                agg.problem.data, tokens, self._shard_cfg,
                 warm_caches=self._shard_caches, recorder=rec)
             warm = cfg.warm_start and coord.warm_seed(live, problem.data.u)
             res = coord.solve()
@@ -850,6 +873,10 @@ class EDRSystem:
             site.meter.stop()
         if self.heartbeats is not None:
             self.heartbeats.stop()
+        if self._shard_coord is not None:
+            # Release the worker fleet's executors and shared memory;
+            # the coordinator itself stays warm for a follow-up run.
+            self._shard_coord.close()
         from repro.cluster.pricing import JOULES_PER_KWH
         # Paper accounting: integrate each replica's power over its own
         # execution window [0, busy_end] — a replica is "done" when it has
@@ -890,6 +917,9 @@ class EDRSystem:
                 "shard_rounds": self._shard_rounds,
                 "shard_refreshes": self._shard_refreshes,
                 "shard_fallbacks": self._shard_fallbacks,
+                "shard_migrations": self._shard_migrations + (
+                    self._shard_coord.migrations
+                    if self._shard_coord is not None else 0),
                 "warm_cache_invalidations":
                     self._warm_cache.invalidations,
                 "retries": sum(c.retries for c in self.clients.values()),

@@ -28,6 +28,12 @@ Counters (aggregated in-recorder, exported once):
                             exchange rounds (label ``reason``)
 ``coordinator.refresh``     residual-triggered full exchange-round
                             refreshes of the sharded plane
+``coordinator.migration``   classes migrated between shards by the
+                            online re-partitioner (no plane teardown)
+``shard.bytes_static``      bytes of shard geometry shipped to the
+                            persistent worker fleet via shared memory
+``shard.bytes_round``       per-round delta bytes crossing the process
+                            boundary (task dicts + returned rows)
 ==========================  ====================================================
 """
 
@@ -52,6 +58,9 @@ COUNTER_NAMES = (
     "shard.event",
     "shard.fallback",
     "coordinator.refresh",
+    "coordinator.migration",
+    "shard.bytes_static",
+    "shard.bytes_round",
 )
 
 #: Known event names -> fields guaranteed to be present (beyond
@@ -78,13 +87,20 @@ EVENT_SCHEMAS: dict[str, tuple[str, ...]] = {
     # (class-demand changes applied + refinement sweeps, no batch solve).
     "runtime.incremental": ("sim_time", "n_requests", "n_clients",
                             "events", "sweeps", "solve_sim_s"),
-    # One per shard best-response inside a dual-price exchange round.
-    "shard.solve": ("shard", "rows", "sweeps", "converged"),
-    # One per dual-price exchange round (global residual after gather).
-    "coordinator.round": ("round", "residual", "n_shards"),
+    # One per shard best-response inside a dual-price exchange round
+    # (demand_share feeds the elasticity skew diagnostics).
+    "shard.solve": ("shard", "rows", "sweeps", "converged", "demand_share"),
+    # One per dual-price exchange round (global residual after gather;
+    # wall_s feeds the advisory shard-count tuner).
+    "coordinator.round": ("round", "residual", "n_shards", "wall_s"),
     # One per ShardCoordinator.solve() call.
     "coordinator.solve": ("rounds", "residual", "converged", "n_shards",
                           "n_classes"),
+    # One per rebalance() that migrated classes (online re-partition).
+    "coordinator.repartition": ("moves", "n_shards", "skew_before",
+                                "skew_after"),
+    # One per explicit shard-count resize (auto_tune or direct).
+    "coordinator.resize": ("from_shards", "to_shards", "n_classes"),
     # One per EDR runtime chunk routed through the sharded plane.
     "runtime.shard": ("sim_time", "n_requests", "n_clients", "events",
                       "sweeps", "rounds", "refreshed", "solve_sim_s"),

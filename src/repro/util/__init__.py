@@ -1,5 +1,6 @@
-"""Shared utilities: RNG streams, time series, validation, stats, tables."""
+"""Shared utilities: RNG, time series, validation, stats, tables, CPUs."""
 
+from repro.util.cpus import available_cpus, resolve_workers
 from repro.util.rng import RngFactory, make_rng
 from repro.util.timeseries import TimeSeries
 from repro.util.validation import (
@@ -13,6 +14,8 @@ from repro.util.stats import Summary, summarize, percentile
 from repro.util.tables import render_table, render_series
 
 __all__ = [
+    "available_cpus",
+    "resolve_workers",
     "RngFactory",
     "make_rng",
     "TimeSeries",

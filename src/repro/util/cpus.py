@@ -1,0 +1,35 @@
+"""CPU-budget helpers for sizing worker pools.
+
+``os.cpu_count()`` reports the machine, not the process: under a
+cgroup/affinity restriction (CI runners, containers, ``taskset``) it
+happily over-reports, and a pool sized from it oversubscribes the few
+cores the scheduler will actually grant.  Pool sizing throughout the
+repo goes through :func:`available_cpus`, which prefers the scheduling
+affinity mask when the platform exposes one.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["available_cpus", "resolve_workers"]
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware, >= 1)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # platforms without affinity masks
+        return max(1, os.cpu_count() or 1)
+
+
+def resolve_workers(n_tasks: int, max_workers: int | None = None) -> int:
+    """Worker count for ``n_tasks`` parallel tasks under the CPU budget.
+
+    ``max_workers`` caps the pool explicitly (a runtime knob); ``None``
+    defers to :func:`available_cpus`.  Never below 1, never above
+    ``n_tasks`` — idle workers only cost startup time.
+    """
+    budget = int(max_workers) if max_workers is not None \
+        else available_cpus()
+    return max(1, min(int(n_tasks), budget))
