@@ -148,6 +148,20 @@ class RuntimeConfig:
     #: :class:`~repro.edr.coordinator.ShardingConfig` overrides it — so
     #: K shards never multiply the cache memory K-fold silently.
     warm_cache_entries: int = 32
+    #: Coalesce each ASSIGN batch's downloads per (replica, client) pair
+    #: into one weighted aggregate flow (weight = live request
+    #: multiplicity; see :class:`~repro.net.flows.AggregateFlow`).  Exact
+    #: under max-min fairness — every request completes at the instant
+    #: its own flow would have — while the flow table and fair-share
+    #: recompute scale with (replica, client) pairs per epoch instead of
+    #: requests.  ``False`` restores one flow per request (the legacy
+    #: data-plane cost profile, used by parity benches).
+    coalesce: bool = True
+    #: Fair-share allocator inside the :class:`~repro.net.flows.
+    #: FlowManager`: ``"vector"`` (default) runs the numpy progressive-
+    #: filling kernel over flat arrays; ``"scalar"`` keeps the dict-based
+    #: oracle in the loop.
+    flow_kernel: str = "vector"
     #: Drop per-request shares below this fraction of the request size and
     #: redistribute them over the kept replicas.  Slivers of a few MB keep
     #: a replica's execution window open for an entire download at almost
@@ -199,6 +213,8 @@ class RuntimeConfig:
                 "state lives in eligibility-class space)")
         if self.incremental and self.incremental_max_clients < 1:
             raise ValidationError("incremental_max_clients must be >= 1")
+        if self.flow_kernel not in ("vector", "scalar"):
+            raise ValidationError(f"unknown flow kernel {self.flow_kernel!r}")
         if self.warm_cache_entries < 1:
             raise ValidationError("warm_cache_entries must be >= 1")
         if self.max_workers is not None and self.max_workers < 1:
@@ -276,7 +292,9 @@ class EDRSystem:
         self.network = Network(self.sim, self.topology,
                                recorder=self.recorder)
         self.flows = FlowManager(self.sim, self.topology,
-                                 crashed=self.network.is_crashed)
+                                 crashed=self.network.is_crashed,
+                                 kernel=cfg.flow_kernel,
+                                 recorder=self.recorder)
         self.faults = FaultInjector(self.sim, self.network, self.flows,
                                     on_restore=self._on_node_restored)
 
@@ -323,7 +341,8 @@ class EDRSystem:
                 by_client[cname], live_replicas=lambda: self.ring.live,
                 stats=self.stats,
                 on_transfer_event=self._on_transfer_event,
-                on_delivered=self._on_delivered)
+                on_delivered=self._on_delivered,
+                coalesce=cfg.coalesce, recorder=self.recorder)
         # Crash hook: when the network declares a node crashed, take it off
         # the ring immediately unless heartbeats are doing the detection.
         self._batches_solved = 0
@@ -823,8 +842,21 @@ class EDRSystem:
         per_client: dict[str, dict] = {}
         for uid, entry in assignments.items():
             per_client.setdefault(entry["client"], {})[uid] = entry["shares"]
+        coalesce = self.config.coalesce
         for cname, shares in per_client.items():
-            lead_server.send_assignment(cname, shares, self._batches_solved)
+            by_replica = None
+            if coalesce:
+                # Pre-group per source replica at the lead: the client
+                # opens one aggregate download per entry.
+                by_replica = {}
+                for uid, req_shares in shares.items():
+                    for replica, amount in req_shares.items():
+                        if amount <= 0:
+                            continue
+                        by_replica.setdefault(replica, []).append(
+                            (uid, amount))
+            lead_server.send_assignment(cname, shares, self._batches_solved,
+                                        by_replica=by_replica)
 
     # -- running ---------------------------------------------------------------------
     def crash_replica(self, name: str, at: float) -> None:
@@ -924,6 +956,9 @@ class EDRSystem:
                     self._warm_cache.invalidations,
                 "retries": sum(c.retries for c in self.clients.values()),
                 "delivered_mb": self._delivered_mb,
+                "flow_recomputes": self.flows.recomputes,
+                "flows_settled": self.flows.parts_settled,
+                "flows_coalesced": self.flows.parts_coalesced,
                 "wall_clock_joules": wall_joules,
                 "busy_end": dict(self._busy_end),
                 "transferred_mb": dict(self._transferred_mb),

@@ -9,17 +9,28 @@ relative to Round-Robin's price-blind spread.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from functools import partial
 
 import numpy as np
 
+from repro.edr.system import EDRSystem, RuntimeConfig
 from repro.experiments.parallel import parallel_map
 from repro.experiments.runtime_common import ALGORITHMS, run_runtime
-from repro.experiments.scenarios import PAPER_DFS, PAPER_VIDEO, Scenario
+from repro.experiments.scenarios import (
+    PAPER_DFS,
+    PAPER_VIDEO,
+    Scenario,
+    make_trace,
+)
 from repro.metrics.report import ExperimentResult, compare_table
+from repro.util.tables import render_series
+from repro.workload.apps import ApplicationProfile
 
-__all__ = ["PerReplicaCostResult", "run"]
+__all__ = ["PerReplicaCostResult", "run",
+           "TRAFFIC_APP", "TrafficPoint", "TrafficScalingResult",
+           "traffic_scenario", "run_traffic_scaling"]
 
 
 def _run_algo(item: tuple, recorder=None) -> ExperimentResult:
@@ -84,3 +95,150 @@ def run(scenario: Scenario | None = None, app: str = "video",
                         jobs=jobs)
     results = dict(zip(ALGORITHMS, outs))
     return PerReplicaCostResult(scenario=scenario, results=results)
+
+
+# -- request-scaling sweep (the traffic-engine counterpart of fig9) ---------
+
+#: Small-object traffic: ~1 MB requests, the CDN-style regime where the
+#: data plane sees many concurrent downloads per (replica, client) pair
+#: inside one scheduling epoch.
+TRAFFIC_APP = ApplicationProfile(name="traffic", mean_size_mb=1.0)
+
+
+def traffic_scenario(n_requests: int, n_clients: int = 24,
+                     arrival_rate: float = 450.0) -> Scenario:
+    """A high-request-rate scenario for the traffic-scaling sweep."""
+    return Scenario(name=f"traffic-{n_requests}", app=TRAFFIC_APP,
+                    n_requests=n_requests, n_clients=n_clients,
+                    arrival_rate=arrival_rate)
+
+
+def _traffic_config(legacy: bool, poll_interval: float) -> RuntimeConfig:
+    """Runtime config for one scaling run.
+
+    ``legacy=True`` restores the old data-plane cost profile: one flow
+    per request and the scalar dict-based fair-share allocator.  The
+    control plane is identical in both — the incremental delta-event
+    re-solve, so per-epoch solver traffic stays cheap and the wall-clock
+    delta isolates the traffic engine.
+    """
+    return RuntimeConfig(
+        algorithm="lddm", poll_interval=poll_interval,
+        coalesce=not legacy,
+        flow_kernel="scalar" if legacy else "vector",
+        incremental=True, incremental_max_clients=64)
+
+
+@dataclass
+class TrafficPoint:
+    """One scaling point: the same trace through both engine paths."""
+
+    n_requests: int
+    wall_new_s: float
+    result_new: ExperimentResult
+    wall_legacy_s: float | None = None
+    result_legacy: ExperimentResult | None = None
+
+    @property
+    def speedup(self) -> float | None:
+        """Legacy wall / new wall (None where legacy was skipped)."""
+        if self.wall_legacy_s is None:
+            return None
+        return self.wall_legacy_s / self.wall_new_s
+
+    @property
+    def cents_gap(self) -> float | None:
+        """Max per-replica |cents delta| between the two paths."""
+        if self.result_legacy is None:
+            return None
+        return float(np.max(np.abs(self.result_new.cents_by_replica
+                                   - self.result_legacy.cents_by_replica)))
+
+    @property
+    def response_gap(self) -> float | None:
+        """|mean response delta| between the two paths (seconds)."""
+        if self.result_legacy is None:
+            return None
+        return abs(self.result_new.mean_response
+                   - self.result_legacy.mean_response)
+
+
+@dataclass
+class TrafficScalingResult:
+    """The request-scaling sweep (EXPERIMENTS.md "traffic engine")."""
+
+    points: list[TrafficPoint] = field(default_factory=list)
+    legacy_limit: int = 10_000
+
+    def point(self, n_requests: int) -> TrafficPoint:
+        for p in self.points:
+            if p.n_requests == n_requests:
+                return p
+        raise KeyError(n_requests)
+
+    def speedup_at(self, n_requests: int) -> float | None:
+        return self.point(n_requests).speedup
+
+    def render(self) -> str:
+        xs = [p.n_requests for p in self.points]
+        series = {
+            "new wall (s)": [p.wall_new_s for p in self.points],
+            "legacy wall (s)": [p.wall_legacy_s if p.wall_legacy_s is not None
+                                else float("nan") for p in self.points],
+            "speedup": [p.speedup if p.speedup is not None else float("nan")
+                        for p in self.points],
+            "coalesced": [p.result_new.extras["flows_coalesced"]
+                          for p in self.points],
+            "recomputes": [p.result_new.extras["flow_recomputes"]
+                           for p in self.points],
+        }
+        return render_series(
+            series, x=xs, x_label="requests",
+            title=("Traffic engine scaling — EDRSystem.run wall clock, "
+                   "coalesced+vector vs legacy per-request scalar "
+                   f"(legacy beyond {self.legacy_limit} requests skipped)"))
+
+
+def _run_traffic_point(item: tuple) -> tuple[float, ExperimentResult]:
+    # Module-level so it pickles into ProcessPoolExecutor workers.
+    scenario, legacy, poll_interval = item
+    trace = make_trace(scenario)
+    system = EDRSystem(trace, _traffic_config(legacy, poll_interval))
+    t0 = time.perf_counter()
+    result = system.run(app=scenario.app.name)
+    return time.perf_counter() - t0, result
+
+
+def run_traffic_scaling(request_counts=(1_000, 10_000, 100_000),
+                        legacy_limit: int = 10_000,
+                        n_clients: int = 24,
+                        arrival_rate: float = 450.0,
+                        poll_interval: float = 0.25,
+                        jobs: int = 1) -> TrafficScalingResult:
+    """Replay growing request traces through the full ``EDRSystem``.
+
+    Every point runs the coalesced + vectorized engine; points up to
+    ``legacy_limit`` requests also run the legacy per-request scalar
+    path on the *same trace* for the wall-clock ratio and the exactness
+    gaps (per-replica cents, mean response).  ``poll_interval`` is the
+    scheduling epoch — larger epochs mean more same-pair downloads per
+    ASSIGN batch, i.e. more coalescing.  ``jobs=2`` runs a point's two
+    engine paths in parallel processes (CI smoke); keep the default
+    serial run when the wall-clock *ratio* is the measurement.
+    """
+    out = TrafficScalingResult(legacy_limit=legacy_limit)
+    for n in request_counts:
+        scenario = traffic_scenario(n, n_clients=n_clients,
+                                    arrival_rate=arrival_rate)
+        items = [(scenario, False, poll_interval)]
+        if n <= legacy_limit:
+            items.append((scenario, True, poll_interval))
+        results = parallel_map(_run_traffic_point, items,
+                               jobs=min(jobs, len(items)))
+        wall_new, res_new = results[0]
+        point = TrafficPoint(n_requests=n, wall_new_s=wall_new,
+                             result_new=res_new)
+        if len(results) == 2:
+            point.wall_legacy_s, point.result_legacy = results[1]
+        out.points.append(point)
+    return out

@@ -31,8 +31,8 @@ from repro.experiments.scenarios import PAPER_DFS, PAPER_VIDEO
 __all__ = ["main"]
 
 _ALL = ("fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-        "headline", "ablations", "ext_prices", "ext_geo", "ext_standby",
-        "validation")
+        "traffic", "headline", "ablations", "ext_prices", "ext_geo",
+        "ext_standby", "validation")
 
 
 def _scaled(scenario, quick: bool):
@@ -69,6 +69,11 @@ def run_one(name: str, args, recorder=None) -> str:
             else ((24, 48, 96) if quick else fig9.DEFAULT_REQUEST_COUNTS)
         return fig9.run(request_counts=counts, jobs=args.jobs,
                         recorder=recorder).render()
+    if name == "traffic":
+        counts = tuple(args.counts) if getattr(args, "counts", None) \
+            else ((1_000, 5_000) if quick else (1_000, 10_000, 100_000))
+        return fig6_fig7.run_traffic_scaling(request_counts=counts,
+                                             jobs=args.jobs).render()
     if name == "headline":
         runs = args.runs if args.runs else (6 if quick else 40)
         return headline_mod.run(n_runs=runs).render()
@@ -88,6 +93,39 @@ def run_one(name: str, args, recorder=None) -> str:
         return model_validation.run(
             n_policies=4 if quick else 8).render()
     raise SystemExit(f"unknown experiment {name!r}; choose from {_ALL}")
+
+
+def _reports_dir():
+    """The bench-report ledger directory (created on demand)."""
+    from pathlib import Path
+    root = Path(__file__).resolve().parents[3]
+    reports = root / "benchmarks" / "reports"
+    if not reports.parent.is_dir():  # installed outside the repo tree
+        reports = Path.cwd() / "profiles"
+    reports.mkdir(parents=True, exist_ok=True)
+    return reports
+
+
+def _profiled(name: str, args, recorder=None) -> str:
+    """Run one experiment under cProfile; dump pstats + print hot spots."""
+    import cProfile
+    import io
+    import pstats
+
+    prof = cProfile.Profile()
+    prof.enable()
+    try:
+        report = run_one(name, args, recorder=recorder)
+    finally:
+        prof.disable()
+    path = _reports_dir() / f"profile_{name}.pstats"
+    prof.dump_stats(path)
+    buf = io.StringIO()
+    stats = pstats.Stats(prof, stream=buf).sort_stats("cumulative")
+    stats.print_stats(15)
+    print(f"profile: {path}")
+    print("\n".join(buf.getvalue().splitlines()[:25]))
+    return report
 
 
 def main(argv=None) -> int:
@@ -110,6 +148,10 @@ def main(argv=None) -> int:
                         help="capture a runtime telemetry trace "
                              "(repro.obs) and write it as JSONL; forces "
                              "serial sweeps for traced experiments")
+    parser.add_argument("--profile", action="store_true",
+                        help="run each experiment under cProfile and "
+                             "write a pstats dump next to the bench "
+                             "reports (benchmarks/reports/)")
     args = parser.parse_args(argv)
     names = list(args.experiments)
     if names == ["all"]:
@@ -120,7 +162,10 @@ def main(argv=None) -> int:
         recorder = TraceRecorder()
     for name in names:
         t0 = time.time()
-        report = run_one(name, args, recorder=recorder)
+        if args.profile:
+            report = _profiled(name, args, recorder)
+        else:
+            report = run_one(name, args, recorder=recorder)
         elapsed = time.time() - t0
         print(f"\n=== {name} ({elapsed:.1f}s) " + "=" * 40)
         print(report)

@@ -1,0 +1,79 @@
+"""Vectorized weighted max-min fair-share kernel.
+
+Progressive filling over flat endpoint-index/weight/capacity arrays —
+the data-plane twin of :mod:`repro.core.kernels`: the dict-of-Flow
+scalar allocator (:func:`repro.net.flows.max_min_fair_rates`) stays as
+the behavioral oracle, and this kernel reproduces it to <=1e-9 while
+costing a handful of numpy passes per freeze level instead of Python
+set algebra per node per level.
+
+The *weighted* generalization is what makes epoch coalescing exact: a
+flow of weight ``k`` receives exactly the bandwidth ``k`` unit-weight
+flows between the same endpoints would, at every instant, because
+progressive filling raises one common per-unit level ``t`` and gives
+every unfrozen flow ``w_f * t`` until a node bottlenecks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["fair_share_rates"]
+
+
+def fair_share_rates(src: np.ndarray, dst: np.ndarray, weights: np.ndarray,
+                     capacities: np.ndarray) -> np.ndarray:
+    """Weighted max-min fair rates by vectorized progressive filling.
+
+    Parameters
+    ----------
+    src, dst:
+        ``(F,)`` integer endpoint indices into ``capacities``.  Each
+        flow consumes capacity at both endpoints (half-duplex NIC).
+    weights:
+        ``(F,)`` nonnegative share weights; a zero-weight flow gets
+        rate zero.
+    capacities:
+        ``(N,)`` per-node NIC capacities.
+
+    Returns
+    -------
+    ``(F,)`` aggregate rates: ``weights * level`` at each flow's frozen
+    per-unit level.
+    """
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    w = np.asarray(weights, dtype=float)
+    n_nodes = len(capacities)
+    n_flows = src.size
+    rates = np.zeros(n_flows)
+    if n_flows == 0:
+        return rates
+    cap_left = np.maximum(np.asarray(capacities, dtype=float), 0.0).copy()
+    active = w > 0.0
+    # Each pass freezes every flow touching the tightest node(s); there
+    # are at most N distinct bottleneck levels, so at most N passes.
+    while active.any():
+        w_node = (np.bincount(src[active], weights=w[active],
+                              minlength=n_nodes)
+                  + np.bincount(dst[active], weights=w[active],
+                                minlength=n_nodes))
+        carrying = w_node > 0.0
+        if not carrying.any():  # pragma: no cover - defensive
+            break
+        level = np.full(n_nodes, np.inf)
+        level[carrying] = np.maximum(cap_left[carrying], 0.0) \
+            / w_node[carrying]
+        tight = level.min()
+        bottleneck = level <= tight
+        hit = active & (bottleneck[src] | bottleneck[dst])
+        rates[hit] = w[hit] * tight
+        active &= ~hit
+        if tight > 0.0:
+            cap_left -= np.bincount(src[hit], weights=rates[hit],
+                                    minlength=n_nodes)
+            cap_left -= np.bincount(dst[hit], weights=rates[hit],
+                                    minlength=n_nodes)
+            # Guard tiny negative residue from float subtraction.
+            np.maximum(cap_left, -1e-6, out=cap_left)
+    return rates

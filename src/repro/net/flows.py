@@ -1,29 +1,54 @@
-"""Bulk data transfers with max-min fair bandwidth sharing.
+"""Bulk data transfers with weighted max-min fair bandwidth sharing.
 
 Every node's NIC is a single capacity shared by all flows touching it
 (ingress and egress combined, matching a half-duplex 100 MB/s Ethernet
 budget).  Active flows get the max-min fair allocation computed by
-progressive filling; rates are recomputed whenever a flow starts, finishes,
-or is cancelled.  Between recomputations rates are constant, so remaining
-bytes settle exactly and the power model can read instantaneous per-node
-throughput at any sample time.
+progressive filling; rates are recomputed whenever a flow starts,
+finishes, or is cancelled.  Between recomputations rates are constant,
+so remaining bytes settle exactly and the power model can read
+instantaneous per-node throughput at any sample time.
+
+The manager keeps the active set in flat endpoint-index/weight/
+remaining/rate arrays: settling is one vector op, the next-completion
+horizon is one reduction, all completions landing at the same instant
+are serviced with a *single* recompute, and the recompute itself runs
+the vectorized kernel of :mod:`repro.net.fairshare` (``kernel="scalar"``
+keeps the dict-based oracle allocator in the loop for parity benches).
+
+:class:`AggregateFlow` carries many same-pair downloads as one weighted
+flow (weight = live request multiplicity).  Under max-min fairness this
+is *exact*: progressive filling gives a weight-``k`` flow precisely the
+bandwidth ``k`` separate unit flows would get, every internal request
+receives the common per-unit rate, so requests finish smallest-first at
+exactly the instants the separate flows would have — each completion
+decrements the weight, just as a separate flow's completion would have
+removed it.  See docs/ARCHITECTURE.md ("Traffic engine").
 """
 
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+import numpy as np
 
 from repro.errors import ValidationError
+from repro.net.fairshare import fair_share_rates
 from repro.net.topology import Topology
+from repro.obs import NULL_RECORDER
 from repro.sim.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
 
-__all__ = ["Flow", "FlowManager"]
+__all__ = ["Flow", "AggregateFlow", "FlowManager", "max_min_fair_rates"]
 
 _EPS = 1e-9
+
+#: Relative completion tolerance (legacy semantics): a transfer whose
+#: shortfall is below ``_REL_TOL * max(1, size)`` MB when some flow's
+#: timer fires is settled in the same batch.
+_REL_TOL = 1e-6
 
 
 class Flow:
@@ -33,73 +58,255 @@ class Flow:
     ----------
     src, dst: node names.
     size: total MB to move.
+    weight: relative fair-share weight (1.0 for a plain transfer; an
+        aggregate carrying ``k`` live requests has weight ``k``).
     remaining: MB still to move (settled as of the manager's last update).
-    rate: current fair-share rate in MB/s.
+    rate: current fair-share rate in MB/s (aggregate total for weighted
+        flows).
     done: event fired on completion *or* cancellation; check
         :attr:`completed` to distinguish.
     """
 
-    def __init__(self, sim, src: str, dst: str, size: float) -> None:
+    def __init__(self, sim, src: str, dst: str, size: float,
+                 weight: float = 1.0) -> None:
         self.src = src
         self.dst = dst
         self.size = float(size)
-        self.remaining = float(size)
-        self.rate = 0.0
+        self.weight = float(weight)
         self.done: Event = Event(sim)
         self.started_at = sim.now
         self.finished_at: float | None = None
         self.cancelled = False
+        self._mgr: "FlowManager | None" = None
+        self._slot = -1
+        self._remaining = float(size)
+        self._rate = 0.0
 
     @property
     def completed(self) -> bool:
         """True once all bytes moved (False for cancelled flows)."""
         return self.finished_at is not None and not self.cancelled
 
+    @property
+    def remaining(self) -> float:
+        """MB still to move (live while active, final once finished)."""
+        mgr = self._mgr
+        if mgr is None:
+            return self._remaining
+        return self._external_remaining(mgr._stage_now(self._slot))
+
+    @property
+    def rate(self) -> float:
+        """Current fair-share rate in MB/s (0 once finished)."""
+        mgr = self._mgr
+        if mgr is None:
+            return self._rate
+        return float(mgr._rate[self._slot])
+
+    # -- manager protocol ---------------------------------------------------
+    def _initial_stage(self) -> tuple[float, float]:
+        """(stage bytes, stage tolerance) when the flow attaches."""
+        return self.size, _REL_TOL * max(1.0, self.size)
+
+    def _external_remaining(self, stage: float) -> float:
+        return max(0.0, stage)
+
+    def _drain(self, mgr: "FlowManager", strict: bool) -> bool:
+        """The current stage hit zero; True means the flow is done."""
+        mgr._count_settled(1)
+        return True
+
+    def _finalize(self, now: float, cancelled: bool,
+                  remaining: float) -> None:
+        self._mgr = None
+        self._slot = -1
+        self._remaining = max(0.0, remaining)
+        self._rate = 0.0
+        self.cancelled = cancelled
+        self.finished_at = now
+        self.done.succeed(self)
+
+    def _cancel(self, mgr: "FlowManager", stage: float) -> None:
+        self._finalize(mgr.sim.now, cancelled=True, remaining=stage)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Flow({self.src}->{self.dst}, size={self.size:g}, "
                 f"remaining={self.remaining:g}, rate={self.rate:g})")
 
 
+class AggregateFlow(Flow):
+    """Many same-pair downloads coalesced into one weighted flow.
+
+    ``parts`` is a list of ``(key, size_mb)`` internal requests.  Every
+    live part receives the common per-unit rate, so parts complete
+    smallest-first at exactly the instants separate unit flows would
+    have; each completion decrements :attr:`weight`.  Set
+    :attr:`on_part` to observe resolutions: it is called as
+    ``on_part(key, size_mb, got_mb, completed)`` once per part, at the
+    part's true completion (or cancellation) instant.
+    """
+
+    def __init__(self, sim, src: str, dst: str,
+                 parts: Sequence[tuple[object, float]]) -> None:
+        ordered = sorted(enumerate(parts), key=lambda kv: (kv[1][1], kv[0]))
+        self._keys = [p[0] for _, p in ordered]
+        self._sizes = [float(p[1]) for _, p in ordered]
+        # Suffix sums make the live-byte total O(1) for `remaining`.
+        suffix = [0.0] * (len(self._sizes) + 1)
+        for i in range(len(self._sizes) - 1, -1, -1):
+            suffix[i] = suffix[i + 1] + self._sizes[i]
+        self._suffix = suffix
+        self._next = 0          # index of the smallest live part
+        self._unit_done = 0.0   # per-unit MB delivered to every live part
+        self.on_part: Callable[[object, float, float, bool], None] | None \
+            = None
+        super().__init__(sim, src, dst, suffix[0], weight=len(self._sizes))
+
+    @property
+    def n_parts(self) -> int:
+        """Total internal requests carried by this aggregate."""
+        return len(self._sizes)
+
+    @property
+    def parts_live(self) -> int:
+        """Internal requests not yet resolved."""
+        if self.finished_at is not None:
+            return 0
+        return len(self._sizes) - self._next
+
+    # -- manager protocol ---------------------------------------------------
+    def _initial_stage(self) -> tuple[float, float]:
+        k = len(self._sizes)
+        s_next = self._sizes[0]
+        return k * s_next, k * _REL_TOL * max(1.0, s_next)
+
+    def _external_remaining(self, stage: float) -> float:
+        k = len(self._sizes) - self._next
+        if k <= 0:
+            return 0.0
+        u = self._sizes[self._next] - max(0.0, stage) / k
+        return max(0.0, self._suffix[self._next] - k * u)
+
+    def _drain(self, mgr: "FlowManager", strict: bool) -> bool:
+        sizes = self._sizes
+        u = sizes[self._next]
+        self._unit_done = u
+        resolved = []
+        i = self._next
+        n = len(sizes)
+        while i < n:
+            slack = _EPS if strict else _REL_TOL * max(1.0, sizes[i])
+            if sizes[i] - u > slack:
+                break
+            resolved.append((self._keys[i], sizes[i], sizes[i], True))
+            i += 1
+        self._next = i
+        mgr._count_settled(len(resolved))
+        mgr._emit_parts(self, resolved)
+        if i >= n:
+            return True
+        k = n - i
+        self.weight = float(k)
+        slot = self._slot
+        mgr._w[slot] = k
+        mgr._rem0[slot] = k * (sizes[i] - u)
+        mgr._tol[slot] = k * _REL_TOL * max(1.0, sizes[i])
+        return False
+
+    def _cancel(self, mgr: "FlowManager", stage: float) -> None:
+        k = len(self._sizes) - self._next
+        if k > 0:
+            u = self._sizes[self._next] - max(0.0, stage) / k
+            u = min(max(u, self._unit_done), self._sizes[self._next])
+            self._unit_done = u
+            resolved = [(self._keys[i], self._sizes[i], u, False)
+                        for i in range(self._next, len(self._sizes))]
+            mgr._emit_parts(self, resolved)
+            left = self._suffix[self._next] - k * u
+        else:
+            left = 0.0
+        self._finalize(mgr.sim.now, cancelled=True, remaining=left)
+
+    def _resolve_all(self, mgr: "FlowManager", got_full: bool) -> None:
+        """Fast-path resolution (zero-size or born-dead aggregates)."""
+        resolved = [(self._keys[i], self._sizes[i],
+                     self._sizes[i] if got_full else 0.0, got_full)
+                    for i in range(self._next, len(self._sizes))]
+        self._next = len(self._sizes)
+        if got_full:
+            mgr._count_settled(len(resolved))
+        mgr._emit_parts(self, resolved)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"AggregateFlow({self.src}->{self.dst}, "
+                f"parts={self.parts_live}/{self.n_parts}, "
+                f"remaining={self.remaining:g}, rate={self.rate:g})")
+
+
 def max_min_fair_rates(flows: Iterable[Flow],
                        capacity: dict[str, float]) -> dict[Flow, float]:
-    """Progressive-filling max-min fair allocation.
+    """Progressive-filling weighted max-min fair allocation (oracle).
 
     Each flow consumes capacity at both its endpoints; each node's total
-    is bounded by ``capacity[node]``.  Returns the fair rate per flow.
+    is bounded by ``capacity[node]``.  A flow's share of a bottleneck is
+    proportional to its ``weight`` (1.0 when absent).  Returns the fair
+    aggregate rate per flow.
+
+    This is the scalar reference for the vectorized kernel in
+    :mod:`repro.net.fairshare`.  The node index is built once and
+    maintained incrementally — nodes drop out as their last unfrozen
+    flow freezes — so one call costs O(levels * live nodes + flows)
+    instead of rescanning every node's full flow set per freeze level.
     """
     flows = list(flows)
     rates: dict[Flow, float] = {}
     if not flows:
         return rates
     cap_left = dict(capacity)
-    unfrozen = set(flows)
     touching: dict[str, set[Flow]] = {}
+    weight_live: dict[str, float] = {}
+    n_unfrozen = 0
     for f in flows:
-        touching.setdefault(f.src, set()).add(f)
-        touching.setdefault(f.dst, set()).add(f)
-    while unfrozen:
-        # Fair share at each node still carrying unfrozen flows.
+        w = getattr(f, "weight", 1.0)
+        if w <= 0:
+            rates[f] = 0.0   # zero-weight flows carry nothing
+            continue
+        n_unfrozen += 1
+        for node in (f.src, f.dst):
+            touching.setdefault(node, set()).add(f)
+            weight_live[node] = weight_live.get(node, 0.0) + w
+    while n_unfrozen:
+        # Fair per-unit share at each node still carrying unfrozen flows.
         best_node = None
         best_share = math.inf
-        for node, fset in touching.items():
-            live = fset & unfrozen
-            if not live:
-                continue
-            share = max(cap_left.get(node, math.inf), 0.0) / len(live)
+        for node, live_w in weight_live.items():
+            share = max(cap_left.get(node, math.inf), 0.0) / live_w
             if share < best_share:
                 best_share = share
                 best_node = node
         if best_node is None:  # pragma: no cover - defensive
             break
-        for f in touching[best_node] & unfrozen:
-            rates[f] = best_share
-            unfrozen.discard(f)
-            cap_left[f.src] = cap_left.get(f.src, math.inf) - best_share
-            cap_left[f.dst] = cap_left.get(f.dst, math.inf) - best_share
-        # Guard tiny negative residue from float subtraction.
-        for node in (f.src, f.dst):
-            if node in cap_left and cap_left[node] < 0:
-                cap_left[node] = max(cap_left[node], -1e-6)
+        emptied = []
+        for f in list(touching[best_node]):
+            w = getattr(f, "weight", 1.0)
+            rates[f] = w * best_share
+            n_unfrozen -= 1
+            for node in (f.src, f.dst):
+                fset = touching.get(node)
+                if fset is None:
+                    continue
+                fset.discard(f)
+                if fset:
+                    weight_live[node] -= w
+                else:
+                    emptied.append(node)
+                cap_left[node] = cap_left.get(node, math.inf) - w * best_share
+                # Guard tiny negative residue from float subtraction.
+                if cap_left[node] < 0:
+                    cap_left[node] = max(cap_left[node], -1e-6)
+        for node in emptied:
+            touching.pop(node, None)
+            weight_live.pop(node, None)
     return rates
 
 
@@ -109,18 +316,50 @@ class FlowManager:
     ``crashed`` is an optional oracle (``name -> bool``): transfers whose
     endpoint is already crashed are born cancelled — a dead server cannot
     serve bytes, even if a stale assignment still names it.
+
+    ``kernel`` selects the rate allocator: ``"vector"`` (default) runs
+    :func:`repro.net.fairshare.fair_share_rates` over the manager's flat
+    arrays; ``"scalar"`` keeps the dict-based oracle in the loop (the
+    legacy cost profile, used by parity benches).  ``recorder`` threads
+    :mod:`repro.obs` counters (``net.fair_recompute`` /
+    ``net.flows_settled`` / ``net.flows_coalesced``).
     """
 
     def __init__(self, sim: "Simulator", topology: Topology,
-                 crashed=None) -> None:
+                 crashed=None, kernel: str = "vector",
+                 recorder=None) -> None:
+        if kernel not in ("vector", "scalar"):
+            raise ValidationError(f"unknown flow kernel {kernel!r}")
         self.sim = sim
         self.topology = topology
         self.crashed = crashed or (lambda name: False)
-        self._flows: set[Flow] = set()
+        self.kernel = kernel
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self._caps_vec = np.array([topology.capacity(n)
+                                   for n in topology.nodes])
+        self._caps_dict = {n: float(c)
+                           for n, c in zip(topology.nodes, self._caps_vec)}
+        # Flat state of the active set; `_n` live slots, doubled on demand.
+        size0 = 8
+        self._srci = np.zeros(size0, dtype=np.int64)
+        self._dsti = np.zeros(size0, dtype=np.int64)
+        self._w = np.zeros(size0)
+        self._rem0 = np.zeros(size0)   # stage MB left as of _last_update
+        self._rate = np.zeros(size0)
+        self._tol = np.zeros(size0)
+        self._n = 0
+        self._flows: list[Flow] = []
         self._last_update = sim.now
         self._generation = 0
         self.total_mb = 0.0
         self.completed_flows = 0
+        #: Fair-share recomputations (one per flow start/finish/cancel
+        #: *batch*, not one per same-instant completion).
+        self.recomputes = 0
+        #: Per-request completions settled (aggregate parts count one each).
+        self.parts_settled = 0
+        #: Downloads absorbed into an existing aggregate (k parts -> k-1).
+        self.parts_coalesced = 0
 
     @property
     def active(self) -> frozenset[Flow]:
@@ -148,47 +387,100 @@ class FlowManager:
             flow.cancelled = True
 
             def _finish_dead(_ev, flow=flow):
-                flow.finished_at = self.sim.now
-                flow.done.succeed(flow)
+                flow._finalize(self.sim.now, cancelled=True,
+                               remaining=flow.size)
 
             self.sim.timeout(prop).add_callback(_finish_dead)
             return flow
         if size <= _EPS:
-            flow.remaining = 0.0
-
             def _finish_empty(_ev, flow=flow):
-                flow.finished_at = self.sim.now
-                flow.done.succeed(flow)
+                flow._finalize(self.sim.now, cancelled=False, remaining=0.0)
 
             self.sim.timeout(prop).add_callback(_finish_empty)
             return flow
         self._settle()
-        self._flows.add(flow)
+        self._attach(flow)
         self.total_mb += size
+        self._reschedule()
+        return flow
+
+    def transfer_aggregate(self, src: str, dst: str,
+                           parts: Sequence[tuple[object, float]]
+                           ) -> AggregateFlow:
+        """Start one weighted flow carrying many ``(key, size_mb)`` parts.
+
+        Exactly equivalent to one :meth:`transfer` per part (see the
+        class docstring), at one flow's bookkeeping cost.  Set
+        ``flow.on_part`` before the simulation advances to observe
+        per-part resolutions.
+        """
+        if not parts:
+            raise ValidationError("aggregate transfer needs at least one part")
+        if any(size < 0 for _, size in parts):
+            raise ValidationError("flow size must be nonnegative")
+        self.topology.index(src)
+        self.topology.index(dst)
+        if src == dst:
+            raise ValidationError("flow endpoints must differ")
+        flow = AggregateFlow(self.sim, src, dst, parts)
+        self.parts_coalesced += flow.n_parts - 1
+        rec = self.recorder
+        if rec.enabled and flow.n_parts > 1:
+            rec.count("net.flows_coalesced", flow.n_parts - 1)
+        prop = self.topology.latency(src, dst)
+        if self.crashed(src) or self.crashed(dst):
+            flow.cancelled = True
+
+            def _finish_dead(_ev, flow=flow):
+                flow._resolve_all(self, got_full=False)
+                flow._finalize(self.sim.now, cancelled=True,
+                               remaining=flow.size)
+
+            self.sim.timeout(prop).add_callback(_finish_dead)
+            return flow
+        if flow.size <= _EPS:
+            def _finish_empty(_ev, flow=flow):
+                flow._resolve_all(self, got_full=True)
+                flow._finalize(self.sim.now, cancelled=False, remaining=0.0)
+
+            self.sim.timeout(prop).add_callback(_finish_empty)
+            return flow
+        self._settle()
+        self._attach(flow)
+        self.total_mb += flow.size
         self._reschedule()
         return flow
 
     def cancel_node(self, node: str) -> list[Flow]:
         """Abort every flow touching ``node`` (crash semantics).
 
-        Aborted flows get ``cancelled=True`` and their ``done`` event fires.
-        Returns the aborted flows.
+        Aborted flows get ``cancelled=True`` and their ``done`` event
+        fires; aggregate flows resolve every live part with its partial
+        delivery.  Returns the aborted flows.
         """
         self._settle()
-        hit = [f for f in self._flows if node in (f.src, f.dst)]
+        nid = self.topology.index(node)
+        n = self._n
+        if n == 0:
+            return []
+        mask = (self._srci[:n] == nid) | (self._dsti[:n] == nid)
+        hit = [self._flows[i] for i in np.flatnonzero(mask)]
         for f in hit:
-            self._flows.discard(f)
-            f.cancelled = True
-            f.finished_at = self.sim.now
-            f.rate = 0.0
-            f.done.succeed(f)
+            stage = float(self._rem0[f._slot])
+            self._detach(f)
+            f._cancel(self, stage)
         if hit:
             self._reschedule()
         return hit
 
     def node_throughput(self, node: str) -> float:
         """Instantaneous MB/s through ``node``'s NIC (all active flows)."""
-        return sum(f.rate for f in self._flows if node in (f.src, f.dst))
+        n = self._n
+        if n == 0:
+            return 0.0
+        nid = self.topology.index(node)
+        mask = (self._srci[:n] == nid) | (self._dsti[:n] == nid)
+        return float(self._rate[:n][mask].sum())
 
     def utilization(self, node: str) -> float:
         """``node_throughput / capacity`` in [0, 1] (clipped)."""
@@ -196,36 +488,121 @@ class FlowManager:
         return min(1.0, self.node_throughput(node) / cap)
 
     # -- internals -------------------------------------------------------------
+    def _attach(self, flow: Flow) -> None:
+        n = self._n
+        if n == self._srci.size:
+            for name in ("_srci", "_dsti", "_w", "_rem0", "_rate", "_tol"):
+                arr = getattr(self, name)
+                grown = np.zeros(2 * arr.size, dtype=arr.dtype)
+                grown[:n] = arr
+                setattr(self, name, grown)
+        stage, tol = flow._initial_stage()
+        self._srci[n] = self.topology.index(flow.src)
+        self._dsti[n] = self.topology.index(flow.dst)
+        self._w[n] = flow.weight
+        self._rem0[n] = stage
+        self._rate[n] = 0.0
+        self._tol[n] = tol
+        flow._mgr = self
+        flow._slot = n
+        self._flows.append(flow)
+        self._n += 1
+
+    def _detach(self, flow: Flow) -> None:
+        slot = flow._slot
+        last = self._n - 1
+        if slot != last:
+            mover = self._flows[last]
+            for arr in (self._srci, self._dsti, self._w, self._rem0,
+                        self._rate, self._tol):
+                arr[slot] = arr[last]
+            self._flows[slot] = mover
+            mover._slot = slot
+        self._flows.pop()
+        self._n -= 1
+        flow._mgr = None
+        flow._slot = -1
+
+    def _stage_now(self, slot: int) -> float:
+        dt = self.sim.now - self._last_update
+        stage = float(self._rem0[slot])
+        if dt > 0:
+            stage -= float(self._rate[slot]) * dt
+        return max(0.0, stage)
+
     def _settle(self) -> None:
         """Account bytes moved since the last rate change."""
         now = self.sim.now
         dt = now - self._last_update
-        if dt > 0:
-            for f in self._flows:
-                f.remaining = max(0.0, f.remaining - f.rate * dt)
+        if dt > 0 and self._n:
+            rem = self._rem0[:self._n]
+            rem -= self._rate[:self._n] * dt
+            np.maximum(rem, 0.0, out=rem)
         self._last_update = now
+
+    def _count_settled(self, n_parts: int) -> None:
+        if n_parts <= 0:
+            return
+        self.parts_settled += n_parts
+        rec = self.recorder
+        if rec.enabled:
+            rec.count("net.flows_settled", n_parts)
+
+    def _emit_parts(self, flow: AggregateFlow, resolved: list) -> None:
+        """Fire part resolutions on a fresh queue step (event semantics
+        match a plain flow's ``done`` callbacks)."""
+        if not resolved:
+            return
+        ev = self.sim.timeout(0.0)
+        ev.add_callback(lambda _ev, f=flow, r=tuple(resolved):
+                        f.on_part and [f.on_part(*part) for part in r])
+
+    def _recompute(self) -> None:
+        self.recomputes += 1
+        rec = self.recorder
+        if rec.enabled:
+            rec.count("net.fair_recompute")
+        n = self._n
+        if n == 0:
+            return
+        if self.kernel == "vector":
+            self._rate[:n] = fair_share_rates(
+                self._srci[:n], self._dsti[:n], self._w[:n], self._caps_vec)
+        else:
+            rates = max_min_fair_rates(self._flows, self._caps_dict)
+            for f in self._flows:
+                self._rate[f._slot] = rates.get(f, 0.0)
+
+    def _service(self, flows: list[Flow], strict: bool) -> None:
+        """Advance/complete every flow whose stage has drained."""
+        for f in flows:
+            if f._drain(self, strict):
+                self._detach(f)
+                self.completed_flows += 1
+                f._finalize(self.sim.now, cancelled=False, remaining=0.0)
 
     def _reschedule(self) -> None:
         """Recompute fair rates and arm the next completion timer."""
         self._generation += 1
-        caps = {n: self.topology.capacity(n) for n in self.topology.nodes}
-        rates = max_min_fair_rates(self._flows, caps)
-        for f in self._flows:
-            f.rate = rates.get(f, 0.0)
-        # Fire any flows that already hit zero remaining.
-        finished = [f for f in self._flows if f.remaining <= _EPS]
-        for f in finished:
-            self._complete(f)
-        if finished:
-            # Completion changed the flow set; recurse once to re-arm.
-            self._reschedule()
+        self._recompute()
+        # Fire any flows that already hit zero remaining (all of them in
+        # one batch per recompute, not one recompute per flow).
+        while self._n:
+            n = self._n
+            drained = np.flatnonzero(self._rem0[:n] <= _EPS)
+            if drained.size == 0:
+                break
+            self._service([self._flows[i] for i in drained], strict=True)
+            self._generation += 1
+            self._recompute()
+        n = self._n
+        if n == 0:
             return
-        horizon = math.inf
-        for f in self._flows:
-            if f.rate > 0:
-                horizon = min(horizon, f.remaining / f.rate)
-        if math.isinf(horizon):
+        rate = self._rate[:n]
+        pos = rate > 0
+        if not pos.any():
             return
+        horizon = float((self._rem0[:n][pos] / rate[pos]).min())
         generation = self._generation
         ev = self.sim.timeout(horizon)
         ev.add_callback(lambda _ev: self._on_timer(generation))
@@ -234,18 +611,15 @@ class FlowManager:
         if generation != self._generation:
             return  # superseded by a later rate change
         self._settle()
-        done = [f for f in self._flows if f.remaining <= 1e-6 * max(1.0, f.size)]
-        if not done:
+        n = self._n
+        if n == 0:  # pragma: no cover - defensive
+            return
+        drained = np.flatnonzero(self._rem0[:n] <= self._tol[:n])
+        if drained.size:
+            self._service([self._flows[i] for i in drained], strict=False)
+        else:
             # Numerical drift: force the closest flow to completion.
-            done = [min(self._flows, key=lambda f: f.remaining)]
-        for f in done:
-            f.remaining = 0.0
-            self._complete(f)
+            slot = int(np.argmin(self._rem0[:n]))
+            self._rem0[slot] = 0.0
+            self._service([self._flows[slot]], strict=True)
         self._reschedule()
-
-    def _complete(self, flow: Flow) -> None:
-        self._flows.discard(flow)
-        flow.finished_at = self.sim.now
-        flow.rate = 0.0
-        self.completed_flows += 1
-        flow.done.succeed(flow)

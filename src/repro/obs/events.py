@@ -34,6 +34,12 @@ Counters (aggregated in-recorder, exported once):
                             persistent worker fleet via shared memory
 ``shard.bytes_round``       per-round delta bytes crossing the process
                             boundary (task dicts + returned rows)
+``net.fair_recompute``      fair-share rate recomputations in the flow
+                            manager (one per start/finish/cancel batch)
+``net.flows_settled``       transfers settled to completion (aggregate
+                            flows count one per internal request)
+``net.flows_coalesced``     downloads absorbed into an existing
+                            aggregate flow (k parts -> k-1 absorbed)
 ==========================  ====================================================
 """
 
@@ -61,6 +67,9 @@ COUNTER_NAMES = (
     "coordinator.migration",
     "shard.bytes_static",
     "shard.bytes_round",
+    "net.fair_recompute",
+    "net.flows_settled",
+    "net.flows_coalesced",
 )
 
 #: Known event names -> fields guaranteed to be present (beyond
@@ -104,6 +113,9 @@ EVENT_SCHEMAS: dict[str, tuple[str, ...]] = {
     # One per EDR runtime chunk routed through the sharded plane.
     "runtime.shard": ("sim_time", "n_requests", "n_clients", "events",
                       "sweeps", "rounds", "refreshed", "solve_sim_s"),
+    # One per coalesced ASSIGN batch a client turned into downloads.
+    "runtime.traffic": ("sim_time", "client", "n_requests", "n_parts",
+                        "n_flows", "mb"),
     # Ring membership transition ("dead" or "alive").
     "membership": ("change", "member"),
     # Experiment-runner marker: everything after belongs to this figure.

@@ -1,0 +1,115 @@
+"""Vectorized weighted max-min kernel vs the scalar oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.fairshare import fair_share_rates
+from repro.net.flows import Flow, max_min_fair_rates
+from repro.sim.engine import Simulator
+
+
+def _oracle(src, dst, weights, capacities):
+    """Scalar oracle rates for the kernel's array inputs."""
+    sim = Simulator()
+    nodes = [f"n{i}" for i in range(len(capacities))]
+    flows = []
+    for s, d, w in zip(src, dst, weights):
+        f = Flow(sim, nodes[s], nodes[d], 1.0, weight=w)
+        flows.append(f)
+    caps = {n: c for n, c in zip(nodes, capacities)}
+    rates = max_min_fair_rates(flows, caps)
+    return np.array([rates[f] for f in flows])
+
+
+class TestKernelBasics:
+    def test_empty(self):
+        rates = fair_share_rates([], [], [], np.array([10.0]))
+        assert rates.size == 0
+
+    def test_single_flow_full_capacity(self):
+        rates = fair_share_rates([0], [1], [1.0], np.array([100.0, 100.0]))
+        assert rates[0] == pytest.approx(100.0)
+
+    def test_bottleneck_then_leftover(self):
+        # Node 1 is tight; the 0->2 flow picks up the leftover at node 0.
+        rates = fair_share_rates([0, 0], [1, 2], [1.0, 1.0],
+                                 np.array([100.0, 20.0, 100.0]))
+        assert rates[0] == pytest.approx(20.0)
+        assert rates[1] == pytest.approx(80.0)
+
+    def test_weighted_flow_equals_unit_bundle(self):
+        # One weight-3 flow next to a unit flow on a shared node gets
+        # exactly what 3 unit flows would get in total.
+        caps = np.array([100.0, 100.0, 100.0])
+        agg = fair_share_rates([0, 0], [1, 2], [3.0, 1.0], caps)
+        sep = fair_share_rates([0, 0, 0, 0], [1, 1, 1, 2],
+                               [1.0, 1.0, 1.0, 1.0], caps)
+        assert agg[0] == pytest.approx(sep[:3].sum(), abs=1e-9)
+        assert agg[1] == pytest.approx(sep[3], abs=1e-9)
+
+    def test_zero_weight_flow_gets_zero_and_consumes_nothing(self):
+        rates = fair_share_rates([0, 0], [1, 1], [0.0, 1.0],
+                                 np.array([100.0, 40.0]))
+        assert rates[0] == 0.0
+        assert rates[1] == pytest.approx(40.0)
+
+    def test_crashed_endpoint_zero_capacity(self):
+        # A crashed node is modeled as zero capacity: flows touching it
+        # freeze at rate 0 and release nothing anywhere else.
+        rates = fair_share_rates([0, 1], [2, 2], [1.0, 1.0],
+                                 np.array([0.0, 100.0, 100.0]))
+        assert rates[0] == 0.0
+        assert rates[1] == pytest.approx(100.0)
+
+
+@st.composite
+def _flow_sets(draw):
+    n_nodes = draw(st.integers(2, 8))
+    n_flows = draw(st.integers(1, 24))
+    caps = draw(st.lists(
+        st.one_of(st.floats(0.5, 500.0), st.just(0.0)),  # 0.0 = crashed
+        min_size=n_nodes, max_size=n_nodes))
+    flows = []
+    for _ in range(n_flows):
+        s = draw(st.integers(0, n_nodes - 1))
+        d = draw(st.integers(0, n_nodes - 1).filter(lambda x, s=s: x != s))
+        w = draw(st.one_of(st.floats(0.1, 12.0), st.just(0.0),
+                           st.integers(1, 6).map(float)))
+        flows.append((s, d, w))
+    return caps, flows
+
+
+@settings(max_examples=120, deadline=None)
+@given(_flow_sets())
+def test_property_kernel_matches_scalar_oracle(case):
+    caps, spec = case
+    src = [s for s, _, _ in spec]
+    dst = [d for _, d, _ in spec]
+    w = [x for _, _, x in spec]
+    got = fair_share_rates(src, dst, w, np.array(caps))
+    want = _oracle(src, dst, w, caps)
+    np.testing.assert_allclose(got, want, rtol=0, atol=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_flow_sets())
+def test_property_no_node_over_capacity(case):
+    caps, spec = case
+    src = np.array([s for s, _, _ in spec])
+    dst = np.array([d for _, d, _ in spec])
+    w = [x for _, _, x in spec]
+    rates = fair_share_rates(src, dst, w, np.array(caps))
+    assert (rates >= -1e-9).all()
+    for node, cap in enumerate(caps):
+        total = rates[(src == node) | (dst == node)].sum()
+        assert total <= cap * (1 + 1e-9) + 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(2, 12), st.floats(1.0, 300.0))
+def test_property_equal_weights_equal_rates(n_flows, cap):
+    rates = fair_share_rates([0] * n_flows, [1] * n_flows, [1.0] * n_flows,
+                             np.array([cap, cap]))
+    assert np.allclose(rates, rates[0])
+    assert rates.sum() == pytest.approx(cap)

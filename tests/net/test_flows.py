@@ -221,6 +221,145 @@ class TestCrashOracle:
         assert late.cancelled
 
 
+class TestAggregateFlow:
+    def test_parts_complete_at_separate_flow_instants(self):
+        # One weighted aggregate must reproduce the exact completion
+        # instants of one flow per part.
+        parts = [("u1", 4.0), ("u2", 10.0), ("u3", 7.0)]
+        sim_a, fm_a = setup(capacity=10.0)
+        resolved = {}
+        agg = fm_a.transfer_aggregate("a", "b", parts)
+        agg.on_part = lambda uid, size, got, comp: \
+            resolved.setdefault(uid, (sim_a.now, size, got, comp))
+        sim_a.run()
+        sim_b, fm_b = setup(capacity=10.0)
+        flows = {uid: fm_b.transfer("a", "b", size) for uid, size in parts}
+        sim_b.run()
+        for uid, _size in parts:
+            assert resolved[uid][0] == pytest.approx(
+                flows[uid].finished_at, abs=1e-9)
+            assert resolved[uid][3] is True
+        assert agg.completed
+        assert fm_a.parts_settled == 3
+        assert fm_a.parts_coalesced == 2
+
+    def test_weight_decrements_smallest_first(self):
+        sim, fm = setup(capacity=10.0)
+        agg = fm.transfer_aggregate("a", "b", [("big", 9.0), ("small", 3.0)])
+        assert agg.weight == 2.0
+        assert agg.parts_live == 2
+        # Per-unit rate 5 MB/s: "small" done at t=0.6, then weight 1.
+        sim.run(until=1.0)
+        assert agg.weight == 1.0
+        assert agg.parts_live == 1
+        sim.run()
+        assert agg.completed
+        assert agg.parts_live == 0
+
+    def test_aggregate_coexists_with_plain_flow(self):
+        # weight-2 aggregate + unit flow on one NIC: aggregate carries
+        # 2/3 of capacity, exactly like two separate unit flows would.
+        sim, fm = setup(capacity=9.0)
+        agg = fm.transfer_aggregate("a", "b", [("u1", 2.0), ("u2", 2.0)])
+        plain = fm.transfer("a", "c", 3.0)
+        sim.run(until=0.5)
+        assert agg.rate == pytest.approx(6.0)
+        assert plain.rate == pytest.approx(3.0)
+        sim.run()
+        assert agg.completed and plain.completed
+
+    def test_cancel_mid_flight_reports_partial_got(self):
+        sim, fm = setup(capacity=10.0)
+        resolved = {}
+        agg = fm.transfer_aggregate("a", "b", [("u1", 4.0), ("u2", 12.0)])
+        agg.on_part = lambda uid, size, got, comp: \
+            resolved.setdefault(uid, (sim.now, got, comp))
+
+        def killer(sim):
+            yield sim.timeout(1.0)
+            fm.cancel_node("a")
+
+        sim.process(killer(sim))
+        sim.run()
+        # Per-unit rate 5 MB/s: each part delivered 5 MB-per-unit... but
+        # u1 (4 MB) completed at t=0.8; u2 got 4 + 1*10 MB/s... per-unit
+        # delivery to u2: 4 MB by t=0.8 (shared), then alone at 10 MB/s
+        # for 0.2 s => 6 MB when the crash lands.
+        assert resolved["u1"] == (pytest.approx(0.8), pytest.approx(4.0), True)
+        t, got, comp = resolved["u2"]
+        assert t == pytest.approx(1.0)
+        assert got == pytest.approx(6.0)
+        assert comp is False
+        assert agg.cancelled
+        assert agg.remaining == pytest.approx(6.0)
+
+    def test_born_dead_aggregate_resolves_all_parts(self):
+        sim = Simulator()
+        topo = Topology.lan(["a", "b"], latency=0.25, capacity=10.0)
+        dead = {"a"}
+        fm = FlowManager(sim, topo, crashed=lambda n: n in dead)
+        resolved = []
+        agg = fm.transfer_aggregate("a", "b", [("u1", 5.0), ("u2", 3.0)])
+        agg.on_part = lambda uid, size, got, comp: \
+            resolved.append((uid, got, comp, sim.now))
+        sim.run()
+        assert agg.cancelled and not agg.completed
+        assert sorted(resolved) == [("u1", 0.0, False, 0.25),
+                                    ("u2", 0.0, False, 0.25)]
+
+    def test_zero_size_aggregate_completes_at_latency(self):
+        sim, fm = setup(latency=0.25)
+        resolved = []
+        agg = fm.transfer_aggregate("a", "b", [("u1", 0.0)])
+        agg.on_part = lambda uid, size, got, comp: \
+            resolved.append((uid, comp, sim.now))
+        sim.run()
+        assert agg.completed
+        assert resolved == [("u1", True, 0.25)]
+
+    def test_validation(self):
+        sim, fm = setup()
+        with pytest.raises(ValidationError):
+            fm.transfer_aggregate("a", "a", [("u", 1.0)])
+        with pytest.raises(ValidationError):
+            fm.transfer_aggregate("a", "b", [])
+        with pytest.raises(ValidationError):
+            fm.transfer_aggregate("a", "b", [("u", -1.0)])
+
+
+class TestKernelModes:
+    def test_scalar_mode_matches_vector_mode(self):
+        finals = []
+        for kernel in ("vector", "scalar"):
+            sim = Simulator()
+            topo = Topology.lan(["a", "b", "c"], capacity=17.0)
+            fm = FlowManager(sim, topo, kernel=kernel)
+            flows = [fm.transfer("a", "b", 7.0), fm.transfer("a", "c", 11.0),
+                     fm.transfer("b", "c", 3.0)]
+            sim.run()
+            finals.append([f.finished_at for f in flows])
+        assert finals[0] == pytest.approx(finals[1], abs=1e-9)
+
+    def test_unknown_kernel_rejected(self):
+        sim = Simulator()
+        topo = Topology.lan(["a", "b"], capacity=10.0)
+        with pytest.raises(ValidationError):
+            FlowManager(sim, topo, kernel="magic")
+
+    def test_batched_settling_one_recompute_per_instant(self):
+        # n same-size same-pair flows all complete at one instant: the
+        # batch settles with a single extra recompute, not one per flow.
+        sim, fm = setup(capacity=10.0)
+        for _ in range(8):
+            fm.transfer("a", "b", 5.0)
+        before = fm.recomputes
+        sim.run()
+        # One timer batch: one recompute after servicing all 8 (plus no
+        # further work since the table is empty afterwards).
+        assert fm.recomputes - before <= 2
+        assert fm.completed_flows == 8
+
+
 @settings(max_examples=25, deadline=None)
 @given(st.lists(st.tuples(st.sampled_from(["a", "b", "c", "d"]),
                           st.sampled_from(["a", "b", "c", "d"]),

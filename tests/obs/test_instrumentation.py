@@ -112,6 +112,31 @@ class TestRuntimeInstrumentation:
         sessions = rec.events_named("session.solve")
         assert solver_msgs == sum(s["messages"] for s in sessions)
 
+    def test_flow_counters_match_extras(self, traced_run):
+        rec, res = traced_run
+        assert rec.counter_total("net.fair_recompute") \
+            == res.extras["flow_recomputes"]
+        assert rec.counter_total("net.flows_settled") \
+            == res.extras["flows_settled"]
+        assert rec.counter_total("net.flows_coalesced") \
+            == res.extras["flows_coalesced"]
+
+    def test_traffic_events_reconcile_with_flow_counters(self, traced_run):
+        # Every coalesced download batch announces itself; with no
+        # crashes every announced part settles, and the aggregation
+        # saving (parts minus flows) is exactly the coalesce counter.
+        rec, res = traced_run
+        traffic = rec.events_named("runtime.traffic")
+        assert traffic
+        assert sum(e["n_requests"] for e in traffic) \
+            == len(res.response_times) + res.extras["retries"]
+        assert sum(e["n_parts"] for e in traffic) \
+            == rec.counter_total("net.flows_settled")
+        assert sum(e["n_parts"] - e["n_flows"] for e in traffic) \
+            == rec.counter_total("net.flows_coalesced")
+        assert sum(e["mb"] for e in traffic) \
+            == pytest.approx(res.extras["delivered_mb"])
+
     def test_per_iteration_events_present(self, traced_run):
         rec, res = traced_run
         iters = rec.events_named("lddm.iteration")
