@@ -1,0 +1,142 @@
+"""Benchmark — the control-plane service under live HTTP load.
+
+Drives a real :class:`~repro.service.server.ControlPlaneServer` (not a
+mock) through the typed SDK: one armed solve, then a sustained stream of
+churn event batches plus membership/metrics scrapes — the request mix an
+external orchestrator produces.  Gates:
+
+* end-to-end parity: the allocation served over HTTP is exactly the
+  in-process one (JSON round-trips floats via ``repr``);
+* sustained throughput: the event stream must clear a conservative
+  requests/second floor (the transport must not dominate the solver);
+* the wall time lands in ``BENCH_fig9.json`` so
+  ``check_bench_regression.py`` gates service-path regressions like any
+  other bench.
+"""
+
+import time
+
+import numpy as np
+
+from repro.edr.messages import SolveRequest, WireEvent
+from repro.service import InProcessControlPlane, connect, serve
+
+#: Clients in the armed instance.
+N_CLIENTS = 2_000
+
+#: Replicas (the paper's 8-node System G slice).
+N_REPLICAS = 8
+
+#: Churn events streamed through the live server.
+N_EVENTS = 100
+
+#: Events per POST /v1/events batch.
+BATCH = 10
+
+#: Conservative floor on sustained event-batch requests/second over
+#: loopback HTTP (each batch carries BATCH events through the
+#: incremental plane).  Measured ~23 on a dev box; the floor catches
+#: step-change regressions, not scheduler jitter.
+MIN_BATCH_RPS = 5.0
+
+
+def _build_request(rng) -> SolveRequest:
+    demands = rng.uniform(0.5, 2.0, N_CLIENTS)
+    # A handful of eligibility patterns -> a small class space, the
+    # regime the incremental plane is built for.
+    patterns = np.ones((6, N_REPLICAS), dtype=bool)
+    for i in range(1, 6):
+        patterns[i, (i * 2) % N_REPLICAS] = False
+    assignment = rng.integers(0, 6, N_CLIENTS)
+    return SolveRequest(
+        demands=demands.tolist(),
+        prices=[1.0, 8.0, 1.0, 6.0, 1.0, 5.0, 2.0, 3.0],
+        capacities=[4000.0] * N_REPLICAS,
+        mask=patterns[assignment].tolist(),
+        clients=[f"c{i}" for i in range(N_CLIENTS)],
+        options={"max_iter": 5000})
+
+
+def _event_stream(rng):
+    events = []
+    for i in range(N_EVENTS):
+        roll = rng.random()
+        if roll < 0.4:
+            events.append(WireEvent(
+                kind="arrival", client=f"new{i}",
+                demand=float(rng.uniform(0.5, 2.0)),
+                eligibility=[True] * N_REPLICAS))
+        elif roll < 0.7:
+            events.append(WireEvent(
+                kind="demand_change", client=f"c{int(rng.integers(0, N_CLIENTS))}",
+                demand=float(rng.uniform(0.5, 2.0))))
+        else:
+            events.append(WireEvent(
+                kind="arrival", client=f"flip{i}",
+                demand=float(rng.uniform(0.1, 0.5)),
+                eligibility=[True] * N_REPLICAS))
+    return events
+
+
+def test_bench_service_load(report_sink, bench_report, fig9_trajectory):
+    rng = np.random.default_rng(20130923)
+    request = _build_request(rng)
+    events = _event_stream(rng)
+
+    wall_start = time.perf_counter()
+    with serve() as server:
+        client = connect(server.url)
+
+        t0 = time.perf_counter()
+        via_http = client.solve(request)
+        solve_s = time.perf_counter() - t0
+        assert via_http.converged
+
+        t0 = time.perf_counter()
+        batches = 0
+        for i in range(0, len(events), BATCH):
+            resp = client.events(events[i:i + BATCH])
+            assert resp.applied == len(events[i:i + BATCH])
+            batches += 1
+        events_s = time.perf_counter() - t0
+        batch_rps = batches / events_s
+
+        client.register("bench-replica")
+        membership = client.membership()
+        scrape = client.metrics_text()
+    wall_s = time.perf_counter() - wall_start
+
+    # Parity: HTTP serves exactly the in-process answer.
+    with InProcessControlPlane() as local:
+        direct = local.solve(request)
+    gap = np.max(np.abs(np.asarray(via_http.allocation)
+                        - np.asarray(direct.allocation)))
+    assert gap <= 1e-9
+    assert membership.replicas == ["bench-replica"]
+    assert "repro_service_requests_total" in scrape
+
+    event_ms = 1000.0 * events_s / len(events)
+    lines = [
+        "service load benchmark (live HTTP, loopback)",
+        f"  clients={N_CLIENTS} replicas={N_REPLICAS} "
+        f"events={len(events)} batch={BATCH}",
+        f"  solve: {solve_s * 1000:.1f} ms end-to-end "
+        f"(solver {via_http.solve_time_s * 1000:.1f} ms)",
+        f"  events: {batch_rps:.1f} batches/s, {event_ms:.2f} ms/event",
+        f"  parity vs in-process: {gap:.1e}",
+    ]
+    report_sink("service_load", "\n".join(lines))
+    bench_report("service_load", wall_s=wall_s, iterations=len(events),
+                 n_clients=N_CLIENTS, batch_rps=round(batch_rps, 1),
+                 event_ms=round(event_ms, 3),
+                 solve_ms=round(solve_s * 1000, 1))
+    fig9_trajectory(
+        service_clients=N_CLIENTS,
+        service_events=len(events),
+        service_batch_rps=round(batch_rps, 1),
+        service_event_ms=round(event_ms, 3),
+        service_solve_ms=round(solve_s * 1000, 1),
+        service_parity_gap=float(f"{gap:.1e}"),
+        wall_s=round(wall_s, 3))
+
+    assert batch_rps >= MIN_BATCH_RPS

@@ -9,7 +9,8 @@ clients, and subsequent scheduling rounds use only the survivors.
 Run:  python examples/fault_tolerance.py
 """
 
-from repro.edr.system import EDRSystem, RuntimeConfig
+from repro.edr.system import (EDRSystem, FaultConfig, RuntimeConfig,
+                              SolverOptions)
 from repro.experiments.scenarios import Scenario, make_trace
 from repro.workload.apps import VIDEO_STREAMING
 
@@ -22,8 +23,9 @@ def main() -> None:
           f"{trace.total_mb():.0f} MB total\n")
 
     system = EDRSystem(trace, RuntimeConfig(
-        algorithm="lddm", heartbeats=True,
-        hb_interval=0.05, hb_timeout=0.25,
+        solver=SolverOptions(algorithm="lddm"),
+        faults=FaultConfig(heartbeats=True, hb_interval=0.05,
+                           hb_timeout=0.25),
         batch_capacity_fraction=0.35))
 
     victim = "replica2"

@@ -10,7 +10,8 @@ instead.
 Run:  python examples/heterogeneous_cluster.py
 """
 
-from repro.edr.system import EDRSystem, RuntimeConfig
+from repro.edr.system import (EDRSystem, NetConfig, RuntimeConfig,
+                              SolverOptions)
 from repro.experiments.scenarios import PAPER_VIDEO, make_trace
 from repro.util.tables import render_table
 
@@ -22,7 +23,8 @@ def main() -> None:
 
     results = {}
     for label, bws in (("homogeneous", None), ("replica1@10MB/s", bandwidths)):
-        cfg = RuntimeConfig(algorithm="lddm", bandwidths=bws,
+        cfg = RuntimeConfig(solver=SolverOptions(algorithm="lddm"),
+                            net=NetConfig(bandwidths=bws),
                             batch_capacity_fraction=0.35)
         res = EDRSystem(trace, cfg).run(app="video")
         results[label] = res

@@ -1,0 +1,65 @@
+"""The control-plane service in one file: serve, connect, solve, churn.
+
+Starts an EDR control-plane server in this process, connects the typed
+client SDK over real HTTP, runs one solve, registers two replica agents
+that heartbeat in the background, streams churn events through the
+incremental plane, and scrapes the live Prometheus metrics — the same
+loop an external orchestrator would run against
+``python -m repro.service``.
+"""
+
+import time
+
+import repro
+from repro.edr.messages import WireEvent
+
+
+def main() -> None:
+    server = repro.serve()
+    print(f"control plane listening on {server.url}")
+    client = repro.connect(server.url)
+    print(f"health: ok={client.health().ok} "
+          f"wire_version={client.health().wire_version}")
+
+    # One solve over HTTP; naming the clients arms the event plane.
+    resp = client.solve(
+        demands=[40.0, 60.0, 30.0],
+        prices=[1.0, 8.0, 1.0, 6.0],
+        clients=["web", "batch", "archive"])
+    print(f"solve: objective={resp.objective:.2f} "
+          f"iterations={resp.iterations} converged={resp.converged}")
+    print(f"loads: {[round(x, 1) for x in resp.loads]}")
+
+    # Two replica agents join and adopt the server's heartbeat cadence.
+    with repro.ReplicaAgent(server.url, "replica-0",
+                            capacity_mbps=100.0) as a0, \
+            repro.ReplicaAgent(server.url, "replica-1",
+                               capacity_mbps=100.0) as a1:
+        time.sleep(3 * a0.hb_interval)
+        membership = client.membership()
+        print(f"membership: live={membership.live} "
+              f"(cadence {membership.hb_interval}s handed to agents)")
+
+        # Client churn rides the incremental plane — no full re-solve.
+        stream = client.events([
+            WireEvent(kind="arrival", client="burst", demand=15.0,
+                      eligibility=[True, True, True, True]),
+            WireEvent(kind="demand_change", client="web", demand=55.0),
+            WireEvent(kind="departure", client="archive"),
+        ])
+        print(f"events: applied={stream.applied} "
+              f"resolves={stream.resolves} "
+              f"objective={stream.objective:.2f}")
+        print(f"clients now: {stream.clients}")
+        assert a1.running
+
+    scrape = client.metrics_text()
+    served = [line for line in scrape.splitlines()
+              if line.startswith("repro_service_requests_total")]
+    print("metrics:", *served, sep="\n  ")
+    server.close()
+    print("server closed cleanly")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,7 +9,7 @@ response times are reported.
 Run:  python examples/video_streaming_runtime.py
 """
 
-from repro.edr.system import EDRSystem, RuntimeConfig
+from repro.edr.system import EDRSystem, RuntimeConfig, SolverOptions
 from repro.experiments.scenarios import PAPER_VIDEO, make_trace
 from repro.metrics.report import compare_table
 
@@ -23,7 +23,8 @@ def main() -> None:
     results = {}
     for algorithm in ("lddm", "cdpsm", "round_robin"):
         system = EDRSystem(trace, RuntimeConfig(
-            algorithm=algorithm, batch_capacity_fraction=0.35))
+            solver=SolverOptions(algorithm=algorithm),
+            batch_capacity_fraction=0.35))
         res = system.run(app="video")
         results[algorithm] = res
         print(f"{algorithm:12s} makespan {res.makespan:6.2f}s   "

@@ -10,7 +10,15 @@ Three entry levels:
   :func:`repro.core.solve_reference`.
 * **Full runtime** — :class:`repro.edr.system.EDRSystem` runs the
   emulated cluster, agents, power meters, and fault-tolerance ring.
+* **Service** — :func:`repro.serve` starts the control-plane HTTP
+  server; :func:`repro.connect` returns a typed client for one.
 * **Paper figures** — ``python -m repro.experiments <fig...>``.
+
+The three promoted entry points::
+
+    solution = repro.solve(problem)          # optimize in process
+    server = repro.serve()                   # expose the control plane
+    client = repro.connect(server.url)       # speak to one over HTTP
 """
 
 from repro.core import (
@@ -18,35 +26,68 @@ from repro.core import (
     ReplicaParams,
     ReplicaSelectionProblem,
     Solution,
+    solve,
     solve_cdpsm,
     solve_lddm,
     solve_reference,
 )
-from repro.edr.system import EDRSystem, RuntimeConfig
+from repro.edr.system import (
+    EDRSystem,
+    FaultConfig,
+    NetConfig,
+    RuntimeConfig,
+    SolverOptions,
+)
 from repro.errors import (
     ConvergenceError,
     InfeasibleProblemError,
     ReproError,
+    ServiceError,
     SimulationError,
     ValidationError,
+    VersionMismatchError,
+    WireFormatError,
+)
+from repro.service import (
+    EDRClient,
+    ReplicaAgent,
+    ServiceConfig,
+    connect,
+    serve,
 )
 
 __version__ = "1.0.0"
 
 __all__ = [
+    # optimization core
     "ProblemData",
     "ReplicaParams",
     "ReplicaSelectionProblem",
     "Solution",
+    "solve",
     "solve_cdpsm",
     "solve_lddm",
     "solve_reference",
+    # runtime
     "EDRSystem",
     "RuntimeConfig",
+    "SolverOptions",
+    "NetConfig",
+    "FaultConfig",
+    # service
+    "serve",
+    "connect",
+    "EDRClient",
+    "ReplicaAgent",
+    "ServiceConfig",
+    # errors
     "ReproError",
     "ValidationError",
     "InfeasibleProblemError",
     "ConvergenceError",
     "SimulationError",
+    "ServiceError",
+    "WireFormatError",
+    "VersionMismatchError",
     "__version__",
 ]

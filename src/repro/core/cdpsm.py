@@ -17,7 +17,6 @@ Communication per iteration is ``N*(N-1)`` solution exchanges of
 
 from __future__ import annotations
 
-import warnings
 from time import perf_counter
 
 import numpy as np
@@ -246,7 +245,7 @@ class CdpsmSolver:
         return solution
 
 
-def solve_cdpsm(problem: ReplicaSelectionProblem, *args,
+def solve_cdpsm(problem: ReplicaSelectionProblem, *,
                 aggregate: bool = False,
                 warm_start: np.ndarray | None = None, recorder=None,
                 **kwargs) -> Solution:
@@ -259,14 +258,6 @@ def solve_cdpsm(problem: ReplicaSelectionProblem, *args,
     eligibility row; O(K*N) per iteration) and disaggregates the result —
     see :mod:`repro.core.aggregate`.
     """
-    if args:  # pre-facade signature had ``aggregate`` positional
-        if len(args) > 1:
-            raise TypeError("solve_cdpsm takes options keyword-only")
-        warnings.warn(
-            "passing aggregate positionally to solve_cdpsm is deprecated; "
-            "use solve_cdpsm(problem, aggregate=...)",
-            DeprecationWarning, stacklevel=2)
-        aggregate = bool(args[0])
     from repro.core.api import solve
 
     return solve(problem, "cdpsm", aggregate=aggregate,

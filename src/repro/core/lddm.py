@@ -23,7 +23,6 @@ both default-on and both removable for the ablation bench:
 
 from __future__ import annotations
 
-import warnings
 from time import perf_counter
 
 import numpy as np
@@ -295,7 +294,7 @@ class LddmSolver:
         return solution
 
 
-def solve_lddm(problem: ReplicaSelectionProblem, *args,
+def solve_lddm(problem: ReplicaSelectionProblem, *,
                aggregate: bool = False, warm_start: np.ndarray | None = None,
                mu0: np.ndarray | None = None, recorder=None,
                **kwargs) -> Solution:
@@ -308,14 +307,6 @@ def solve_lddm(problem: ReplicaSelectionProblem, *args,
     eligibility row; O(K*N) per iteration) and disaggregates the result —
     see :mod:`repro.core.aggregate`.
     """
-    if args:  # pre-facade signature had ``aggregate`` positional
-        if len(args) > 1:
-            raise TypeError("solve_lddm takes options keyword-only")
-        warnings.warn(
-            "passing aggregate positionally to solve_lddm is deprecated; "
-            "use solve_lddm(problem, aggregate=...)",
-            DeprecationWarning, stacklevel=2)
-        aggregate = bool(args[0])
     from repro.core.api import solve
 
     return solve(problem, "lddm", aggregate=aggregate,

@@ -22,7 +22,7 @@ from repro.errors import ConvergenceError, ValidationError
 __all__ = ["solve_reference"]
 
 
-def solve_reference(problem: ReplicaSelectionProblem,
+def solve_reference(problem: ReplicaSelectionProblem, *,
                     x0: np.ndarray | None = None,
                     tol: float = 1e-9, max_iter: int = 500,
                     warm_start: np.ndarray | None = None,

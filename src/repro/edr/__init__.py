@@ -6,7 +6,26 @@ cluster, network, workload and agents together, runs a scenario, and
 returns an :class:`~repro.metrics.report.ExperimentResult`.
 """
 
-from repro.edr.messages import Ports, MsgKind
+from repro.edr.messages import (
+    MODEL_TYPES,
+    WIRE_VERSION,
+    ErrorResponse,
+    EventRequest,
+    EventResponse,
+    HealthResponse,
+    HeartbeatRequest,
+    HeartbeatResponse,
+    MembershipResponse,
+    MsgKind,
+    Ports,
+    RegisterRequest,
+    RegisterResponse,
+    SolveRequest,
+    SolveResponse,
+    WireEvent,
+    WireModel,
+    parse_message,
+)
 from repro.edr.membership import MembershipRing
 from repro.edr.scheduler import SolveTimingModel, DistributedSolveSession
 from repro.edr.coordinator import (
@@ -14,18 +33,46 @@ from repro.edr.coordinator import (
     ShardingConfig,
     solve_sharded,
 )
-from repro.edr.system import EDRSystem, RuntimeConfig
+from repro.edr.system import (
+    EDRSystem,
+    FaultConfig,
+    NetConfig,
+    RuntimeConfig,
+    SolverOptions,
+)
 from repro.edr.donar_runtime import DonarRuntime
 from repro.edr.agents import AgentBasedLddm, AgentBasedCdpsm
 
 __all__ = [
+    # protocol constants
     "Ports",
     "MsgKind",
+    # typed wire schemas
+    "WIRE_VERSION",
+    "WireModel",
+    "SolveRequest",
+    "SolveResponse",
+    "WireEvent",
+    "EventRequest",
+    "EventResponse",
+    "MembershipResponse",
+    "RegisterRequest",
+    "RegisterResponse",
+    "HeartbeatRequest",
+    "HeartbeatResponse",
+    "HealthResponse",
+    "ErrorResponse",
+    "MODEL_TYPES",
+    "parse_message",
+    # runtime
     "MembershipRing",
     "SolveTimingModel",
     "DistributedSolveSession",
     "EDRSystem",
     "RuntimeConfig",
+    "SolverOptions",
+    "NetConfig",
+    "FaultConfig",
     "ShardCoordinator",
     "ShardingConfig",
     "solve_sharded",

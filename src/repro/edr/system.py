@@ -61,34 +61,24 @@ from repro.obs import NULL_RECORDER
 from repro.sim.engine import Simulator
 from repro.workload.requests import RequestTrace
 
-__all__ = ["RuntimeConfig", "EDRSystem"]
+__all__ = ["SolverOptions", "NetConfig", "FaultConfig", "RuntimeConfig",
+           "EDRSystem"]
 
 
 @dataclass
-class RuntimeConfig:
-    """Scenario knobs for one runtime experiment."""
+class SolverOptions:
+    """Scheduling/solver knobs: which algorithm runs and how hard.
 
-    algorithm: str = "lddm"   # "lddm" | "cdpsm" | "round_robin" | "weighted"
-    prices: Sequence[float] = (1, 8, 1, 6, 1, 5, 2, 3)
-    bandwidth: float = 100.0         # MB/s per node (SystemG Ethernet)
-    #: Optional per-replica NIC capacities (MB/s); overrides ``bandwidth``
-    #: for the replicas (clients keep ``bandwidth``).  The paper's testbed
-    #: is homogeneous; heterogeneous clusters are the common real case.
-    bandwidths: Sequence[float] | None = None
-    lan_latency: float = 0.0005      # one-way propagation (s)
-    max_latency: float = PAPER_MAX_LATENCY   # the paper's T
-    alpha: float = PAPER_ALPHA
-    beta: float = PAPER_BETA
-    gamma: float = PAPER_GAMMA
-    power_model: PowerModel = SYSTEMG_POWER_MODEL
-    pdu_rate_hz: float = 50.0
-    poll_interval: float = 0.02      # driver's batch poll period (s)
-    batch_capacity_fraction: float = 0.8  # sub-batch demand cap vs capacity
-    heartbeats: bool = False         # run the ring failure detector
-    hb_interval: float = 0.05
-    hb_timeout: float = 0.25
-    timing: SolveTimingModel = field(default_factory=SolveTimingModel)
+    One of :class:`RuntimeConfig`'s three composable sub-configs (with
+    :class:`NetConfig` and :class:`FaultConfig`; the fourth,
+    :class:`~repro.edr.coordinator.ShardingConfig`, nests under
+    :attr:`sharding`).
+    """
+
+    #: "lddm" | "cdpsm" | "round_robin" | "weighted"
+    algorithm: str = "lddm"
     solver_kwargs: dict = field(default_factory=dict)
+    timing: SolveTimingModel = field(default_factory=SolveTimingModel)
     #: Solve each sub-batch in eligibility-class space (one super-client
     #: per distinct latency-mask row; see :mod:`repro.core.aggregate`).
     #: The reduction is exact — identical objective and per-client
@@ -148,6 +138,48 @@ class RuntimeConfig:
     #: :class:`~repro.edr.coordinator.ShardingConfig` overrides it — so
     #: K shards never multiply the cache memory K-fold silently.
     warm_cache_entries: int = 32
+    #: For ``algorithm="weighted"``: fixed per-replica split weights
+    #: (normalized internally).  A static, oblivious scheduler — used by
+    #: the planning-model validation experiment and as an extra baseline.
+    weights: Sequence[float] | None = None
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ("lddm", "cdpsm", "round_robin",
+                                  "weighted"):
+            raise ValidationError(f"unknown algorithm {self.algorithm!r}")
+        if self.incremental and not self.aggregate:
+            raise ValidationError(
+                "incremental=True requires aggregate=True (the event "
+                "state lives in eligibility-class space)")
+        if self.incremental and self.incremental_max_clients < 1:
+            raise ValidationError("incremental_max_clients must be >= 1")
+        if self.warm_cache_entries < 1:
+            raise ValidationError("warm_cache_entries must be >= 1")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValidationError("max_workers must be >= 1")
+        if self.sharding is not None:
+            if not self.aggregate:
+                raise ValidationError(
+                    "sharding requires aggregate=True (shards own "
+                    "eligibility-class slices)")
+            if self.algorithm != "lddm":
+                raise ValidationError(
+                    "sharding currently implements the LDDM-style "
+                    "dual-price plane only")
+
+
+@dataclass
+class NetConfig:
+    """Data-plane knobs: link capacities, latency bounds, flow engine."""
+
+    #: MB/s per node (SystemG Ethernet).
+    bandwidth: float = 100.0
+    #: Optional per-replica NIC capacities (MB/s); overrides ``bandwidth``
+    #: for the replicas (clients keep ``bandwidth``).  The paper's testbed
+    #: is homogeneous; heterogeneous clusters are the common real case.
+    bandwidths: Sequence[float] | None = None
+    lan_latency: float = 0.0005      # one-way propagation (s)
+    max_latency: float = PAPER_MAX_LATENCY   # the paper's T
     #: Coalesce each ASSIGN batch's downloads per (replica, client) pair
     #: into one weighted aggregate flow (weight = live request
     #: multiplicity; see :class:`~repro.net.flows.AggregateFlow`).  Exact
@@ -168,37 +200,155 @@ class RuntimeConfig:
     #: no throughput benefit; the paper's clients open one download thread
     #: per *meaningfully loaded* replica.
     min_share_fraction: float = 0.05
-    #: Optional time-varying tariff (extension): when set, each batch is
-    #: solved at the prices in force at schedule time, and cost accounting
-    #: integrates power(t) * price(t).  ``prices`` is then only used for
-    #: the replica count.
-    price_schedule: "PriceSchedule | None" = None
-    #: With a schedule set, solve batches using the *static* ``prices``
-    #: instead of the tariff in force (accounting still follows the
-    #: schedule).  Models an operator whose scheduler ignores tariff
-    #: updates — the baseline for the dynamic-pricing extension.
-    solve_with_stale_prices: bool = False
+
+    def __post_init__(self) -> None:
+        if self.flow_kernel not in ("vector", "scalar"):
+            raise ValidationError(f"unknown flow kernel {self.flow_kernel!r}")
+        if self.bandwidths is not None and min(self.bandwidths) <= 0:
+            raise ValidationError("bandwidths must be positive")
+
+
+@dataclass
+class FaultConfig:
+    """Failure-detection and power-state knobs."""
+
+    #: Run the ring failure detector (heartbeats over the transport).
+    heartbeats: bool = False
+    hb_interval: float = 0.05
+    hb_timeout: float = 0.25
     #: Standby extension: replicas idle for this many seconds drop into a
     #: deep low-power state (``ReplicaNode.standby_w`` watts) until new
     #: work arrives.  ``None`` disables (the paper's setup: machines on
     #: 24x7, which its related-work section calls out as the waste).
     standby_after: float | None = None
-    #: For ``algorithm="weighted"``: fixed per-replica split weights
-    #: (normalized internally).  A static, oblivious scheduler — used by
-    #: the planning-model validation experiment and as an extra baseline.
-    weights: Sequence[float] | None = None
-    #: Optional :class:`~repro.obs.Recorder` threaded through the whole
-    #: runtime — transport counters, membership events, per-batch solve
-    #: events, warm-start hit/miss counters.  ``None`` (default) uses the
-    #: shared no-op recorder; tracing requires serial (``jobs=1``)
-    #: sweeps, since events captured in worker processes are lost.
-    recorder: "object | None" = None
-    horizon: float = 100000.0        # safety cap on simulated seconds
 
     def __post_init__(self) -> None:
-        if self.algorithm not in ("lddm", "cdpsm", "round_robin",
-                                  "weighted"):
-            raise ValidationError(f"unknown algorithm {self.algorithm!r}")
+        if self.standby_after is not None and self.standby_after <= 0:
+            raise ValidationError("standby_after must be positive")
+
+
+#: Flat RuntimeConfig keyword -> the sub-config it migrated into.
+_FLAT_TO_SUB: dict[str, str] = {
+    **{f.name: "solver" for f in dataclasses.fields(SolverOptions)},
+    **{f.name: "net" for f in dataclasses.fields(NetConfig)},
+    **{f.name: "faults" for f in dataclasses.fields(FaultConfig)},
+}
+
+_UNSET = object()
+
+
+class RuntimeConfig:
+    """Scenario knobs for one runtime experiment.
+
+    The documented constructor takes the three composable sub-configs::
+
+        RuntimeConfig(solver=SolverOptions(algorithm="cdpsm"),
+                      net=NetConfig(bandwidth=50.0),
+                      faults=FaultConfig(heartbeats=True),
+                      prices=(1, 8, 1))
+
+    plus the scenario-level fields below.  Every field of a sub-config is
+    also readable (and assignable) as a flat attribute on the config —
+    ``cfg.algorithm`` is ``cfg.solver.algorithm`` — so downstream code
+    never chases nesting.  Passing those fields as *flat constructor
+    keywords* (``RuntimeConfig(algorithm="cdpsm")``) still works but is
+    deprecated: it emits a :class:`DeprecationWarning` naming the
+    offending keywords and folds them into the sub-configs.
+
+    Scenario-level fields (not part of any sub-config):
+
+    * ``prices`` — per-replica electricity prices (also fixes N);
+    * ``alpha``/``beta``/``gamma`` — the paper's energy-model constants;
+    * ``power_model``, ``pdu_rate_hz`` — metering;
+    * ``poll_interval``, ``batch_capacity_fraction`` — batching driver;
+    * ``price_schedule``, ``solve_with_stale_prices`` — dynamic tariffs
+      (when set, each batch is solved at the prices in force at schedule
+      time unless ``solve_with_stale_prices`` keeps the static vector);
+    * ``recorder`` — optional :class:`~repro.obs.Recorder` threaded
+      through the whole runtime (``None`` = shared no-op recorder;
+      tracing requires serial ``jobs=1`` sweeps);
+    * ``horizon`` — safety cap on simulated seconds.
+    """
+
+    def __init__(self, *, solver: SolverOptions | None = None,
+                 net: NetConfig | None = None,
+                 faults: FaultConfig | None = None,
+                 prices: Sequence[float] = (1, 8, 1, 6, 1, 5, 2, 3),
+                 alpha: float = PAPER_ALPHA, beta: float = PAPER_BETA,
+                 gamma: float = PAPER_GAMMA,
+                 power_model: PowerModel = SYSTEMG_POWER_MODEL,
+                 pdu_rate_hz: float = 50.0, poll_interval: float = 0.02,
+                 batch_capacity_fraction: float = 0.8,
+                 price_schedule: "PriceSchedule | None" = None,
+                 solve_with_stale_prices: bool = False,
+                 recorder: "object | None" = None,
+                 horizon: float = 100000.0, **flat) -> None:
+        overrides: dict[str, dict] = {"solver": {}, "net": {}, "faults": {}}
+        for key, value in flat.items():
+            sub = _FLAT_TO_SUB.get(key)
+            if sub is None:
+                raise TypeError(
+                    f"RuntimeConfig got an unexpected keyword argument "
+                    f"{key!r}")
+            overrides[sub][key] = value
+        if flat:
+            import warnings
+            warnings.warn(
+                f"flat RuntimeConfig keyword(s) {sorted(flat)} are "
+                f"deprecated; pass them via the "
+                f"SolverOptions/NetConfig/FaultConfig sub-configs "
+                f"(e.g. RuntimeConfig(solver=SolverOptions(...)))",
+                DeprecationWarning, stacklevel=2)
+        self.solver = dataclasses.replace(
+            solver if solver is not None else SolverOptions(),
+            **overrides["solver"])
+        self.net = dataclasses.replace(
+            net if net is not None else NetConfig(), **overrides["net"])
+        self.faults = dataclasses.replace(
+            faults if faults is not None else FaultConfig(),
+            **overrides["faults"])
+        self.prices = prices
+        self.alpha = alpha
+        self.beta = beta
+        self.gamma = gamma
+        self.power_model = power_model
+        self.pdu_rate_hz = pdu_rate_hz
+        self.poll_interval = poll_interval
+        self.batch_capacity_fraction = batch_capacity_fraction
+        self.price_schedule = price_schedule
+        self.solve_with_stale_prices = solve_with_stale_prices
+        self.recorder = recorder
+        self.horizon = horizon
+        self._validate()
+
+    @classmethod
+    def from_flat(cls, **kwargs) -> "RuntimeConfig":
+        """Build a config from flat keywords without the deprecation shim.
+
+        The programmatic constructor for callers holding a flat option
+        dict (experiment sweeps, CLI argument namespaces): migrated
+        keys fold into their sub-configs silently, everything else
+        passes through.  Explicit ``solver=``/``net=``/``faults=``
+        sub-configs may be mixed in; flat keys override their fields.
+        """
+        subs: dict[str, dict] = {"solver": {}, "net": {}, "faults": {}}
+        direct: dict = {}
+        for key, value in kwargs.items():
+            sub = _FLAT_TO_SUB.get(key)
+            if sub is None:
+                direct[key] = value
+            else:
+                subs[sub][key] = value
+        for name, klass in (("solver", SolverOptions), ("net", NetConfig),
+                            ("faults", FaultConfig)):
+            base = direct.pop(name, None)
+            if subs[name] or base is not None:
+                direct[name] = dataclasses.replace(
+                    base if base is not None else klass(), **subs[name])
+        return cls(**direct)
+
+    def _validate(self) -> None:
+        """Cross-field checks spanning sub-configs and scenario fields."""
         if self.algorithm == "weighted":
             if self.weights is None or len(self.weights) != len(self.prices):
                 raise ValidationError(
@@ -207,37 +357,18 @@ class RuntimeConfig:
                 raise ValidationError("weights must be nonnegative, not all 0")
         if not 0 < self.batch_capacity_fraction <= 1:
             raise ValidationError("batch_capacity_fraction must be in (0, 1]")
-        if self.incremental and not self.aggregate:
-            raise ValidationError(
-                "incremental=True requires aggregate=True (the event "
-                "state lives in eligibility-class space)")
-        if self.incremental and self.incremental_max_clients < 1:
-            raise ValidationError("incremental_max_clients must be >= 1")
-        if self.flow_kernel not in ("vector", "scalar"):
-            raise ValidationError(f"unknown flow kernel {self.flow_kernel!r}")
-        if self.warm_cache_entries < 1:
-            raise ValidationError("warm_cache_entries must be >= 1")
-        if self.max_workers is not None and self.max_workers < 1:
-            raise ValidationError("max_workers must be >= 1")
-        if self.sharding is not None:
-            if not self.aggregate:
-                raise ValidationError(
-                    "sharding requires aggregate=True (shards own "
-                    "eligibility-class slices)")
-            if self.algorithm != "lddm":
-                raise ValidationError(
-                    "sharding currently implements the LDDM-style "
-                    "dual-price plane only")
         if self.price_schedule is not None \
                 and self.price_schedule.n_replicas != len(self.prices):
             raise ValidationError(
                 "price_schedule replica count must match prices length")
-        if self.bandwidths is not None:
-            if len(self.bandwidths) != len(self.prices):
-                raise ValidationError(
-                    "bandwidths must have one entry per replica")
-            if min(self.bandwidths) <= 0:
-                raise ValidationError("bandwidths must be positive")
+        if self.bandwidths is not None \
+                and len(self.bandwidths) != len(self.prices):
+            raise ValidationError(
+                "bandwidths must have one entry per replica")
+
+    def __repr__(self) -> str:
+        return (f"RuntimeConfig(solver={self.solver!r}, net={self.net!r}, "
+                f"faults={self.faults!r}, prices={self.prices!r})")
 
     def replica_bandwidths(self):
         """Per-replica NIC capacities as an array."""
@@ -252,6 +383,24 @@ class RuntimeConfig:
             return self.price_schedule.prices_at(t)
         import numpy as _np
         return _np.asarray(self.prices, dtype=float)
+
+
+def _mirror_flat(sub: str, name: str) -> property:
+    """A flat RuntimeConfig attribute reading/writing through a sub-config."""
+    def _get(self):
+        return getattr(getattr(self, sub), name)
+
+    def _set(self, value):
+        setattr(getattr(self, sub), name, value)
+
+    return property(_get, _set, doc=f"Mirror of ``{sub}.{name}``.")
+
+
+for _sub_name, _sub_cls in (("solver", SolverOptions), ("net", NetConfig),
+                            ("faults", FaultConfig)):
+    for _f in dataclasses.fields(_sub_cls):
+        setattr(RuntimeConfig, _f.name, _mirror_flat(_sub_name, _f.name))
+del _sub_name, _sub_cls, _f
 
 
 class EDRSystem:

@@ -16,6 +16,9 @@ __all__ = [
     "SimulationError",
     "ProcessKilled",
     "MembershipError",
+    "WireFormatError",
+    "VersionMismatchError",
+    "ServiceError",
 ]
 
 
@@ -56,3 +59,27 @@ class ProcessKilled(ReproError):
 
 class MembershipError(ReproError):
     """Invalid operation on the replica membership ring."""
+
+
+class WireFormatError(ReproError, ValueError):
+    """A wire message failed to parse or validate against its schema."""
+
+
+class VersionMismatchError(WireFormatError):
+    """A wire message declared a protocol version this build cannot speak."""
+
+    def __init__(self, message: str, *, got: object = None,
+                 expected: int | None = None) -> None:
+        super().__init__(message)
+        self.got = got
+        self.expected = expected
+
+
+class ServiceError(ReproError):
+    """A control-plane service call failed (transport or remote error)."""
+
+    def __init__(self, message: str, *, status: int | None = None,
+                 remote_type: str | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.remote_type = remote_type

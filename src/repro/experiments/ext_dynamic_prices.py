@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 
 from repro.cluster.pricing import PriceSchedule
-from repro.edr.system import EDRSystem, RuntimeConfig
+from repro.edr.system import EDRSystem, RuntimeConfig, SolverOptions
 from repro.metrics.report import ExperimentResult
 from repro.util.rng import RngFactory
 from repro.util.tables import render_table
@@ -92,7 +92,7 @@ def run(switch_at: float = 15.0, per_burst: int = 24,
 
     def make(algorithm: str, stale: bool) -> ExperimentResult:
         cfg = RuntimeConfig(
-            algorithm=algorithm, prices=PHASE1_PRICES,
+            solver=SolverOptions(algorithm=algorithm), prices=PHASE1_PRICES,
             price_schedule=schedule, solve_with_stale_prices=stale,
             batch_capacity_fraction=0.35)
         return EDRSystem(trace, cfg).run(app="video")

@@ -19,7 +19,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.edr.system import EDRSystem, RuntimeConfig
+from repro.edr.system import EDRSystem, FaultConfig, RuntimeConfig, \
+    SolverOptions
 from repro.experiments.scenarios import Scenario, make_trace
 from repro.util.tables import render_table
 from repro.workload.apps import VIDEO_STREAMING
@@ -69,9 +70,9 @@ def run(standby_after: float = 0.75, n_requests: int = 24,
     for algo in ("lddm", "round_robin"):
         for standby, sink in ((None, joules_on),
                               (standby_after, joules_standby)):
-            cfg = RuntimeConfig(algorithm=algo,
-                                batch_capacity_fraction=0.35,
-                                standby_after=standby)
+            cfg = RuntimeConfig(solver=SolverOptions(algorithm=algo),
+                                faults=FaultConfig(standby_after=standby),
+                                batch_capacity_fraction=0.35)
             res = EDRSystem(trace, cfg).run(app="video")
             sink[algo] = float(np.sum(res.extras["wall_clock_joules"]))
     return StandbyResult(joules_on=joules_on,

@@ -15,7 +15,8 @@ from functools import partial
 
 import numpy as np
 
-from repro.edr.system import EDRSystem, RuntimeConfig
+from repro.edr.system import EDRSystem, NetConfig, RuntimeConfig, \
+    SolverOptions
 from repro.experiments.parallel import parallel_map
 from repro.experiments.runtime_common import ALGORITHMS, run_runtime
 from repro.experiments.scenarios import (
@@ -123,10 +124,10 @@ def _traffic_config(legacy: bool, poll_interval: float) -> RuntimeConfig:
     delta isolates the traffic engine.
     """
     return RuntimeConfig(
-        algorithm="lddm", poll_interval=poll_interval,
-        coalesce=not legacy,
-        flow_kernel="scalar" if legacy else "vector",
-        incremental=True, incremental_max_clients=64)
+        solver=SolverOptions(incremental=True, incremental_max_clients=64),
+        net=NetConfig(coalesce=not legacy,
+                      flow_kernel="scalar" if legacy else "vector"),
+        poll_interval=poll_interval)
 
 
 @dataclass

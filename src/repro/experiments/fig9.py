@@ -29,7 +29,7 @@ from repro.core.problem import ReplicaSelectionProblem
 from repro.edr.coordinator import ShardCoordinator, ShardingConfig, \
     solve_sharded
 from repro.edr.donar_runtime import DonarRuntime, DonarRuntimeConfig
-from repro.edr.system import EDRSystem, RuntimeConfig
+from repro.edr.system import EDRSystem, RuntimeConfig, SolverOptions
 from repro.errors import ValidationError
 from repro.experiments.parallel import parallel_map
 from repro.experiments.scenarios import Scenario, make_trace
@@ -126,9 +126,9 @@ def run_point(point: int | tuple, recorder=None) -> dict:
         recorder.event("experiment.point", figure="fig9",
                        requests=int(count))
     edr = EDRSystem(trace, RuntimeConfig(
-        algorithm="lddm", prices=_PRICES_3,
-        batch_capacity_fraction=0.35, warm_start=warm,
-        aggregate=aggregate, sharding=shard_cfg,
+        solver=SolverOptions(warm_start=warm, aggregate=aggregate,
+                             sharding=shard_cfg),
+        prices=_PRICES_3, batch_capacity_fraction=0.35,
         recorder=recorder)).run(app="dfs")
     donar = DonarRuntime(trace, DonarRuntimeConfig(
         n_replicas=3, n_mapping_nodes=3)).run(app="dfs")

@@ -18,7 +18,7 @@ from scipy import stats
 
 from repro.core.model import replica_energy
 from repro.core.params import ProblemData
-from repro.edr.system import EDRSystem, RuntimeConfig
+from repro.edr.system import EDRSystem, RuntimeConfig, SolverOptions
 from repro.experiments.scenarios import Scenario, make_trace
 from repro.util.rng import RngFactory
 from repro.util.tables import render_table
@@ -81,17 +81,18 @@ def run(n_policies: int = 8, seed: int = 21) -> ModelValidationResult:
             demands=[batch], prices=prices)
         loads = w * batch
         predicted.append(float(replica_energy(data, loads).sum()))
-        cfg = RuntimeConfig(algorithm="weighted", weights=tuple(w),
-                            batch_capacity_fraction=0.35)
+        cfg = RuntimeConfig(
+            solver=SolverOptions(algorithm="weighted", weights=tuple(w)),
+            batch_capacity_fraction=0.35)
         res = EDRSystem(trace, cfg).run(app="video")
         measured.append(res.total_cents)
     lddm = EDRSystem(trace, RuntimeConfig(
-        algorithm="lddm", batch_capacity_fraction=0.35)).run(app="video")
+        batch_capacity_fraction=0.35)).run(app="video")
     rho = float(stats.spearmanr(predicted, measured).statistic)
     beta_sweep = {}
     for beta in (0.01, 0.003, 0.001):
         res = EDRSystem(trace, RuntimeConfig(
-            algorithm="lddm", beta=beta,
+            beta=beta,
             batch_capacity_fraction=0.35)).run(app="video")
         beta_sweep[beta] = res.total_cents
     return ModelValidationResult(

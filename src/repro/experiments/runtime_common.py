@@ -20,7 +20,7 @@ def run_runtime(scenario: Scenario, algorithm: str,
     ``keep_system`` is true (for power-profile extraction).
     """
     trace = make_trace(scenario, seed=seed)
-    cfg = RuntimeConfig(
+    cfg = RuntimeConfig.from_flat(
         algorithm=algorithm,
         prices=tuple(prices) if prices is not None else scenario.prices,
         batch_capacity_fraction=config_kwargs.pop(

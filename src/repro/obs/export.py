@@ -97,13 +97,20 @@ def _label_text(labels: tuple) -> str:
 
 
 def to_prometheus_text(recorder: TraceRecorder) -> str:
-    """Counters (and event counts) in Prometheus text exposition format."""
+    """Counters (and event counts) in Prometheus text exposition format.
+
+    Each metric family gets its ``# HELP`` and ``# TYPE`` comment lines
+    before its samples, per the text exposition format; metric names are
+    sanitized to ``[a-zA-Z_:][a-zA-Z0-9_:]*``.
+    """
     lines: list[str] = []
     by_name: dict[str, list[tuple[tuple, float]]] = {}
     for (name, labels), value in recorder.counters.items():
         by_name.setdefault(name, []).append((labels, value))
     for name in sorted(by_name):
         metric = _metric_name(name) + "_total"
+        lines.append(f"# HELP {metric} "
+                     f"Total of the {name!r} recorder counter.")
         lines.append(f"# TYPE {metric} counter")
         for labels, value in sorted(by_name[name]):
             lines.append(f"{metric}{_label_text(labels)} {value:g}")
@@ -113,6 +120,8 @@ def to_prometheus_text(recorder: TraceRecorder) -> str:
             event_counts[record["name"]] = \
                 event_counts.get(record["name"], 0) + 1
     if event_counts:
+        lines.append("# HELP repro_events_total "
+                     "Occurrences of each recorded trace event.")
         lines.append("# TYPE repro_events_total counter")
         for name in sorted(event_counts):
             lines.append(f'repro_events_total{{name="{name}"}} '

@@ -1,0 +1,52 @@
+"""The control-plane service: a real API boundary over the EDR runtime.
+
+Three pieces, one contract:
+
+* :class:`~repro.service.plane.ControlPlane` — the transport-agnostic
+  protocol (solve / events / membership / register / heartbeat /
+  health / metrics), with :class:`~repro.service.plane.
+  InProcessControlPlane` as the library-path implementation;
+* :class:`~repro.service.server.ControlPlaneServer` /
+  :func:`~repro.service.server.serve` — the stdlib HTTP server exposing
+  the versioned ``/v1/*`` JSON endpoints plus ``/metrics``;
+* :class:`~repro.service.client.EDRClient` /
+  :func:`~repro.service.client.connect` — the SDK speaking the same
+  wire models over HTTP, and :class:`~repro.service.agent.ReplicaAgent`
+  — a replica process that registers and heartbeats.
+
+Quickstart::
+
+    import repro
+
+    server = repro.serve()
+    client = repro.connect(server.url)
+    resp = client.solve(demands=[40.0, 60.0], prices=[1.0, 8.0, 1.0])
+    server.close()
+
+Or from a shell: ``python -m repro.service --port 8080``.
+"""
+
+from repro.service.agent import ReplicaAgent
+from repro.service.client import EDRClient, connect
+from repro.service.errors import ServiceError
+from repro.service.plane import (
+    ControlPlane,
+    InProcessControlPlane,
+    ServiceConfig,
+)
+from repro.service.schemas import ENDPOINTS, Endpoint
+from repro.service.server import ControlPlaneServer, serve
+
+__all__ = [
+    "ControlPlane",
+    "InProcessControlPlane",
+    "ServiceConfig",
+    "ControlPlaneServer",
+    "serve",
+    "EDRClient",
+    "connect",
+    "ReplicaAgent",
+    "ServiceError",
+    "ENDPOINTS",
+    "Endpoint",
+]

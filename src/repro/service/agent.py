@@ -1,0 +1,97 @@
+"""``ReplicaAgent``: a replica-side process that joins the control plane.
+
+The agent registers over HTTP, adopts the heartbeat cadence the server
+hands back in its :class:`~repro.edr.messages.RegisterResponse` (it
+never hard-codes ``hb_interval``/``hb_timeout`` — the server's
+:class:`~repro.edr.system.FaultConfig` is the single source of truth),
+and then heartbeats from a daemon thread until stopped.  The server's
+failure detector marks the agent dead when its heartbeat age exceeds
+``hb_timeout`` — exactly the ring-liveness contract of the simulated
+runtime, lifted onto a real transport.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import ServiceError
+from repro.service.client import EDRClient
+
+__all__ = ["ReplicaAgent"]
+
+
+class ReplicaAgent:
+    """Registers with a control plane and keeps itself alive.
+
+    ``client`` is an :class:`~repro.service.client.EDRClient` or a base
+    URL.  Use as a context manager, or call :meth:`start` / :meth:`stop`
+    explicitly::
+
+        with ReplicaAgent(server.url, "replica-0", capacity_mbps=100) as a:
+            ...  # heartbeating in the background
+    """
+
+    def __init__(self, client: EDRClient | str, name: str, *,
+                 capacity_mbps: float | None = None) -> None:
+        if isinstance(client, str):
+            client = EDRClient(client)
+        self.client = client
+        self.name = name
+        self.capacity_mbps = capacity_mbps
+        #: Cadence adopted from the server at registration (never local).
+        self.hb_interval: float | None = None
+        self.hb_timeout: float | None = None
+        self.beats_sent = 0
+        self.last_error: Exception | None = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    @property
+    def running(self) -> bool:
+        """Whether the heartbeat thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "ReplicaAgent":
+        """Register, adopt the server's cadence, start heartbeating."""
+        if self.running:
+            return self
+        ack = self.client.register(self.name,
+                                   capacity_mbps=self.capacity_mbps)
+        self.hb_interval = float(ack.hb_interval)
+        self.hb_timeout = float(ack.hb_timeout)
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._heartbeat_loop,
+            name=f"repro-agent-{self.name}", daemon=True)
+        self._thread.start()
+        return self
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stop.wait(self.hb_interval):
+            try:
+                ack = self.client.heartbeat(self.name, seq=self.beats_sent)
+                self.beats_sent += 1
+                if not ack.known:
+                    # The server restarted (or expired us): re-register
+                    # and re-adopt whatever cadence it now dictates.
+                    renewed = self.client.register(
+                        self.name, capacity_mbps=self.capacity_mbps)
+                    self.hb_interval = float(renewed.hb_interval)
+                    self.hb_timeout = float(renewed.hb_timeout)
+            except ServiceError as exc:
+                # Transient transport failure: remember it, keep beating.
+                self.last_error = exc
+
+    def stop(self) -> None:
+        """Stop heartbeating (the server will expire us); idempotent."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ReplicaAgent":
+        return self.start()
+
+    def __exit__(self, *_exc) -> bool:
+        self.stop()
+        return False

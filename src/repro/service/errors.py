@@ -1,0 +1,25 @@
+"""Service-layer error surface.
+
+The service package raises the same exception hierarchy as the rest of
+the library (:mod:`repro.errors`); this module re-exports the subset a
+service caller needs so ``from repro.service.errors import ServiceError``
+works without knowing the package layout.
+"""
+
+from __future__ import annotations
+
+from repro.errors import (
+    ReproError,
+    ServiceError,
+    ValidationError,
+    VersionMismatchError,
+    WireFormatError,
+)
+
+__all__ = [
+    "ReproError",
+    "ServiceError",
+    "ValidationError",
+    "VersionMismatchError",
+    "WireFormatError",
+]

@@ -1,0 +1,95 @@
+"""The versioned endpoint table: one source of truth for server and client.
+
+Every HTTP endpoint of the control-plane service is declared here as an
+:class:`Endpoint` — method, path, request model, response model.  The
+server routes incoming requests by looking the path up in
+:data:`ENDPOINTS`; the client builds its calls from the same table, so
+the two sides cannot drift apart.  The wire models themselves live in
+:mod:`repro.edr.messages` (they are shared with the in-process control
+plane) and are re-exported here for convenience.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.edr.messages import (
+    MODEL_TYPES,
+    WIRE_VERSION,
+    ErrorResponse,
+    EventRequest,
+    EventResponse,
+    HealthResponse,
+    HeartbeatRequest,
+    HeartbeatResponse,
+    MembershipResponse,
+    RegisterRequest,
+    RegisterResponse,
+    SolveRequest,
+    SolveResponse,
+    WireEvent,
+    WireModel,
+    parse_message,
+)
+
+__all__ = [
+    "Endpoint",
+    "ENDPOINTS",
+    "endpoint_for",
+    "WIRE_VERSION",
+    "WireModel",
+    "SolveRequest",
+    "SolveResponse",
+    "WireEvent",
+    "EventRequest",
+    "EventResponse",
+    "MembershipResponse",
+    "RegisterRequest",
+    "RegisterResponse",
+    "HeartbeatRequest",
+    "HeartbeatResponse",
+    "HealthResponse",
+    "ErrorResponse",
+    "MODEL_TYPES",
+    "parse_message",
+]
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """One HTTP endpoint of the control-plane service.
+
+    ``request`` is ``None`` for body-less GETs; ``response`` is ``None``
+    for non-JSON endpoints (``/metrics`` returns Prometheus text).
+    ``plane_method`` names the :class:`~repro.service.plane.ControlPlane`
+    method the server dispatches to.
+    """
+
+    method: str
+    path: str
+    request: type | None
+    response: type | None
+    plane_method: str
+
+
+#: Every endpoint the service exposes, keyed by path.
+ENDPOINTS: dict[str, Endpoint] = {
+    e.path: e
+    for e in (
+        Endpoint("POST", "/v1/solve", SolveRequest, SolveResponse, "solve"),
+        Endpoint("POST", "/v1/events", EventRequest, EventResponse, "events"),
+        Endpoint("GET", "/v1/membership", None, MembershipResponse,
+                 "membership"),
+        Endpoint("POST", "/v1/agents/register", RegisterRequest,
+                 RegisterResponse, "register"),
+        Endpoint("POST", "/v1/agents/heartbeat", HeartbeatRequest,
+                 HeartbeatResponse, "heartbeat"),
+        Endpoint("GET", "/v1/health", None, HealthResponse, "health"),
+        Endpoint("GET", "/metrics", None, None, "metrics_text"),
+    )
+}
+
+
+def endpoint_for(path: str) -> Endpoint | None:
+    """The :class:`Endpoint` serving ``path``, or ``None`` if unrouted."""
+    return ENDPOINTS.get(path)

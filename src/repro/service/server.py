@@ -1,0 +1,185 @@
+"""The control-plane HTTP server (stdlib ``http.server``, no new deps).
+
+:class:`ControlPlaneServer` binds a :class:`~repro.service.plane.
+ControlPlane` behind the versioned JSON endpoints declared in
+:data:`repro.service.schemas.ENDPOINTS`.  The handler is a thin
+transport shim: parse the request model, call the plane method, write
+the response model — every behavior lives in the plane, so the HTTP
+path and the in-process path cannot diverge.
+
+Error mapping:
+
+* malformed payloads / validation failures -> 400 with a typed
+  :class:`~repro.edr.messages.ErrorResponse` body;
+* wire-version mismatches -> 426 (Upgrade Required);
+* unrouted paths -> 404, wrong method on a routed path -> 405;
+* anything else -> 500 (the error type is reported, not swallowed).
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import ReproError, VersionMismatchError, WireFormatError
+from repro.service.plane import ControlPlane, InProcessControlPlane, \
+    ServiceConfig
+from repro.service.schemas import ENDPOINTS, ErrorResponse
+
+__all__ = ["ControlPlaneServer", "serve"]
+
+#: Largest request body the server will read, in bytes (64 MiB).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one HTTP request to the bound plane via the endpoint table."""
+
+    server_version = "repro-edr"
+    protocol_version = "HTTP/1.1"
+
+    # Set by ControlPlaneServer when the handler class is specialized.
+    plane: ControlPlane = None
+
+    def log_message(self, *_args) -> None:  # silence per-request stderr
+        pass
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        endpoint = ENDPOINTS.get(self.path)
+        if endpoint is None:
+            self._send_error(404, "not_found",
+                             f"no endpoint at {self.path!r}")
+            return
+        if endpoint.method != method:
+            self._send_error(405, "method_not_allowed",
+                             f"{self.path} takes {endpoint.method}")
+            return
+        try:
+            args = ()
+            if endpoint.request is not None:
+                args = (endpoint.request.from_json(self._read_body()),)
+            result = getattr(self.plane, endpoint.plane_method)(*args)
+        except VersionMismatchError as exc:
+            self._send_error(426, type(exc).__name__, str(exc))
+            return
+        except (WireFormatError, ReproError, ValueError) as exc:
+            self._send_error(400, type(exc).__name__, str(exc))
+            return
+        except Exception as exc:  # noqa: BLE001 - typed 500, not a crash
+            self._send_error(500, type(exc).__name__, str(exc))
+            return
+        if endpoint.response is None:
+            self._send_text(200, result,
+                            "text/plain; version=0.0.4; charset=utf-8")
+        else:
+            self._send_text(200, result.to_json(), "application/json")
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length", 0))
+        if length > MAX_BODY_BYTES:
+            raise WireFormatError(
+                f"request body exceeds {MAX_BODY_BYTES} bytes")
+        return self.rfile.read(length)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, status: int, error: str, detail: str) -> None:
+        payload = ErrorResponse(error=error, detail=detail, status=status)
+        self._send_text(status, payload.to_json(), "application/json")
+
+
+class ControlPlaneServer:
+    """A running control-plane service bound to an in-process plane.
+
+    ``config.port=0`` (the default) binds a free port; read the live
+    address from :attr:`url`.  :meth:`close` shuts the listener down
+    *and* closes the plane — including any live
+    :class:`~repro.edr.coordinator.ShardCoordinator` worker pools — so a
+    ``with`` block leaks neither sockets nor processes.
+    """
+
+    def __init__(self, config: ServiceConfig | None = None, *,
+                 plane: ControlPlane | None = None,
+                 recorder=None) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        if plane is None:
+            plane = InProcessControlPlane(self.config, recorder=recorder)
+        self.plane = plane
+        handler = type("BoundHandler", (_Handler,), {"plane": plane})
+        self._httpd = ThreadingHTTPServer(
+            (self.config.host, self.config.port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+        self._closed = False
+
+    @property
+    def host(self) -> str:
+        """The bound host."""
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound (possibly OS-assigned) port."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should connect to."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ControlPlaneServer":
+        """Serve in a daemon thread; returns ``self`` for chaining."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-service", daemon=True)
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the ``__main__`` path)."""
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        """Stop serving and release the plane; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.plane.close()
+
+    def __enter__(self) -> "ControlPlaneServer":
+        return self.start()
+
+    def __exit__(self, *_exc) -> bool:
+        self.close()
+        return False
+
+
+def serve(config: ServiceConfig | None = None, *,
+          plane: ControlPlane | None = None,
+          recorder=None) -> ControlPlaneServer:
+    """Start a control-plane server; returns it already listening.
+
+    The promoted top-level entry point (``repro.serve()``)::
+
+        server = repro.serve()
+        client = repro.connect(server.url)
+    """
+    return ControlPlaneServer(config, plane=plane, recorder=recorder).start()

@@ -103,23 +103,19 @@ class TestRuntimeFields:
         assert sol.warm_started is False
 
 
-class TestDeprecatedPositionalAggregate:
-    """`solve_lddm(p, True)` predates the facade; it warns but works."""
+class TestKeywordOnlyAggregate:
+    """The positional-``aggregate`` shim is gone: options are keyword-only."""
 
-    def test_lddm_warns_and_matches_keyword(self, problem):
-        with pytest.warns(DeprecationWarning, match="aggregate"):
-            old_style = solve_lddm(problem, True, max_iter=60)
-        new_style = solve_lddm(problem, aggregate=True, max_iter=60)
-        assert np.array_equal(old_style.allocation, new_style.allocation)
+    def test_lddm_rejects_positional_aggregate(self, problem):
+        with pytest.raises(TypeError):
+            solve_lddm(problem, True)
 
-    def test_cdpsm_warns_and_matches_keyword(self, problem):
-        with pytest.warns(DeprecationWarning, match="aggregate"):
-            old_style = solve_cdpsm(problem, True, max_iter=60)
-        new_style = solve_cdpsm(problem, aggregate=True, max_iter=60)
-        assert np.array_equal(old_style.allocation, new_style.allocation)
+    def test_cdpsm_rejects_positional_aggregate(self, problem):
+        with pytest.raises(TypeError):
+            solve_cdpsm(problem, True)
 
     def test_extra_positionals_rejected(self, problem):
-        with pytest.raises(TypeError, match="keyword-only"):
+        with pytest.raises(TypeError):
             solve_lddm(problem, True, None)
 
     def test_no_warning_for_keyword_use(self, problem, recwarn):

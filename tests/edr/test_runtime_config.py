@@ -1,0 +1,126 @@
+"""The composable RuntimeConfig: sub-configs, flat-kwarg deprecation
+shim, mirror properties, and from_flat()."""
+
+import dataclasses
+
+import pytest
+
+from repro.edr.coordinator import ShardingConfig
+from repro.edr.system import (
+    FaultConfig,
+    NetConfig,
+    RuntimeConfig,
+    SolverOptions,
+)
+from repro.errors import ValidationError
+
+
+class TestSubConfigs:
+    def test_defaults_compose(self):
+        cfg = RuntimeConfig()
+        assert isinstance(cfg.solver, SolverOptions)
+        assert isinstance(cfg.net, NetConfig)
+        assert isinstance(cfg.faults, FaultConfig)
+        assert cfg.solver.algorithm == "lddm"
+        assert cfg.net.bandwidth == 100.0
+        assert cfg.faults.heartbeats is False
+
+    def test_explicit_sub_configs(self):
+        cfg = RuntimeConfig(
+            solver=SolverOptions(algorithm="cdpsm", warm_start=False),
+            net=NetConfig(bandwidth=50.0),
+            faults=FaultConfig(heartbeats=True, hb_interval=0.1))
+        assert cfg.solver.algorithm == "cdpsm"
+        assert cfg.net.bandwidth == 50.0
+        assert cfg.faults.hb_interval == 0.1
+
+    def test_sub_config_validation_still_fires(self):
+        with pytest.raises(ValidationError):
+            SolverOptions(algorithm="magic")
+        with pytest.raises(ValidationError):
+            NetConfig(flow_kernel="quantum")
+        with pytest.raises(ValidationError):
+            FaultConfig(standby_after=-1.0)
+
+    def test_sharding_requires_aggregate_lddm(self):
+        with pytest.raises(ValidationError):
+            SolverOptions(algorithm="cdpsm",
+                          sharding=ShardingConfig(n_shards=2))
+
+
+class TestMirrorProperties:
+    """Flat attribute access keeps working — it reads the sub-configs."""
+
+    def test_read_through(self):
+        cfg = RuntimeConfig(solver=SolverOptions(algorithm="cdpsm"))
+        assert cfg.algorithm == "cdpsm"
+        assert cfg.bandwidth == cfg.net.bandwidth
+        assert cfg.hb_timeout == cfg.faults.hb_timeout
+
+    def test_write_through(self):
+        cfg = RuntimeConfig()
+        cfg.bandwidth = 73.0
+        assert cfg.net.bandwidth == 73.0
+
+    def test_every_sub_config_field_is_mirrored(self):
+        cfg = RuntimeConfig()
+        for sub_name, sub_cls in (("solver", SolverOptions),
+                                  ("net", NetConfig),
+                                  ("faults", FaultConfig)):
+            for f in dataclasses.fields(sub_cls):
+                assert getattr(cfg, f.name) == \
+                    getattr(getattr(cfg, sub_name), f.name)
+
+
+class TestFlatKwargShim:
+    def test_flat_kwargs_warn_and_land_in_sub_configs(self):
+        with pytest.warns(DeprecationWarning, match="algorithm"):
+            cfg = RuntimeConfig(algorithm="cdpsm", bandwidth=42.0)
+        assert cfg.solver.algorithm == "cdpsm"
+        assert cfg.net.bandwidth == 42.0
+
+    def test_sub_config_construction_does_not_warn(self, recwarn):
+        RuntimeConfig(solver=SolverOptions(algorithm="cdpsm"))
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_from_flat_is_silent(self, recwarn):
+        cfg = RuntimeConfig.from_flat(algorithm="cdpsm", heartbeats=True)
+        assert cfg.solver.algorithm == "cdpsm"
+        assert cfg.faults.heartbeats is True
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_from_flat_overrides_explicit_sub_config(self):
+        cfg = RuntimeConfig.from_flat(
+            solver=SolverOptions(algorithm="cdpsm", warm_start=False),
+            algorithm="lddm")
+        assert cfg.solver.algorithm == "lddm"
+        assert cfg.solver.warm_start is False  # untouched field survives
+
+    def test_unknown_kwarg_is_a_type_error(self):
+        with pytest.raises(TypeError, match="unexpected"):
+            RuntimeConfig(not_a_field=1)
+
+    def test_top_level_fields_do_not_warn(self, recwarn):
+        RuntimeConfig(prices=(1, 2, 3), poll_interval=0.05)
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
+
+
+class TestCrossFieldValidation:
+    def test_weighted_needs_per_replica_weights(self):
+        with pytest.raises(ValidationError):
+            RuntimeConfig(prices=(1, 2, 3),
+                          solver=SolverOptions(algorithm="weighted",
+                                               weights=(1.0, 2.0)))
+
+    def test_bandwidths_must_match_replica_count(self):
+        with pytest.raises(ValidationError):
+            RuntimeConfig(prices=(1, 2, 3),
+                          net=NetConfig(bandwidths=(100.0, 50.0)))
+
+    def test_replica_bandwidths_helper(self):
+        cfg = RuntimeConfig(prices=(1, 2),
+                            net=NetConfig(bandwidths=(10.0, 20.0)))
+        assert tuple(cfg.replica_bandwidths()) == (10.0, 20.0)

@@ -1,0 +1,193 @@
+"""Wire-schema contract tests: round-trip identity, forward/backward
+compatibility, and version negotiation — over *every* registered model."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.incremental import ClientArrival, ClientDeparture, \
+    DemandChange
+from repro.edr.messages import (
+    MODEL_TYPES,
+    WIRE_VERSION,
+    ErrorResponse,
+    EventRequest,
+    EventResponse,
+    HealthResponse,
+    HeartbeatRequest,
+    HeartbeatResponse,
+    MembershipResponse,
+    RegisterRequest,
+    RegisterResponse,
+    SolveRequest,
+    SolveResponse,
+    WireEvent,
+    parse_message,
+)
+from repro.errors import VersionMismatchError, WireFormatError
+
+#: One representative, fully-populated instance of every wire model.
+EXAMPLES = {
+    "solve_request": SolveRequest(
+        demands=[40.0, 60.0], prices=[1.0, 8.0, 1.0],
+        capacities=[100.0, 100.0, 100.0], alpha=1.0, beta=0.01, gamma=3.0,
+        mask=[[True, True, False], [True, True, True]],
+        algorithm="lddm", aggregate=True, clients=["a", "b"],
+        options={"max_iter": 200}),
+    "solve_response": SolveResponse(
+        allocation=[[10.0, 30.0, 0.0], [20.0, 20.0, 20.0]],
+        objective=123.5, iterations=17, converged=True,
+        loads=[30.0, 50.0, 20.0], duals=[-1.0, -2.0], method="lddm",
+        solve_time_s=0.01, warm_started=False, n_classes=2,
+        clients=["a", "b"]),
+    "event": WireEvent(kind="arrival", client="c", demand=5.0,
+                       eligibility=[True, False, True]),
+    "event_request": EventRequest(events=[
+        WireEvent(kind="arrival", client="c", demand=5.0,
+                  eligibility=[True, False, True]),
+        WireEvent(kind="demand_change", client="a", demand=45.0),
+        WireEvent(kind="departure", client="b"),
+    ]),
+    "event_response": EventResponse(
+        applied=3, resolves=1, sweeps=4, objective=99.0,
+        loads=[10.0, 20.0, 5.0], clients=["a", "c"],
+        allocation=[[5.0, 5.0, 0.0], [5.0, 15.0, 5.0]],
+        fallback_reasons={"drift": 1}),
+    "membership_response": MembershipResponse(
+        replicas=["r0", "r1"], live=["r0"],
+        heartbeat_age_s={"r0": 0.01, "r1": 1.5},
+        hb_interval=0.05, hb_timeout=0.25),
+    "register_request": RegisterRequest(agent="r0", capacity_mbps=100.0),
+    "register_response": RegisterResponse(
+        agent="r0", hb_interval=0.05, hb_timeout=0.25,
+        replicas=["r0", "r1"]),
+    "heartbeat_request": HeartbeatRequest(agent="r0", seq=7),
+    "heartbeat_response": HeartbeatResponse(agent="r0", known=True),
+    "health_response": HealthResponse(ok=True, version="1.0.0",
+                                      wire_version=WIRE_VERSION),
+    "error_response": ErrorResponse(error="ValidationError",
+                                    detail="bad demand", status=400),
+}
+
+
+def test_every_registered_model_has_an_example():
+    assert set(EXAMPLES) == set(MODEL_TYPES)
+
+
+@pytest.mark.parametrize("tag", sorted(MODEL_TYPES))
+class TestRoundTrip:
+    def test_json_round_trip_is_identity(self, tag):
+        model = EXAMPLES[tag]
+        cls = MODEL_TYPES[tag]
+        assert cls.from_json(model.to_json()) == model
+
+    def test_envelope_declares_version_and_type(self, tag):
+        payload = json.loads(EXAMPLES[tag].to_json())
+        assert payload["v"] == WIRE_VERSION
+        assert payload["type"] == tag
+
+    def test_unknown_fields_are_tolerated(self, tag):
+        payload = EXAMPLES[tag].to_dict()
+        payload["some_future_field"] = {"nested": [1, 2, 3]}
+        assert MODEL_TYPES[tag].from_dict(payload) == EXAMPLES[tag]
+
+    def test_newer_version_is_rejected(self, tag):
+        payload = EXAMPLES[tag].to_dict()
+        payload["v"] = WIRE_VERSION + 1
+        with pytest.raises(VersionMismatchError) as exc:
+            MODEL_TYPES[tag].from_dict(payload)
+        assert exc.value.got == WIRE_VERSION + 1
+        assert exc.value.expected == WIRE_VERSION
+
+    @pytest.mark.parametrize("bad", [None, "1", 0, -3, 1.0, True])
+    def test_missing_or_malformed_version_is_rejected(self, tag, bad):
+        payload = EXAMPLES[tag].to_dict()
+        if bad is None:
+            del payload["v"]
+        else:
+            payload["v"] = bad
+        with pytest.raises(VersionMismatchError):
+            MODEL_TYPES[tag].from_dict(payload)
+
+    def test_parse_message_dispatches_by_tag(self, tag):
+        parsed = parse_message(EXAMPLES[tag].to_json())
+        assert type(parsed) is MODEL_TYPES[tag]
+        assert parsed == EXAMPLES[tag]
+
+
+class TestValidation:
+    def test_missing_required_field_is_rejected(self):
+        payload = EXAMPLES["solve_request"].to_dict()
+        del payload["demands"]
+        with pytest.raises(WireFormatError, match="demands"):
+            SolveRequest.from_dict(payload)
+
+    def test_wrong_type_tag_is_rejected(self):
+        payload = EXAMPLES["solve_request"].to_dict()
+        payload["type"] = "heartbeat_request"
+        with pytest.raises(WireFormatError, match="expected"):
+            SolveRequest.from_dict(payload)
+
+    def test_non_object_payload_is_rejected(self):
+        with pytest.raises(WireFormatError):
+            SolveRequest.from_dict([1, 2, 3])
+
+    def test_invalid_json_is_rejected(self):
+        with pytest.raises(WireFormatError, match="JSON"):
+            SolveRequest.from_json("{not json")
+
+    def test_unknown_message_type_is_rejected(self):
+        with pytest.raises(WireFormatError, match="unknown"):
+            parse_message(json.dumps({"v": 1, "type": "no_such_model"}))
+
+    def test_numpy_values_encode_to_plain_json(self):
+        req = SolveRequest(demands=np.array([40.0, 60.0]),
+                           prices=np.array([1.0, 8.0]))
+        payload = json.loads(req.to_json())
+        assert payload["demands"] == [40.0, 60.0]
+
+    def test_converters_coerce_incoming_values(self):
+        payload = {"v": 1, "type": "solve_request",
+                   "demands": [40, 60], "prices": [1, 8],
+                   "mask": [[1, 0], [1, 1]]}
+        req = SolveRequest.from_dict(payload)
+        assert req.demands == [40.0, 60.0]
+        assert req.mask == [[True, False], [True, True]]
+
+
+class TestWireEventBridge:
+    """WireEvent <-> repro.core.incremental event dataclasses."""
+
+    def test_arrival_round_trips_through_core(self):
+        wire = WireEvent(kind="arrival", client="c", demand=5.0,
+                         eligibility=[True, False, True])
+        core = wire.to_core()
+        assert isinstance(core, ClientArrival)
+        assert core.demand == 5.0
+        assert WireEvent.from_core(core) == wire
+
+    def test_departure_round_trips_through_core(self):
+        core = ClientDeparture(client="x")
+        wire = WireEvent.from_core(core)
+        assert wire.kind == "departure"
+        assert isinstance(wire.to_core(), ClientDeparture)
+
+    def test_demand_change_round_trips_through_core(self):
+        core = DemandChange(client="x", demand=12.5)
+        wire = WireEvent.from_core(core)
+        assert wire.to_core() == core
+
+    def test_arrival_without_eligibility_is_rejected(self):
+        with pytest.raises(WireFormatError):
+            WireEvent(kind="arrival", client="c", demand=5.0).to_core()
+
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(WireFormatError):
+            WireEvent(kind="teleport", client="c").to_core()
+
+    def test_float_values_survive_json_bit_exactly(self):
+        demand = 1.0 / 3.0 + 1e-16
+        wire = WireEvent(kind="demand_change", client="c", demand=demand)
+        back = WireEvent.from_json(wire.to_json())
+        assert back.demand == demand

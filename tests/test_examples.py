@@ -18,6 +18,7 @@ FAST_EXAMPLES = [
     "convergence_comparison.py",
     "fault_tolerance.py",
     "agent_based_solvers.py",
+    "service_quickstart.py",
 ]
 
 

@@ -1,0 +1,107 @@
+"""Public-surface lint guards.
+
+Two contracts enforced repo-wide:
+
+* ``__all__`` reconciliation — every name a package advertises must
+  resolve, and the promoted top-level entry points must be re-exported
+  consistently.
+* keyword-only options — public functions take defaulted options
+  keyword-only (the positional-``aggregate`` era is over).  A small
+  allowlist grandfathers ergonomic positionals (``solve``'s
+  ``algorithm``, ``solve_sharded``'s ``n_shards``, ...); additions to
+  that list need a review, not an accident.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = ["repro", "repro.core", "repro.edr", "repro.obs",
+            "repro.service"]
+
+#: (module, function, parameter) triples allowed to keep a defaulted
+#: positional-or-keyword parameter.  Grow this list deliberately.
+KEYWORD_ONLY_ALLOWLIST = {
+    ("repro.core.api", "solve", "algorithm"),
+    ("repro.core.aggregate", "solve_aggregated", "method"),
+    ("repro.edr.coordinator", "solve_sharded", "n_shards"),
+    ("repro.service.server", "serve", "config"),
+    ("repro.core.projection", "project_local_set", "max_iter"),
+    ("repro.core.projection", "project_local_set", "tol"),
+    ("repro.core.consensus", "ring_weights", "self_weight"),
+    ("repro.core.consensus", "is_doubly_stochastic", "tol"),
+    ("repro.core.warmstart", "project_warm_start", "repair_sweeps"),
+}
+
+
+def public_functions():
+    """Every function any audited package advertises via ``__all__``."""
+    seen = {}
+    for package in PACKAGES:
+        module = importlib.import_module(package)
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if inspect.isfunction(obj):
+                seen[(obj.__module__, obj.__qualname__)] = obj
+    return sorted(seen.items())
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_names_resolve(package):
+    module = importlib.import_module(package)
+    missing = [n for n in module.__all__ if not hasattr(module, n)]
+    assert not missing, f"{package}.__all__ names {missing} do not resolve"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_has_no_duplicates(package):
+    names = importlib.import_module(package).__all__
+    assert len(names) == len(set(names))
+
+
+def test_promoted_entry_points_are_top_level():
+    import repro
+
+    for name in ("solve", "serve", "connect"):
+        assert name in repro.__all__
+        assert callable(getattr(repro, name))
+
+
+def test_top_level_reexports_match_origins():
+    """repro.<name> is the same object as its defining module's."""
+    import repro
+    import repro.core
+    import repro.service
+
+    assert repro.solve is repro.core.solve
+    assert repro.serve is repro.service.serve
+    assert repro.connect is repro.service.connect
+    assert repro.EDRClient is repro.service.EDRClient
+
+
+@pytest.mark.parametrize(
+    "key,func", public_functions(),
+    ids=[f"{m}.{q}" for (m, q), _ in public_functions()])
+def test_public_function_options_are_keyword_only(key, func):
+    """Defaulted parameters of public functions must be keyword-only."""
+    module, qualname = key
+    violations = []
+    for param in inspect.signature(func).parameters.values():
+        if (param.default is not inspect.Parameter.empty
+                and param.kind is inspect.Parameter.POSITIONAL_OR_KEYWORD
+                and (module, qualname, param.name)
+                not in KEYWORD_ONLY_ALLOWLIST):
+            violations.append(param.name)
+    assert not violations, (
+        f"{module}.{qualname} takes defaulted option(s) {violations} "
+        f"positionally; make them keyword-only (add * before them) or — "
+        f"deliberately — extend KEYWORD_ONLY_ALLOWLIST")
+
+
+def test_allowlist_entries_still_exist():
+    """Stale allowlist rows (renamed/removed functions) must be pruned."""
+    live = {(m, q.split(".")[-1]) for (m, q), _ in public_functions()}
+    for module, func, _param in KEYWORD_ONLY_ALLOWLIST:
+        assert (module, func) in live, (
+            f"allowlist entry {module}.{func} is no longer public")
